@@ -1,0 +1,178 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6), one benchmark per artifact. They run at
+// experiments.QuickScale (same ratios as the paper, two orders of
+// magnitude fewer blocks) so `go test -bench=.` finishes quickly;
+// cmd/benchrunner runs the same experiments at paper scale and prints
+// the full tables.
+//
+// Custom metrics reported per benchmark are the figure's headline
+// numbers, so regressions in the reproduced shapes show up in plain
+// `-bench` output.
+package steghide_test
+
+import (
+	"strconv"
+	"testing"
+
+	"steghide/internal/experiments"
+)
+
+// run executes one experiment per iteration and returns the last
+// table for metric extraction.
+func run(b *testing.B, id string) *experiments.Table {
+	b.Helper()
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := experiments.QuickScale()
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err = e.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return t
+}
+
+// cell parses a numeric table cell like "13.7" or "9.8x" or "33%".
+func cell(b *testing.B, t *experiments.Table, row, col int) float64 {
+	b.Helper()
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		b.Fatalf("table %s lacks cell (%d,%d)", t.ID, row, col)
+	}
+	s := t.Rows[row][col]
+	for len(s) > 0 {
+		last := s[len(s)-1]
+		if (last >= '0' && last <= '9') || last == '.' {
+			break
+		}
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("table %s cell (%d,%d) %q: %v", t.ID, row, col, t.Rows[row][col], err)
+	}
+	return v
+}
+
+// BenchmarkFig10a_RetrievalVsFileSize regenerates Figure 10(a).
+// Metrics: retrieval seconds for the largest file on StegHide vs
+// CleanDisk — the steganographic price of random placement.
+func BenchmarkFig10a_RetrievalVsFileSize(b *testing.B) {
+	t := run(b, "fig10a")
+	last := len(t.Rows) - 1
+	steg := cell(b, t, last, 1)
+	clean := cell(b, t, last, 5)
+	b.ReportMetric(steg, "steghide-s")
+	b.ReportMetric(clean, "cleandisk-s")
+	if clean > 0 {
+		b.ReportMetric(steg/clean, "steg/clean-ratio")
+	}
+}
+
+// BenchmarkFig10b_RetrievalVsConcurrency regenerates Figure 10(b).
+// Metric: how close CleanDisk gets to StegHide at max concurrency —
+// the paper's convergence claim (→ 1.0).
+func BenchmarkFig10b_RetrievalVsConcurrency(b *testing.B) {
+	t := run(b, "fig10b")
+	last := len(t.Rows) - 1
+	steg := cell(b, t, last, 1)
+	clean := cell(b, t, last, 5)
+	if steg > 0 {
+		b.ReportMetric(clean/steg, "clean/steg-at-max-users")
+	}
+}
+
+// BenchmarkFig11a_UpdateVsUtilization regenerates Figure 11(a).
+// Metric: StegHide's update-cost growth from 10% to 50% utilization
+// (the E = N/D slope; ≈1.5–2× expected).
+func BenchmarkFig11a_UpdateVsUtilization(b *testing.B) {
+	t := run(b, "fig11a")
+	lo := cell(b, t, 0, 1)
+	hi := cell(b, t, len(t.Rows)-1, 1)
+	b.ReportMetric(lo, "steghide-ms-at-10pct")
+	b.ReportMetric(hi, "steghide-ms-at-50pct")
+	if lo > 0 {
+		b.ReportMetric(hi/lo, "growth")
+	}
+}
+
+// BenchmarkFig11b_UpdateVsRange regenerates Figure 11(b).
+// Metric: linearity of StegHide's cost in the update range
+// (cost(5)/cost(1) ≈ 5).
+func BenchmarkFig11b_UpdateVsRange(b *testing.B) {
+	t := run(b, "fig11b")
+	one := cell(b, t, 0, 1)
+	five := cell(b, t, len(t.Rows)-1, 1)
+	if one > 0 {
+		b.ReportMetric(five/one, "range5/range1")
+	}
+}
+
+// BenchmarkFig11c_UpdateVsConcurrency regenerates Figure 11(c).
+// Metric: CleanDisk/StegHide cost ratio at max users (convergence).
+func BenchmarkFig11c_UpdateVsConcurrency(b *testing.B) {
+	t := run(b, "fig11c")
+	last := len(t.Rows) - 1
+	steg := cell(b, t, last, 1)
+	clean := cell(b, t, last, 5)
+	if steg > 0 {
+		b.ReportMetric(clean/steg, "clean/steg-at-max-users")
+	}
+}
+
+// BenchmarkTable4_OverheadVsBuffer regenerates Table 4.
+// Metrics: the analytic overhead factors at the smallest and largest
+// buffers (the paper's 70 → 30 endpoints).
+func BenchmarkTable4_OverheadVsBuffer(b *testing.B) {
+	t := run(b, "table4")
+	b.ReportMetric(cell(b, t, 0, 2), "overhead-smallest-buffer")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 2), "overhead-largest-buffer")
+}
+
+// BenchmarkFig12a_ObliviousVsBuffer regenerates Figure 12(a).
+// Metric: the oblivious/StegFS per-read ratio at the largest buffer
+// (the paper's best case, ≈5×).
+func BenchmarkFig12a_ObliviousVsBuffer(b *testing.B) {
+	t := run(b, "fig12a")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 3), "obli/stegfs-largest-buffer")
+	b.ReportMetric(cell(b, t, 0, 3), "obli/stegfs-smallest-buffer")
+}
+
+// BenchmarkFig12b_OverheadProportion regenerates Figure 12(b).
+// Metric: sorting share of access time at the largest buffer (the
+// paper keeps it under 30%).
+func BenchmarkFig12b_OverheadProportion(b *testing.B) {
+	t := run(b, "fig12b")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 2), "sort-pct-largest-buffer")
+}
+
+// BenchmarkEq1_ExpectedOverhead validates §4.1.5's E = N/D.
+// Metric: worst relative error across utilizations (percent).
+func BenchmarkEq1_ExpectedOverhead(b *testing.B) {
+	t := run(b, "eq1")
+	worst := 0.0
+	for r := range t.Rows {
+		if e := cell(b, t, r, 3); e > worst {
+			b.ReportMetric(e, "rel-err-pct-row"+strconv.Itoa(r))
+			worst = e
+		}
+	}
+	b.ReportMetric(worst, "worst-rel-err-pct")
+}
+
+// BenchmarkSecurityDef1 runs the Definition-1 indistinguishability
+// experiment. Metric: the smallest p-value across the hiding
+// constructions (must stay well above the attacker's α = 0.001).
+func BenchmarkSecurityDef1(b *testing.B) {
+	t := run(b, "security")
+	minP := 1.0
+	for r := 0; r < 2; r++ { // StegHide, StegHide*
+		if p := cell(b, t, r, 1); p < minP {
+			minP = p
+		}
+	}
+	b.ReportMetric(minP, "min-p-value-constructions")
+}

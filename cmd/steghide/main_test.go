@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles the CLI once per test run.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "steghide-cli")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestCLIFormat(t *testing.T) {
+	bin := buildBinary(t)
+	img := filepath.Join(t.TempDir(), "vol.img")
+	out, err := exec.Command(bin, "format", "-img", img, "-blocks", "64", "-bs", "512").CombinedOutput()
+	if err != nil {
+		t.Fatalf("format: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "formatted") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+	st, err := os.Stat(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 64*512 {
+		t.Fatalf("image size %d", st.Size())
+	}
+	// Formatting twice must succeed (truncate + refill).
+	if out, err := exec.Command(bin, "format", "-img", img, "-blocks", "64", "-bs", "512").CombinedOutput(); err != nil {
+		t.Fatalf("re-format: %v\n%s", err, out)
+	}
+}
+
+func TestCLIUsageAndErrors(t *testing.T) {
+	bin := buildBinary(t)
+	// No args → usage, exit 2.
+	cmd := exec.Command(bin)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("no-arg invocation succeeded")
+	}
+	if !strings.Contains(string(out), "usage:") {
+		t.Fatalf("no usage printed: %s", out)
+	}
+	// Unknown subcommand.
+	if out, err := exec.Command(bin, "frobnicate").CombinedOutput(); err == nil {
+		t.Fatalf("unknown subcommand accepted: %s", out)
+	}
+	// Client without credentials.
+	if out, err := exec.Command(bin, "client", "get", "/x").CombinedOutput(); err == nil {
+		t.Fatalf("client without -user accepted: %s", out)
+	}
+	// Help exits cleanly.
+	if out, err := exec.Command(bin, "help").CombinedOutput(); err != nil {
+		t.Fatalf("help failed: %v\n%s", err, out)
+	}
+}
+
+func TestCLIStorageOpensFormattedImage(t *testing.T) {
+	// Not a daemon test: just verify the storage subcommand validates
+	// its image before serving by pointing it at a missing file.
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "storage", "-img", filepath.Join(t.TempDir(), "missing.img")).CombinedOutput()
+	if err == nil {
+		t.Fatalf("missing image accepted: %s", out)
+	}
+}

@@ -1,0 +1,223 @@
+// Package attack implements the two adversaries of §3.2.2, used by
+// tests and examples to demonstrate that the baselines leak and the
+// constructions do not:
+//
+//   - UpdateAnalyzer — the snapshot-diffing attacker: scans the raw
+//     storage repeatedly, diffs consecutive snapshots, and looks for
+//     structure in the changed-block sets (stable hot sets, non-uniform
+//     spatial distribution).
+//   - TrafficAnalyzer — the wire-tapping attacker: observes the I/O
+//     request stream between agent and storage and looks for repeated
+//     addresses and frequency skew.
+//
+// Both output a verdict with the statistical evidence, so experiments
+// can report "detected hidden activity: yes/no (p = …)".
+package attack
+
+import (
+	"bytes"
+	"fmt"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/stats"
+)
+
+// Verdict is an attacker's conclusion.
+type Verdict struct {
+	// Detected is true when the attacker found statistically
+	// significant structure (p < Alpha).
+	Detected bool
+	// PValue is the probability of the observed structure under the
+	// "nothing but noise" hypothesis.
+	PValue float64
+	// Evidence is a human-readable summary.
+	Evidence string
+}
+
+// Alpha is the significance level attackers use.
+const Alpha = 0.001
+
+// UpdateAnalyzer diffs full-volume snapshots.
+type UpdateAnalyzer struct {
+	blockSize int
+	nBlocks   uint64
+	prev      []byte
+	diffs     [][]uint64 // changed-block sets per snapshot interval
+}
+
+// NewUpdateAnalyzer creates an analyzer for a volume of the given
+// geometry.
+func NewUpdateAnalyzer(blockSize int, nBlocks uint64) *UpdateAnalyzer {
+	return &UpdateAnalyzer{blockSize: blockSize, nBlocks: nBlocks}
+}
+
+// Observe takes the next snapshot. The first call establishes the
+// baseline; subsequent calls record the set of changed blocks.
+func (u *UpdateAnalyzer) Observe(snapshot []byte) error {
+	if uint64(len(snapshot)) != uint64(u.blockSize)*u.nBlocks {
+		return fmt.Errorf("attack: snapshot of %d bytes, want %d", len(snapshot), uint64(u.blockSize)*u.nBlocks)
+	}
+	if u.prev != nil {
+		var changed []uint64
+		for i := uint64(0); i < u.nBlocks; i++ {
+			off := i * uint64(u.blockSize)
+			if !bytes.Equal(u.prev[off:off+uint64(u.blockSize)], snapshot[off:off+uint64(u.blockSize)]) {
+				changed = append(changed, i)
+			}
+		}
+		u.diffs = append(u.diffs, changed)
+	}
+	u.prev = append(u.prev[:0], snapshot...)
+	return nil
+}
+
+// Intervals returns the number of recorded snapshot intervals.
+func (u *UpdateAnalyzer) Intervals() int { return len(u.diffs) }
+
+// ChangedBlocks returns all changed blocks across intervals.
+func (u *UpdateAnalyzer) ChangedBlocks() []uint64 {
+	var all []uint64
+	for _, d := range u.diffs {
+		all = append(all, d...)
+	}
+	return all
+}
+
+// SpatialUniformity tests whether the changed blocks are spread
+// uniformly over the volume. In-place update systems concentrate
+// changes on the hidden file's blocks; Figure 6 spreads them
+// uniformly. bins must satisfy the chi-square expected-count rule.
+func (u *UpdateAnalyzer) SpatialUniformity(bins int) (Verdict, error) {
+	all := u.ChangedBlocks()
+	if len(all) == 0 {
+		return Verdict{}, fmt.Errorf("attack: no changes observed")
+	}
+	hist := stats.Histogram(all, u.nBlocks, bins)
+	stat, p, err := stats.ChiSquareUniform(hist)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		Detected: p < Alpha,
+		PValue:   p,
+		Evidence: fmt.Sprintf("chi-square=%.1f over %d bins, %d changed blocks", stat, bins, len(all)),
+	}, nil
+}
+
+// HotSetStability measures how similar consecutive changed-block sets
+// are (mean Jaccard index). In-place systems rewrite the same blocks
+// interval after interval (similarity → 1); relocating systems leave
+// nothing stable (similarity → utilization-level noise). Returns the
+// mean similarity and a verdict against the given threshold.
+func (u *UpdateAnalyzer) HotSetStability(threshold float64) (float64, Verdict, error) {
+	if len(u.diffs) < 2 {
+		return 0, Verdict{}, fmt.Errorf("attack: need at least 2 intervals, have %d", len(u.diffs))
+	}
+	total := 0.0
+	n := 0
+	for i := 1; i < len(u.diffs); i++ {
+		total += jaccard(u.diffs[i-1], u.diffs[i])
+		n++
+	}
+	mean := total / float64(n)
+	v := Verdict{
+		Detected: mean > threshold,
+		PValue:   0, // similarity test, not a p-value test
+		Evidence: fmt.Sprintf("mean Jaccard similarity %.3f over %d intervals (threshold %.3f)", mean, n, threshold),
+	}
+	return mean, v, nil
+}
+
+func jaccard(a, b []uint64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	set := make(map[uint64]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	inter := 0
+	for _, x := range b {
+		if set[x] {
+			inter++
+		}
+	}
+	union := len(set) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// TrafficAnalyzer inspects an observed I/O event stream.
+type TrafficAnalyzer struct {
+	nBlocks uint64
+}
+
+// NewTrafficAnalyzer creates an analyzer for a device of n blocks.
+func NewTrafficAnalyzer(nBlocks uint64) *TrafficAnalyzer {
+	return &TrafficAnalyzer{nBlocks: nBlocks}
+}
+
+// RepeatedReads counts addresses read more than once in the stream —
+// the signature of an application re-reading data at a fixed location.
+// The oblivious storage never re-reads a slot between shuffles, while
+// direct StegFS reads repeat whenever the user does.
+func (t *TrafficAnalyzer) RepeatedReads(events []blockdev.Event) (repeats int, distinct int) {
+	seen := map[uint64]int{}
+	for _, e := range events {
+		if e.Op != blockdev.OpRead {
+			continue
+		}
+		seen[e.Block]++
+	}
+	for _, c := range seen {
+		if c > 1 {
+			repeats += c - 1
+		}
+	}
+	return repeats, len(seen)
+}
+
+// FrequencySkew tests whether read addresses are uniform across the
+// observed region. Application access patterns (hot blocks, scans)
+// skew it; dummy-mixed oblivious traffic does not.
+func (t *TrafficAnalyzer) FrequencySkew(events []blockdev.Event, bins int) (Verdict, error) {
+	var reads []uint64
+	for _, e := range events {
+		if e.Op == blockdev.OpRead {
+			reads = append(reads, e.Block)
+		}
+	}
+	if len(reads) == 0 {
+		return Verdict{}, fmt.Errorf("attack: no reads observed")
+	}
+	hist := stats.Histogram(reads, t.nBlocks, bins)
+	stat, p, err := stats.ChiSquareUniform(hist)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		Detected: p < Alpha,
+		PValue:   p,
+		Evidence: fmt.Sprintf("chi-square=%.1f over %d bins, %d reads", stat, bins, len(reads)),
+	}, nil
+}
+
+// CompareStreams is the operational form of Definition 1: given the
+// write-address histograms of an idle (dummy-only) period and an
+// active period, decide whether they differ. A secure construction
+// yields Detected == false for any workload.
+func CompareStreams(idle, active []uint64, nBlocks uint64, bins int) (Verdict, error) {
+	h1 := stats.Histogram(idle, nBlocks, bins)
+	h2 := stats.Histogram(active, nBlocks, bins)
+	stat, p, err := stats.ChiSquareTwoSample(h1, h2)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		Detected: p < Alpha,
+		PValue:   p,
+		Evidence: fmt.Sprintf("two-sample chi-square=%.1f over %d bins (%d vs %d events)", stat, bins, len(idle), len(active)),
+	}, nil
+}

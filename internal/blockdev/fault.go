@@ -1,0 +1,80 @@
+package blockdev
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error FaultDevice returns when a fault fires.
+var ErrInjected = errors.New("blockdev: injected fault")
+
+// FaultDevice wraps a device and fails operations on demand — the
+// failure-injection harness used to verify that every layer above
+// propagates storage errors instead of panicking or corrupting its
+// in-memory state.
+type FaultDevice struct {
+	Device
+	mu sync.Mutex
+	// failReadsAfter / failWritesAfter count down on each operation;
+	// when a counter is zero the operation fails (and keeps failing).
+	// Negative counters never fire.
+	readsLeft  int64
+	writesLeft int64
+}
+
+// NewFault wraps base with no faults armed.
+func NewFault(base Device) *FaultDevice {
+	return &FaultDevice{Device: base, readsLeft: -1, writesLeft: -1}
+}
+
+// FailReadsAfter arms the read fault: the next n reads succeed, every
+// read after that fails. n = 0 fails immediately.
+func (f *FaultDevice) FailReadsAfter(n int64) {
+	f.mu.Lock()
+	f.readsLeft = n
+	f.mu.Unlock()
+}
+
+// FailWritesAfter arms the write fault analogously.
+func (f *FaultDevice) FailWritesAfter(n int64) {
+	f.mu.Lock()
+	f.writesLeft = n
+	f.mu.Unlock()
+}
+
+// Heal disarms all faults.
+func (f *FaultDevice) Heal() {
+	f.mu.Lock()
+	f.readsLeft = -1
+	f.writesLeft = -1
+	f.mu.Unlock()
+}
+
+func (f *FaultDevice) tick(counter *int64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if *counter < 0 {
+		return false
+	}
+	if *counter == 0 {
+		return true
+	}
+	*counter--
+	return false
+}
+
+// ReadBlock implements Device.
+func (f *FaultDevice) ReadBlock(i uint64, buf []byte) error {
+	if f.tick(&f.readsLeft) {
+		return ErrInjected
+	}
+	return f.Device.ReadBlock(i, buf)
+}
+
+// WriteBlock implements Device.
+func (f *FaultDevice) WriteBlock(i uint64, data []byte) error {
+	if f.tick(&f.writesLeft) {
+		return ErrInjected
+	}
+	return f.Device.WriteBlock(i, data)
+}

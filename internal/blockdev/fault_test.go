@@ -1,0 +1,51 @@
+package blockdev
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultDeviceCountdown(t *testing.T) {
+	fd := NewFault(NewMem(64, 8))
+	buf := make([]byte, 64)
+
+	// Unarmed: everything works.
+	for i := 0; i < 5; i++ {
+		if err := fd.WriteBlock(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.ReadBlock(0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two reads succeed, the third and later fail.
+	fd.FailReadsAfter(2)
+	if err := fd.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := fd.ReadBlock(0, buf); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	// Writes unaffected.
+	if err := fd.WriteBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fd.FailWritesAfter(0)
+	if err := fd.WriteBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write: %v", err)
+	}
+	fd.Heal()
+	if err := fd.WriteBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+}

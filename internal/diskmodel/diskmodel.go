@@ -1,0 +1,207 @@
+// Package diskmodel simulates a 2004-era hard disk on a deterministic
+// virtual clock.
+//
+// The paper's testbed (Table 1) is a 20 GB Ultra-ATA/100 drive on a
+// Pentium 4 box. Every experimental claim in §6 is driven by the cost
+// gap between sequential and random I/O on such a drive, and by FCFS
+// queueing when several users share it. This package models exactly
+// those effects:
+//
+//   - a seek whose duration grows with the square root of the distance
+//     travelled (the classical first-order seek model),
+//   - rotational latency on every non-sequential access,
+//   - a fixed per-block transfer time from the sustained media rate,
+//   - a single head position shared by all requests, so interleaved
+//     workloads destroy each other's sequentiality.
+//
+// Time is virtual: Access returns the service duration and advances an
+// internal clock, so experiments are deterministic and run at CPU
+// speed regardless of the modelled hardware.
+package diskmodel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Params describes the simulated drive.
+type Params struct {
+	// BlockSize is the transfer unit in bytes (the file system block).
+	BlockSize int
+	// NumBlocks is the number of addressable blocks.
+	NumBlocks uint64
+	// TrackToTrackSeek is the minimum (adjacent-track) seek time.
+	TrackToTrackSeek time.Duration
+	// MaxSeek is the full-stroke seek time.
+	MaxSeek time.Duration
+	// RotationalLatency is the average rotational delay added to every
+	// non-sequential access (half a revolution).
+	RotationalLatency time.Duration
+	// TransferRate is the sustained media rate in bytes per second.
+	TransferRate float64
+}
+
+// Params2004 returns parameters matching the paper's testbed: a 20 GB
+// Ultra-ATA/100 7200 RPM drive (≈0.8 ms track-to-track, ≈15 ms full
+// stroke, 4.17 ms average rotational latency, ≈40 MB/s sustained).
+// A random 4 KB access costs ≈12–13 ms; a sequential one ≈0.1 ms.
+func Params2004(numBlocks uint64, blockSize int) Params {
+	return Params{
+		BlockSize:         blockSize,
+		NumBlocks:         numBlocks,
+		TrackToTrackSeek:  800 * time.Microsecond,
+		MaxSeek:           15 * time.Millisecond,
+		RotationalLatency: 4170 * time.Microsecond,
+		TransferRate:      40 << 20, // 40 MiB/s
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.BlockSize <= 0 {
+		return fmt.Errorf("diskmodel: BlockSize %d", p.BlockSize)
+	}
+	if p.NumBlocks == 0 {
+		return fmt.Errorf("diskmodel: NumBlocks 0")
+	}
+	if p.TransferRate <= 0 {
+		return fmt.Errorf("diskmodel: TransferRate %v", p.TransferRate)
+	}
+	if p.MaxSeek < p.TrackToTrackSeek {
+		return fmt.Errorf("diskmodel: MaxSeek %v < TrackToTrackSeek %v", p.MaxSeek, p.TrackToTrackSeek)
+	}
+	return nil
+}
+
+// TransferTime returns the time to transfer one block at media rate.
+func (p Params) TransferTime() time.Duration {
+	return time.Duration(float64(p.BlockSize) / p.TransferRate * float64(time.Second))
+}
+
+// SeekTime returns the head-movement time for a travel of dist blocks:
+// zero for dist == 0, otherwise track-to-track plus a √(dist/N) share
+// of the remaining stroke.
+func (p Params) SeekTime(dist uint64) time.Duration {
+	if dist == 0 {
+		return 0
+	}
+	frac := math.Sqrt(float64(dist) / float64(p.NumBlocks))
+	return p.TrackToTrackSeek + time.Duration(frac*float64(p.MaxSeek-p.TrackToTrackSeek))
+}
+
+// Stats aggregates what the disk has done so far.
+type Stats struct {
+	Accesses     uint64        // total block accesses
+	Sequential   uint64        // accesses that continued the previous one
+	Reads        uint64        // accesses flagged as reads
+	Writes       uint64        // accesses flagged as writes
+	BusyTime     time.Duration // sum of service times
+	SeekTime     time.Duration // portion spent seeking + rotating
+	TransferTime time.Duration // portion spent transferring
+}
+
+// Disk is the simulated drive. All methods are safe for concurrent
+// use; concurrent requests are serialized in arrival order, modelling
+// a single-head FCFS drive.
+type Disk struct {
+	mu     sync.Mutex
+	p      Params
+	head   uint64 // block the head sits after (next sequential target)
+	now    time.Duration
+	stats  Stats
+	primed bool // false until the first access sets head position
+}
+
+// New returns a Disk with the head parked at block 0 and the clock at
+// zero.
+func New(p Params) (*Disk, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Disk{p: p}, nil
+}
+
+// MustNew is New for parameter sets known statically to be valid.
+func MustNew(p Params) *Disk {
+	d, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Params returns the drive parameters.
+func (d *Disk) Params() Params { return d.p }
+
+// Access services one block access and returns its duration. write
+// only affects accounting; the cost model is symmetric.
+func (d *Disk) Access(block uint64, write bool) time.Duration {
+	if block >= d.p.NumBlocks {
+		panic(fmt.Sprintf("diskmodel: block %d out of range [0,%d)", block, d.p.NumBlocks))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	transfer := d.p.TransferTime()
+	var positioning time.Duration
+	sequential := d.primed && block == d.head
+	if !sequential {
+		var dist uint64
+		if d.primed {
+			if block > d.head {
+				dist = block - d.head
+			} else {
+				dist = d.head - block
+			}
+		} else {
+			dist = block // initial positioning from block 0
+		}
+		positioning = d.p.SeekTime(dist) + d.p.RotationalLatency
+	}
+	cost := positioning + transfer
+
+	d.head = block + 1
+	if d.head >= d.p.NumBlocks {
+		d.head = d.p.NumBlocks - 1 // park at the end; next access seeks
+		d.primed = false
+	} else {
+		d.primed = true
+	}
+	d.now += cost
+	d.stats.Accesses++
+	if sequential {
+		d.stats.Sequential++
+	}
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	d.stats.BusyTime += cost
+	d.stats.SeekTime += positioning
+	d.stats.TransferTime += transfer
+	return cost
+}
+
+// Now returns the virtual clock: the sum of all service times so far.
+func (d *Disk) Now() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.now
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the statistics without moving the head or clock.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}

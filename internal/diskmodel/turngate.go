@@ -1,0 +1,90 @@
+package diskmodel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TurnGate serializes the I/Os of n concurrent workers in strict
+// round-robin order, regardless of goroutine scheduling. It is the
+// deterministic stand-in for FCFS queueing at a shared disk: when
+// several users stream files concurrently, their requests interleave
+// one-for-one, which is precisely what destroys the sequential-layout
+// advantage of the baseline file systems in Figs. 10b and 11c.
+//
+// Each worker calls Do(id, f) around every I/O; f runs only when it is
+// id's turn, then the turn passes to the next active worker. A worker
+// that finishes must call Leave(id) so the rotation skips it.
+type TurnGate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active []bool
+	n      int
+	left   int // number of workers that have left
+	cur    int
+}
+
+// NewTurnGate creates a gate for workers with IDs [0, n).
+func NewTurnGate(n int) *TurnGate {
+	if n <= 0 {
+		panic(fmt.Sprintf("diskmodel: TurnGate size %d", n))
+	}
+	g := &TurnGate{active: make([]bool, n), n: n}
+	for i := range g.active {
+		g.active[i] = true
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *TurnGate) advanceLocked() {
+	for i := 0; i < g.n; i++ {
+		g.cur = (g.cur + 1) % g.n
+		if g.active[g.cur] {
+			break
+		}
+	}
+	g.cond.Broadcast()
+}
+
+// Do blocks until it is worker id's turn, runs f, and passes the turn.
+func (g *TurnGate) Do(id int, f func()) {
+	if id < 0 || id >= g.n {
+		panic(fmt.Sprintf("diskmodel: TurnGate worker %d out of range [0,%d)", id, g.n))
+	}
+	g.mu.Lock()
+	for g.cur != id {
+		if !g.active[id] {
+			g.mu.Unlock()
+			panic(fmt.Sprintf("diskmodel: worker %d used gate after Leave", id))
+		}
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+
+	f()
+
+	g.mu.Lock()
+	g.advanceLocked()
+	g.mu.Unlock()
+}
+
+// Leave removes worker id from the rotation. Idempotent.
+func (g *TurnGate) Leave(id int) {
+	if id < 0 || id >= g.n {
+		panic(fmt.Sprintf("diskmodel: TurnGate worker %d out of range [0,%d)", id, g.n))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.active[id] {
+		return
+	}
+	g.active[id] = false
+	g.left++
+	if g.left == g.n {
+		return // nobody to hand the turn to
+	}
+	if g.cur == id {
+		g.advanceLocked()
+	}
+}

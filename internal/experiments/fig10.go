@@ -1,0 +1,92 @@
+package experiments
+
+import "fmt"
+
+// Fig10a reproduces Figure 10(a): access time of retrieving a single
+// file of 2–10 MB in a single-user environment, across the five
+// systems. Expected shape: the three steganographic systems are
+// nearly identical (random block placement); CleanDisk is far below
+// them (sequential layout); FragDisk sits between.
+func Fig10a(s Scale) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig10a",
+		Title:   "Performance on data retrieval — sensitivity to file size (access time, seconds)",
+		Columns: append([]string{"file size (MB)"}, SystemNames()...),
+	}
+	for _, blocks := range s.Fig10aFileBlocks {
+		row := []any{fmt.Sprintf("%.1f", s.FileMB(blocks))}
+		for _, name := range SystemNames() {
+			sys, _, err := NewSystem(name, s, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.CreateFile("u0", "/target", blocks); err != nil {
+				return nil, err
+			}
+			stream, err := sys.ScanStream("u0", "/target")
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, seconds(replaySolo(s, readStream(stream))))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("steg systems read randomly placed blocks; CleanDisk streams a contiguous extent; FragDisk seeks once per %d-block fragment", 8)
+	return t, nil
+}
+
+// Fig10b reproduces Figure 10(b): per-user access time retrieving an
+// 8 MB file as the number of concurrent users grows. Expected shape:
+// the baselines lose their sequential advantage as interleaving
+// destroys locality; from ~16 users on, all five systems converge.
+func Fig10b(s Scale) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig10b",
+		Title:   "Performance on data retrieval — sensitivity to concurrency (mean access time, seconds)",
+		Columns: append([]string{"concurrency"}, SystemNames()...),
+	}
+	maxUsers := 0
+	for _, c := range s.Concurrency {
+		if c > maxUsers {
+			maxUsers = c
+		}
+	}
+	// Build each system once with every user's file, then replay the
+	// per-user streams at each concurrency level.
+	streams := map[string][][]ioEvent{}
+	for _, name := range SystemNames() {
+		sys, _, err := NewSystem(name, s, s.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		var userStreams [][]ioEvent
+		for u := 0; u < maxUsers; u++ {
+			user := fmt.Sprintf("u%02d", u)
+			if err := sys.CreateFile(user, "/data", s.Fig10bFileBlocks); err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			stream, err := sys.ScanStream(user, "/data")
+			if err != nil {
+				return nil, err
+			}
+			userStreams = append(userStreams, readStream(stream))
+		}
+		streams[name] = userStreams
+	}
+	for _, c := range s.Concurrency {
+		row := []any{c}
+		for _, name := range SystemNames() {
+			times := replayRoundRobin(s, streams[name][:c])
+			row = append(row, seconds(meanDuration(times)))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("per-user completion time under FCFS interleaving at the shared disk; file size %.1f MB", s.FileMB(s.Fig10bFileBlocks))
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"time"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/diskmodel"
+)
+
+// timingDisk builds the 2004-model drive at the scale's timing
+// geometry.
+func timingDisk(s Scale) *diskmodel.Disk {
+	return diskmodel.MustNew(diskmodel.Params2004(s.VolumeBlocks, s.TimingBlockSize))
+}
+
+// ioEvent is one replayable access.
+type ioEvent struct {
+	block uint64
+	write bool
+}
+
+// readStream converts a block sequence into read events.
+func readStream(blocks []uint64) []ioEvent {
+	out := make([]ioEvent, len(blocks))
+	for i, b := range blocks {
+		out[i] = ioEvent{block: b}
+	}
+	return out
+}
+
+// fromTrace converts captured device events into replayable ones.
+func fromTrace(events []blockdev.Event) []ioEvent {
+	out := make([]ioEvent, len(events))
+	for i, e := range events {
+		out[i] = ioEvent{block: e.Block, write: e.Op == blockdev.OpWrite}
+	}
+	return out
+}
+
+// replaySolo plays one stream on a fresh drive and returns its total
+// service time.
+func replaySolo(s Scale, stream []ioEvent) time.Duration {
+	disk := timingDisk(s)
+	for _, e := range stream {
+		disk.Access(e.block, e.write)
+	}
+	return disk.Now()
+}
+
+// replayRoundRobin plays several users' streams through one drive in
+// strict round-robin order — FCFS queueing at I/O granularity, the
+// deterministic stand-in for concurrent users sharing the disk. It
+// returns each stream's completion time (all streams start at zero).
+func replayRoundRobin(s Scale, streams [][]ioEvent) []time.Duration {
+	disk := timingDisk(s)
+	done := make([]time.Duration, len(streams))
+	idx := make([]int, len(streams))
+	remaining := len(streams)
+	for remaining > 0 {
+		for u, stream := range streams {
+			if idx[u] >= len(stream) {
+				continue
+			}
+			e := stream[idx[u]]
+			disk.Access(e.block, e.write)
+			idx[u]++
+			if idx[u] == len(stream) {
+				done[u] = disk.Now()
+				remaining--
+			}
+		}
+	}
+	return done
+}
+
+// meanDuration averages a set of durations.
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// seconds renders a duration as a figure-friendly number of seconds.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// millis renders a duration as milliseconds.
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

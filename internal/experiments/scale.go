@@ -1,0 +1,122 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§6). Each experiment returns a Table whose rows
+// mirror the series the paper plots; cmd/benchrunner prints them and
+// the top-level benchmarks wrap them in testing.B.
+//
+// Methodology. The paper's numbers come from a 2004 disk; ours come
+// from internal/diskmodel. To keep the paper's axes without paying
+// gigabytes of RAM, layouts are built on devices with a small
+// byte-per-block footprint (LayoutBlockSize) while all timing uses the
+// paper's geometry: the same number of blocks, but costed as
+// TimingBlockSize-sized transfers on the 2004 drive model. Block
+// addresses are what drive seek behaviour, and they are identical in
+// both views, so every figure's shape — and, to first order, its
+// absolute values — carries over.
+package experiments
+
+import "fmt"
+
+// Scale fixes the geometry of an experiment run. The zero value is
+// unusable; use PaperScale or QuickScale.
+type Scale struct {
+	// LayoutBlockSize is the bytes-per-block of the in-memory volumes
+	// the systems actually run on (content correctness is exercised in
+	// the unit tests; experiments only need layout + I/O streams).
+	LayoutBlockSize int
+	// TimingBlockSize is the block size the disk model charges for —
+	// 4 KB in the paper (Table 2).
+	TimingBlockSize int
+	// VolumeBlocks is the number of blocks in the volume — the paper's
+	// 1 GB at 4 KB blocks is 262144 (Table 2).
+	VolumeBlocks uint64
+	// Fig10aFileBlocks are the file sizes (in blocks) of Fig. 10a —
+	// the paper sweeps 2..10 MB.
+	Fig10aFileBlocks []uint64
+	// Fig10bFileBlocks is the per-user file size of Fig. 10b (8 MB).
+	Fig10bFileBlocks uint64
+	// Concurrency is the user counts of Figs. 10b and 11c.
+	Concurrency []int
+	// UpdateFileBlocks is the file size updates are applied to in
+	// Fig. 11.
+	UpdateFileBlocks uint64
+	// UpdatesPerPoint is the number of update ops averaged per point.
+	UpdatesPerPoint int
+	// ObliLastLevelSlots is the slot count of the oblivious storage's
+	// last level — 1 GB at 4 KB in the paper (Table 4 / Fig. 12).
+	ObliLastLevelSlots uint64
+	// ObliBufferSlots are the buffer sizes swept in Table 4 / Fig. 12
+	// — 8..128 MB in the paper.
+	ObliBufferSlots []int
+	// ObliBufferLabels annotate the buffer sizes (paper-scale MB).
+	ObliBufferLabels []string
+	// SecurityOps is the number of update ops per stream in the
+	// Definition-1 experiment.
+	SecurityOps int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// PaperScale reproduces the paper's geometry: 1 GB volume of 4 KB
+// blocks, 2–10 MB files, 8 MB files for concurrency, oblivious
+// storage with a 1 GB last level and 8–128 MB buffers. Memory
+// footprint stays modest because layout devices use 512-byte blocks.
+func PaperScale() Scale {
+	return Scale{
+		LayoutBlockSize:    512,
+		TimingBlockSize:    4096,
+		VolumeBlocks:       1 << 18, // 262144 × 4 KB = 1 GB
+		Fig10aFileBlocks:   []uint64{512, 1024, 1536, 2048, 2560},
+		Fig10bFileBlocks:   2048,
+		Concurrency:        []int{1, 2, 4, 8, 16, 32},
+		UpdateFileBlocks:   64,
+		UpdatesPerPoint:    300,
+		ObliLastLevelSlots: 1 << 15, // scaled last level; heights match via buffer ratios
+		ObliBufferSlots:    []int{256, 512, 1024, 2048, 4096},
+		ObliBufferLabels:   []string{"8M", "16M", "32M", "64M", "128M"},
+		SecurityOps:        1500,
+		Seed:               20040330, // the paper's first day at ICDE
+	}
+}
+
+// QuickScale is a miniature geometry for tests and -bench runs: same
+// ratios (N/B, utilization, fragment size, level heights), two orders
+// of magnitude fewer blocks.
+func QuickScale() Scale {
+	return Scale{
+		LayoutBlockSize:    512,
+		TimingBlockSize:    4096,
+		VolumeBlocks:       1 << 13, // 8192 blocks
+		Fig10aFileBlocks:   []uint64{64, 128, 192, 256, 320},
+		Fig10bFileBlocks:   128,
+		Concurrency:        []int{1, 2, 4, 8},
+		UpdateFileBlocks:   32,
+		UpdatesPerPoint:    60,
+		ObliLastLevelSlots: 1 << 11, // 2048 slots
+		ObliBufferSlots:    []int{16, 32, 64, 128, 256},
+		ObliBufferLabels:   []string{"8M", "16M", "32M", "64M", "128M"},
+		SecurityOps:        400,
+		Seed:               7,
+	}
+}
+
+// Validate reports whether the scale is internally consistent.
+func (s Scale) Validate() error {
+	if s.LayoutBlockSize < 512 {
+		return fmt.Errorf("experiments: layout blocks of %d bytes cannot hold the block maps", s.LayoutBlockSize)
+	}
+	if s.TimingBlockSize <= 0 || s.VolumeBlocks == 0 {
+		return fmt.Errorf("experiments: timing geometry unset")
+	}
+	if len(s.Fig10aFileBlocks) == 0 || s.Fig10bFileBlocks == 0 {
+		return fmt.Errorf("experiments: file sizes unset")
+	}
+	if len(s.ObliBufferSlots) != len(s.ObliBufferLabels) {
+		return fmt.Errorf("experiments: %d buffer sizes but %d labels", len(s.ObliBufferSlots), len(s.ObliBufferLabels))
+	}
+	return nil
+}
+
+// FileMB renders a block count as megabytes at timing scale.
+func (s Scale) FileMB(blocks uint64) float64 {
+	return float64(blocks) * float64(s.TimingBlockSize) / (1 << 20)
+}

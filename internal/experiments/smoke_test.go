@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestSmokeAll(t *testing.T) {
+	s := QuickScale()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if err := e.RunAndPrint(s, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

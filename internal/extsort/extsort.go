@@ -1,0 +1,386 @@
+// Package extsort implements external merge sort over a region of a
+// block device, using a bounded amount of memory.
+//
+// The oblivious storage (§5.1.2) re-orders each level to a random
+// permutation by sorting its blocks on a keyed pseudo-random tag; the
+// paper prescribes external merge sort and reserves a scratch
+// partition for it. The sort's I/O pattern — long sequential runs —
+// is what makes the sorting overhead cheap relative to its I/O count
+// (Fig. 12b), so we reproduce the access pattern faithfully: run
+// formation reads and writes sequentially, and each merge pass
+// advances a bounded set of run cursors.
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"steghide/internal/blockdev"
+)
+
+// Region is a contiguous span of blocks [Start, Start+Len).
+type Region struct {
+	Start uint64
+	Len   uint64
+}
+
+// End returns the first block after the region.
+func (r Region) End() uint64 { return r.Start + r.Len }
+
+// Contains reports whether block i lies in the region.
+func (r Region) Contains(i uint64) bool { return i >= r.Start && i < r.End() }
+
+// Overlaps reports whether two regions share any block.
+func (r Region) Overlaps(o Region) bool {
+	return r.Start < o.End() && o.Start < r.End()
+}
+
+// KeyFunc extracts the sort key from a raw block. It must be
+// deterministic for the duration of one Sort call. For the oblivious
+// shuffle the key is a PRF over the block's entry nonce, so sorting by
+// it realizes a uniformly random permutation.
+type KeyFunc func(block []byte) uint64
+
+// Options tune a Sort call.
+type Options struct {
+	// Transform, if non-nil, is applied to every block immediately
+	// before each write. The oblivious shuffle uses it to re-encrypt
+	// under a fresh IV on every pass, so an observer cannot link a
+	// block's positions across passes by ciphertext equality. The
+	// transform must preserve the sort key.
+	Transform func(block []byte) error
+	// OnOutput, if non-nil, is invoked once per block with its final
+	// position (after Transform). The oblivious storage rebuilds its
+	// per-level hash index here, saving a dedicated scan pass.
+	OnOutput func(pos uint64, block []byte) error
+	// OnInput, if non-nil, is invoked once per block with its original
+	// position as it is first read (before any sorting). It may mutate
+	// the block — the oblivious storage folds its dedup/re-key pass in
+	// here — but must leave the sort key consistent with what KeyFunc
+	// will observe afterwards.
+	OnInput func(pos uint64, block []byte) error
+}
+
+// Sort orders the blocks of src ascending by key, using scratch as
+// temporary space and at most memBlocks block buffers of memory.
+// The sorted result is left in src. scratch must not overlap src and
+// must be at least as long. memBlocks must be ≥ 2: run formation
+// sorts memBlocks blocks at a time, and merging uses up to memBlocks
+// run cursors per pass.
+func Sort(dev blockdev.Device, src, scratch Region, memBlocks int, key KeyFunc, opts ...Options) error {
+	if src.Len == 0 {
+		return nil
+	}
+	var opt Options
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	write := func(i uint64, block []byte) error {
+		if opt.Transform != nil {
+			if err := opt.Transform(block); err != nil {
+				return fmt.Errorf("extsort: transform: %w", err)
+			}
+		}
+		return dev.WriteBlock(i, block)
+	}
+	// writeFinal is used for writes that place a block at its final
+	// position, so OnOutput observes the settled layout exactly once
+	// per block.
+	writeFinal := func(i uint64, block []byte) error {
+		if err := write(i, block); err != nil {
+			return err
+		}
+		if opt.OnOutput != nil {
+			if err := opt.OnOutput(i, block); err != nil {
+				return fmt.Errorf("extsort: on-output: %w", err)
+			}
+		}
+		return nil
+	}
+	if memBlocks < 2 {
+		return fmt.Errorf("extsort: memBlocks %d < 2", memBlocks)
+	}
+	if scratch.Len < src.Len {
+		return fmt.Errorf("extsort: scratch %d blocks < src %d blocks", scratch.Len, src.Len)
+	}
+	if src.Overlaps(scratch) {
+		return fmt.Errorf("extsort: src and scratch overlap")
+	}
+	if src.End() > dev.NumBlocks() || scratch.End() > dev.NumBlocks() {
+		return fmt.Errorf("extsort: region beyond device (%d blocks)", dev.NumBlocks())
+	}
+
+	bs := dev.BlockSize()
+
+	readIn := func(i uint64, buf []byte) error {
+		if err := dev.ReadBlock(i, buf); err != nil {
+			return fmt.Errorf("extsort: %w", err)
+		}
+		if opt.OnInput != nil {
+			if err := opt.OnInput(i, buf); err != nil {
+				return fmt.Errorf("extsort: on-input: %w", err)
+			}
+		}
+		return nil
+	}
+
+	// In-memory fast path: everything fits in the window.
+	if src.Len <= uint64(memBlocks) {
+		blocks := make([][]byte, src.Len)
+		for i := range blocks {
+			blocks[i] = make([]byte, bs)
+			if err := readIn(src.Start+uint64(i), blocks[i]); err != nil {
+				return err
+			}
+		}
+		sortBlocks(blocks, key)
+		for i, b := range blocks {
+			if err := writeFinal(src.Start+uint64(i), b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Merge geometry. The fan-in is balanced against the per-cursor
+	// buffer size (√memBlocks each): chunked refills and flushes keep
+	// the I/O mostly sequential, which is what makes the sorting
+	// overhead cheap in wall-clock terms (Fig. 12b) despite its I/O
+	// count.
+	fanIn := intSqrt(memBlocks)
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	numRuns := int((src.Len + uint64(memBlocks) - 1) / uint64(memBlocks))
+	passes := 0
+	for r := numRuns; r > 1; r = (r + fanIn - 1) / fanIn {
+		passes++
+	}
+
+	// Pass 0 — run formation: read windows of memBlocks, sort in
+	// memory, write back sequentially. Runs are placed so that after
+	// `passes` ping-pong merge passes the final run lands in src with
+	// no extra copy: even pass count → form runs in src (in place),
+	// odd → form runs in scratch.
+	runBase := src
+	if passes%2 == 1 {
+		runBase = scratch
+	}
+	window := make([][]byte, memBlocks)
+	for i := range window {
+		window[i] = make([]byte, bs)
+	}
+	var runs []Region
+	for off := uint64(0); off < src.Len; {
+		n := uint64(memBlocks)
+		if src.Len-off < n {
+			n = src.Len - off
+		}
+		for i := uint64(0); i < n; i++ {
+			if err := readIn(src.Start+off+i, window[i]); err != nil {
+				return err
+			}
+		}
+		sortBlocks(window[:n], key)
+		for i := uint64(0); i < n; i++ {
+			if err := write(runBase.Start+off+i, window[i]); err != nil {
+				return fmt.Errorf("extsort: %w", err)
+			}
+		}
+		runs = append(runs, Region{Start: runBase.Start + off, Len: n})
+		off += n
+	}
+
+	cur, other := runBase, src
+	if runBase.Start == src.Start {
+		other = scratch
+	}
+	for len(runs) > 1 {
+		finalPass := len(runs) <= fanIn && other.Start == src.Start
+		w := write
+		if finalPass {
+			w = writeFinal
+		}
+		var next []Region
+		off := uint64(0)
+		for lo := 0; lo < len(runs); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			chunk := memBlocks / (hi - lo + 1)
+			if chunk < 1 {
+				chunk = 1
+			}
+			merged, err := mergeRuns(dev, runs[lo:hi], other.Start+off, chunk, key, w)
+			if err != nil {
+				return err
+			}
+			next = append(next, merged)
+			off += merged.Len
+		}
+		runs = next
+		cur, other = other, cur
+	}
+
+	// By the parity choice above the result is already in src; the
+	// chunked copy below is a safety net should the geometry logic
+	// ever disagree.
+	if final := runs[0]; final.Start != src.Start {
+		for off := uint64(0); off < final.Len; {
+			n := uint64(memBlocks)
+			if final.Len-off < n {
+				n = final.Len - off
+			}
+			for i := uint64(0); i < n; i++ {
+				if err := dev.ReadBlock(final.Start+off+i, window[i]); err != nil {
+					return fmt.Errorf("extsort: %w", err)
+				}
+			}
+			for i := uint64(0); i < n; i++ {
+				if err := writeFinal(src.Start+off+i, window[i]); err != nil {
+					return err
+				}
+			}
+			off += n
+		}
+	}
+	return nil
+}
+
+func sortBlocks(blocks [][]byte, key KeyFunc) {
+	sort.SliceStable(blocks, func(i, j int) bool {
+		return key(blocks[i]) < key(blocks[j])
+	})
+}
+
+func intSqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// cursor tracks the head of one run during a merge. It refills a
+// multi-block buffer with sequential reads, so most of the merge's
+// input I/O continues the previous access.
+type cursor struct {
+	key   uint64
+	buf   []byte // current block (points into chunk)
+	chunk [][]byte
+	have  int // blocks buffered
+	next  int // index within chunk of the current block
+	pos   uint64
+	run   Region
+	tie   int // run ordinal, makes the merge stable
+	done  bool
+}
+
+type cursorHeap []*cursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].tie < h[j].tie
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)   { *h = append(*h, x.(*cursor)) }
+func (h *cursorHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+func (c *cursor) advance(dev blockdev.Device, key KeyFunc) error {
+	if c.next >= c.have {
+		// Refill the chunk with sequential reads from the run.
+		c.have = 0
+		c.next = 0
+		for c.have < len(c.chunk) && c.pos < c.run.Len {
+			if err := dev.ReadBlock(c.run.Start+c.pos, c.chunk[c.have]); err != nil {
+				return fmt.Errorf("extsort: %w", err)
+			}
+			c.pos++
+			c.have++
+		}
+		if c.have == 0 {
+			c.done = true
+			return nil
+		}
+	}
+	c.buf = c.chunk[c.next]
+	c.next++
+	c.key = key(c.buf)
+	return nil
+}
+
+// mergeRuns k-way merges the given runs into a region starting at
+// dstStart and returns it. Each cursor and the output use a buffer of
+// `chunk` blocks so the pass's I/O stays mostly sequential.
+func mergeRuns(dev blockdev.Device, runs []Region, dstStart uint64, chunk int, key KeyFunc, write func(uint64, []byte) error) (Region, error) {
+	bs := dev.BlockSize()
+	h := make(cursorHeap, 0, len(runs))
+	var total uint64
+	for i, r := range runs {
+		total += r.Len
+		c := &cursor{run: r, tie: i, chunk: make([][]byte, chunk)}
+		for j := range c.chunk {
+			c.chunk[j] = make([]byte, bs)
+		}
+		if err := c.advance(dev, key); err != nil {
+			return Region{}, err
+		}
+		if !c.done {
+			h = append(h, c)
+		}
+	}
+	heap.Init(&h)
+	out := dstStart
+	outChunk := make([][]byte, 0, chunk)
+	flush := func() error {
+		for _, b := range outChunk {
+			if err := write(out, b); err != nil {
+				return fmt.Errorf("extsort: %w", err)
+			}
+			out++
+		}
+		outChunk = outChunk[:0]
+		return nil
+	}
+	for h.Len() > 0 {
+		c := h[0]
+		block := make([]byte, bs)
+		copy(block, c.buf)
+		k := c.key
+		if err := c.advance(dev, key); err != nil {
+			return Region{}, err
+		}
+		if c.done {
+			heap.Pop(&h)
+		} else {
+			if c.key < k {
+				return Region{}, fmt.Errorf("extsort: key function unstable during merge")
+			}
+			heap.Fix(&h, 0)
+		}
+		outChunk = append(outChunk, block)
+		if len(outChunk) == chunk {
+			if err := flush(); err != nil {
+				return Region{}, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return Region{}, err
+	}
+	return Region{Start: dstStart, Len: total}, nil
+}

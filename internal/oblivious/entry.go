@@ -1,0 +1,154 @@
+// Package oblivious implements the oblivious storage of §5: a
+// hierarchy of k = log2(N/B) levels used as a cache in front of the
+// StegFS partition, hiding read patterns the way the oblivious RAM of
+// Goldreich–Ostrovsky hides memory accesses.
+//
+// Level i holds 2^i·B slots, of which at most half carry real cached
+// blocks; the rest are indistinguishable dummies. Every read touches
+// exactly one slot in every level — the real slot where the block was
+// found, a uniformly random untouched dummy slot everywhere else — so
+// the observable sequence is one random-looking probe per level per
+// read, regardless of what (or whether anything) is being read.
+// Because a found block is promoted to the agent's buffer and levels
+// are re-shuffled before their untouched slots run out, no slot is
+// ever touched twice between shuffles: the classic hierarchical-ORAM
+// invariant, property-tested in this package.
+//
+// Shuffles are external merge sorts (internal/extsort) over a keyed
+// pseudo-random tag, re-encrypting on every pass so positions cannot
+// be linked across passes. Their I/O is mostly sequential, which is
+// why the sorting overhead costs far less wall-clock time than its
+// I/O count suggests (Fig. 12b).
+package oblivious
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"steghide/internal/sealer"
+)
+
+// BlockID names a cached block: an agent-side logical address,
+// invisible to the storage attacker.
+type BlockID struct {
+	// File is an agent-chosen ordinal for the hidden file.
+	File uint64
+	// Index is the logical block index within the file.
+	Index uint64
+}
+
+// Sentinel errors.
+var (
+	// ErrCacheFull reports more distinct blocks than the last level
+	// can hold; size the store for the working set.
+	ErrCacheFull = errors.New("oblivious: last level full")
+	// ErrValueSize reports a value that does not fit a slot.
+	ErrValueSize = errors.New("oblivious: value size mismatch")
+	// ErrCorruptSlot reports a slot that fails its integrity check.
+	ErrCorruptSlot = errors.New("oblivious: corrupt slot")
+)
+
+// Slot payload layout (inside the sealed data field):
+//
+//	off  0  checksum uint64  keyed over payload[8:]
+//	off  8  flags    uint32  bit0 = real entry, bit1 = low shuffle class
+//	off 12  _        uint32  padding
+//	off 16  version  uint64  global write counter; newest wins on merge
+//	off 24  nonce    uint64  per-epoch random identity; PRF input for tags
+//	off 32  id.File  uint64
+//	off 40  id.Index uint64
+//	off 48  value    [payload-48]byte
+const (
+	entryMetaSize = 48
+	flagReal      = 1 << 0
+	flagLowClass  = 1 << 1
+)
+
+// entry is the decoded form of a slot.
+type entry struct {
+	real     bool
+	lowClass bool
+	version  uint64
+	nonce    uint64
+	id       BlockID
+	value    []byte // nil for dummies
+}
+
+// codec seals and opens slots under the store's key.
+type codec struct {
+	seal     *sealer.Sealer
+	key      sealer.Key
+	payload  int
+	valueLen int
+}
+
+func newCodec(key sealer.Key, blockSize int) (*codec, error) {
+	s, err := sealer.New(key, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	payload := s.DataSize()
+	if payload <= entryMetaSize {
+		return nil, fmt.Errorf("oblivious: block size %d leaves no room for values", blockSize)
+	}
+	return &codec{seal: s, key: key, payload: payload, valueLen: payload - entryMetaSize}, nil
+}
+
+// encode seals e into a full raw slot. Dummies may have short or nil
+// values; real values must be exactly valueLen bytes. fill supplies
+// padding/dummy bytes.
+func (c *codec) encode(dst []byte, e *entry, iv []byte, fill func([]byte)) error {
+	payload := make([]byte, c.payload)
+	var flags uint32
+	if e.real {
+		flags |= flagReal
+	}
+	if e.lowClass {
+		flags |= flagLowClass
+	}
+	binary.BigEndian.PutUint32(payload[8:], flags)
+	binary.BigEndian.PutUint64(payload[16:], e.version)
+	binary.BigEndian.PutUint64(payload[24:], e.nonce)
+	binary.BigEndian.PutUint64(payload[32:], e.id.File)
+	binary.BigEndian.PutUint64(payload[40:], e.id.Index)
+	if e.real {
+		if len(e.value) != c.valueLen {
+			return fmt.Errorf("%w: %d != %d", ErrValueSize, len(e.value), c.valueLen)
+		}
+		copy(payload[entryMetaSize:], e.value)
+	} else {
+		fill(payload[entryMetaSize:])
+	}
+	sum := sealer.Checksum(c.key, "obli-slot", payload[8:])
+	binary.BigEndian.PutUint64(payload, sum)
+	return c.seal.Seal(dst, iv, payload)
+}
+
+// decode opens a raw slot. The value slice is freshly allocated for
+// real entries.
+func (c *codec) decode(raw []byte) (*entry, error) {
+	payload := make([]byte, c.payload)
+	if err := c.seal.Open(payload, raw); err != nil {
+		return nil, err
+	}
+	sum := binary.BigEndian.Uint64(payload)
+	if sum != sealer.Checksum(c.key, "obli-slot", payload[8:]) {
+		return nil, ErrCorruptSlot
+	}
+	flags := binary.BigEndian.Uint32(payload[8:])
+	e := &entry{
+		real:     flags&flagReal != 0,
+		lowClass: flags&flagLowClass != 0,
+		version:  binary.BigEndian.Uint64(payload[16:]),
+		nonce:    binary.BigEndian.Uint64(payload[24:]),
+		id: BlockID{
+			File:  binary.BigEndian.Uint64(payload[32:]),
+			Index: binary.BigEndian.Uint64(payload[40:]),
+		},
+	}
+	if e.real {
+		e.value = append([]byte(nil), payload[entryMetaSize:]...)
+	}
+	return e, nil
+}

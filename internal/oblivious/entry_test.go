@@ -1,0 +1,139 @@
+package oblivious
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"steghide/internal/prng"
+	"steghide/internal/sealer"
+)
+
+func newTestCodec(t *testing.T, blockSize int) *codec {
+	t.Helper()
+	c, err := newCodec(sealer.DeriveKey([]byte("k"), "codec"), blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCodecRoundTripReal(t *testing.T) {
+	c := newTestCodec(t, 128)
+	rng := prng.NewFromUint64(1)
+	e := &entry{
+		real:    true,
+		version: 42,
+		nonce:   777,
+		id:      BlockID{File: 3, Index: 9},
+		value:   rng.Bytes(c.valueLen),
+	}
+	raw := make([]byte, 128)
+	if err := c.encode(raw, e, rng.Bytes(sealer.IVSize), func(p []byte) { rng.Read(p) }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.real || got.version != 42 || got.nonce != 777 || got.id != e.id {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.value, e.value) {
+		t.Fatal("value mismatch")
+	}
+}
+
+func TestCodecRoundTripDummy(t *testing.T) {
+	c := newTestCodec(t, 128)
+	rng := prng.NewFromUint64(2)
+	e := &entry{nonce: 5, lowClass: true}
+	raw := make([]byte, 128)
+	if err := c.encode(raw, e, rng.Bytes(sealer.IVSize), func(p []byte) { rng.Read(p) }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.real || !got.lowClass || got.nonce != 5 {
+		t.Fatalf("dummy metadata mismatch: %+v", got)
+	}
+	if got.value != nil {
+		t.Fatal("dummy carried a value")
+	}
+}
+
+func TestCodecRejectsWrongValueSize(t *testing.T) {
+	c := newTestCodec(t, 128)
+	e := &entry{real: true, value: make([]byte, 3)}
+	raw := make([]byte, 128)
+	iv := make([]byte, sealer.IVSize)
+	if err := c.encode(raw, e, iv, func([]byte) {}); !errors.Is(err, ErrValueSize) {
+		t.Fatalf("short value: %v", err)
+	}
+}
+
+func TestCodecDetectsTamperAndWrongKey(t *testing.T) {
+	c := newTestCodec(t, 128)
+	rng := prng.NewFromUint64(3)
+	e := &entry{real: true, nonce: 1, id: BlockID{1, 2}, value: rng.Bytes(c.valueLen)}
+	raw := make([]byte, 128)
+	if err := c.encode(raw, e, rng.Bytes(sealer.IVSize), func(p []byte) { rng.Read(p) }); err != nil {
+		t.Fatal(err)
+	}
+	// Bit flip anywhere in the ciphertext must fail the checksum.
+	bad := append([]byte(nil), raw...)
+	bad[40] ^= 0x01
+	if _, err := c.decode(bad); !errors.Is(err, ErrCorruptSlot) {
+		t.Fatalf("tampered slot: %v", err)
+	}
+	// A different key cannot decode the slot.
+	other, err := newCodec(sealer.DeriveKey([]byte("other"), "codec"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.decode(raw); !errors.Is(err, ErrCorruptSlot) {
+		t.Fatalf("wrong key: %v", err)
+	}
+}
+
+func TestCodecMinimumGeometry(t *testing.T) {
+	if _, err := newCodec(sealer.DeriveKey([]byte("k"), "g"), 64); err == nil {
+		t.Fatal("64-byte slots leave no value room but were accepted")
+	}
+	c := newTestCodec(t, 96)
+	if c.valueLen != 96-16-entryMetaSize {
+		t.Fatalf("value len %d", c.valueLen)
+	}
+}
+
+func TestCodecQuickRoundTrip(t *testing.T) {
+	c := newTestCodec(t, 160)
+	f := func(seed, file, index, nonce, version uint64, lowClass bool) bool {
+		rng := prng.NewFromUint64(seed)
+		e := &entry{
+			real:     true,
+			lowClass: lowClass,
+			version:  version,
+			nonce:    nonce,
+			id:       BlockID{File: file, Index: index},
+			value:    rng.Bytes(c.valueLen),
+		}
+		raw := make([]byte, 160)
+		if err := c.encode(raw, e, rng.Bytes(sealer.IVSize), func(p []byte) { rng.Read(p) }); err != nil {
+			return false
+		}
+		got, err := c.decode(raw)
+		if err != nil {
+			return false
+		}
+		return got.real == e.real && got.lowClass == e.lowClass &&
+			got.version == e.version && got.nonce == e.nonce &&
+			got.id == e.id && bytes.Equal(got.value, e.value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package oblivious
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/diskmodel"
+	"steghide/internal/prng"
+	"steghide/internal/sealer"
+)
+
+func TestStoreFaultDuringShuffle(t *testing.T) {
+	const bufCap, levels = 4, 3
+	fd := blockdev.NewFault(blockdev.NewMem(128, Footprint(bufCap, levels)))
+	s, err := New(Config{
+		Dev:          fd,
+		Key:          sealer.DeriveKey([]byte("k"), "fault"),
+		BufferBlocks: bufCap,
+		Levels:       levels,
+		RNG:          prng.NewFromUint64(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm a write fault far enough ahead that it fires mid-shuffle.
+	fd.FailWritesAfter(10)
+	var sawErr bool
+	for i := 0; i < 30; i++ {
+		if err := s.Put(BlockID{File: 1, Index: uint64(i)}, make([]byte, s.ValueSize())); err != nil {
+			if !errors.Is(err, blockdev.ErrInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("injected fault never surfaced")
+	}
+}
+
+func TestStoreFaultOnGet(t *testing.T) {
+	const bufCap, levels = 4, 3
+	fd := blockdev.NewFault(blockdev.NewMem(128, Footprint(bufCap, levels)))
+	s, err := New(Config{
+		Dev:          fd,
+		Key:          sealer.DeriveKey([]byte("k"), "fault2"),
+		BufferBlocks: bufCap,
+		Levels:       levels,
+		RNG:          prng.NewFromUint64(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Put(BlockID{File: 1, Index: uint64(i)}, make([]byte, s.ValueSize())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fd.FailReadsAfter(0)
+	if _, _, err := s.Get(BlockID{File: 1, Index: 0}); !errors.Is(err, blockdev.ErrInjected) {
+		t.Fatalf("get fault not propagated: %v", err)
+	}
+}
+
+func TestStoreClockSplitsSortAndRetrieve(t *testing.T) {
+	// With a simulated disk attached, SortTime + RetrieveTime must
+	// both accumulate and stay distinct.
+	const bufCap, levels = 4, 3
+	need := Footprint(bufCap, levels)
+	disk := diskmodel.MustNew(diskmodel.Params2004(need, 4096))
+	dev := blockdev.NewSim(blockdev.NewMem(128, need), disk)
+	s, err := New(Config{
+		Dev:          dev,
+		Key:          sealer.DeriveKey([]byte("k"), "clock"),
+		BufferBlocks: bufCap,
+		Levels:       levels,
+		RNG:          prng.NewFromUint64(3),
+		Clock:        disk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := prng.NewFromUint64(4).Bytes(s.ValueSize())
+	for i := 0; i < 12; i++ {
+		if err := s.Put(BlockID{File: 1, Index: uint64(i)}, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		v, ok, err := s.Get(BlockID{File: 1, Index: uint64(i)})
+		if err != nil || !ok {
+			t.Fatalf("get %d: %v %v", i, ok, err)
+		}
+		if !bytes.Equal(v, val) {
+			t.Fatalf("block %d corrupted", i)
+		}
+	}
+	st := s.Stats()
+	if st.SortTime <= 0 {
+		t.Fatalf("no sort time recorded: %+v", st)
+	}
+	if st.RetrieveTime <= 0 {
+		t.Fatalf("no retrieve time recorded: %+v", st)
+	}
+	total := st.SortTime + st.RetrieveTime
+	if total > disk.Now()+time.Millisecond {
+		t.Fatalf("accounted time %v exceeds disk time %v", total, disk.Now())
+	}
+}

@@ -1,0 +1,189 @@
+package oblivious
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/extsort"
+	"steghide/internal/sealer"
+)
+
+// dump merges level i (0-based) into level i+1 with O(B) memory and
+// mostly sequential I/O, over the two levels' combined (adjacent)
+// region:
+//
+//	pass A  one sequential rewrite of the combined region: entries
+//	        whose slot is not a winner (per the in-memory indices:
+//	        level i supersedes level i+1; consumed entries have no
+//	        index at all) become dummies, everything gets a fresh
+//	        nonce, and exactly |level i| dummies are tagged "low
+//	        class";
+//	pass B  external sort by class ‖ PRF(nonce), re-encrypting on
+//	        every write: the low-class dummies land exactly in level
+//	        i's region (leaving it empty) and the real entries are
+//	        uniformly shuffled among level i+1's slots. The sort's
+//	        final placement pass rebuilds level i+1's index via the
+//	        OnOutput hook, so no separate scan is needed.
+func (s *Store) dump(i int) error {
+	if i+1 >= len(s.levels) {
+		return fmt.Errorf("%w: cannot dump past level %d", ErrCacheFull, len(s.levels))
+	}
+	t0 := s.now()
+	defer func() { s.stats.SortTime += s.now() - t0 }()
+	s.stats.Dumps++
+
+	li, lj := s.levels[i], s.levels[i+1]
+	if lj.region.Start != li.region.End() {
+		return fmt.Errorf("oblivious: levels %d/%d not adjacent", i+1, i+2)
+	}
+	combined := extsort.Region{Start: li.region.Start, Len: li.region.Len + lj.region.Len}
+	dev := &shuffleDev{Device: s.dev, s: s}
+
+	// Winner slots from the in-memory indices: every level i entry
+	// survives; a level i+1 entry survives unless level i holds the
+	// same id (the higher copy is always fresher).
+	winners := make(map[uint64]bool, len(li.index)+len(lj.index))
+	reals := 0
+	for _, slot := range li.index {
+		winners[slot] = true
+		reals++
+	}
+	for id, slot := range lj.index {
+		if _, shadowed := li.index[id]; !shadowed {
+			winners[slot] = true
+			reals++
+		}
+	}
+	if i+1 == len(s.levels)-1 && reals > lj.capReal {
+		return fmt.Errorf("%w: %d distinct blocks exceed capacity %d", ErrCacheFull, reals, lj.capReal)
+	}
+
+	// Single shuffle sort by class ‖ PRF(nonce). Dedup, fresh nonces
+	// and class assignment happen as run formation first reads each
+	// slot (OnInput); the index of level i+1 is rebuilt as the final
+	// pass places each block (OnOutput).
+	lowCount := li.region.Len
+	var dummies uint64
+	onInput := func(pos uint64, raw []byte) error {
+		e, err := s.codec.decode(raw)
+		if err != nil {
+			return err
+		}
+		if !winners[pos] {
+			e.real = false
+			e.value = nil
+		}
+		e.nonce = s.rng.Uint64()
+		if e.real {
+			e.lowClass = false
+		} else {
+			e.lowClass = dummies < lowCount
+			dummies++
+		}
+		iv := make([]byte, sealer.IVSize)
+		s.rng.Read(iv)
+		return s.codec.encode(raw, e, iv, func(p []byte) { s.rng.Read(p) })
+	}
+
+	tagSeed := s.tagRNG.Uint64()
+	tagKey := func(raw []byte) uint64 {
+		e, err := s.codec.decode(raw)
+		if err != nil {
+			return ^uint64(0)
+		}
+		tag := nonceTag(tagSeed, e.nonce) >> 1
+		if !e.lowClass {
+			tag |= uint64(1) << 63
+		}
+		return tag
+	}
+	newIndex := make(map[BlockID]uint64, reals)
+	realSlots := make(map[uint64]bool, reals)
+	var rebuildErr error
+	onOutput := func(pos uint64, raw []byte) error {
+		e, err := s.codec.decode(raw)
+		if err != nil {
+			return err
+		}
+		if !e.real {
+			return nil
+		}
+		if pos < lj.region.Start {
+			rebuildErr = fmt.Errorf("oblivious: real entry left in emptied level %d", i+1)
+			return rebuildErr
+		}
+		if prev, dup := newIndex[e.id]; dup {
+			rebuildErr = fmt.Errorf("oblivious: duplicate id %v at slots %d and %d after merge", e.id, prev, pos)
+			return rebuildErr
+		}
+		newIndex[e.id] = pos
+		realSlots[pos] = true
+		return nil
+	}
+	if err := extsort.Sort(dev, combined, s.scratch, s.bufCap, tagKey,
+		extsort.Options{Transform: s.resealTransform(), OnInput: onInput, OnOutput: onOutput}); err != nil {
+		return err
+	}
+	if rebuildErr != nil {
+		return rebuildErr
+	}
+	if dummies < lowCount {
+		return fmt.Errorf("oblivious: only %d dummies for a low class of %d (capacity invariant broken)", dummies, lowCount)
+	}
+	if len(newIndex) != reals {
+		return fmt.Errorf("oblivious: merge placed %d reals, expected %d", len(newIndex), reals)
+	}
+
+	li.index = map[BlockID]uint64{}
+	li.realCount = 0
+	li.resetEpoch(s, nil)
+	lj.index = newIndex
+	lj.realCount = reals
+	lj.resetEpoch(s, realSlots)
+	return nil
+}
+
+// resealTransform re-encrypts a raw slot under a fresh IV; applied on
+// every sort write so positions cannot be linked across passes.
+func (s *Store) resealTransform() func([]byte) error {
+	scratch := make([]byte, s.codec.payload)
+	iv := make([]byte, sealer.IVSize)
+	return func(raw []byte) error {
+		s.rng.Read(iv)
+		return s.codec.seal.Reseal(raw, iv, scratch)
+	}
+}
+
+// shuffleDev counts shuffle I/O.
+type shuffleDev struct {
+	blockdev.Device
+	s *Store
+}
+
+func (d *shuffleDev) ReadBlock(i uint64, buf []byte) error {
+	if err := d.Device.ReadBlock(i, buf); err != nil {
+		return err
+	}
+	d.s.stats.ShuffleReads++
+	return nil
+}
+
+func (d *shuffleDev) WriteBlock(i uint64, data []byte) error {
+	if err := d.Device.WriteBlock(i, data); err != nil {
+		return err
+	}
+	d.s.stats.ShuffleWrites++
+	return nil
+}
+
+// nonceTag is the shuffle-placement PRF.
+func nonceTag(seed, nonce uint64) uint64 {
+	h := fnv.New64a()
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], seed)
+	binary.BigEndian.PutUint64(b[8:], nonce)
+	h.Write(b[:])
+	return h.Sum64()
+}

@@ -1,0 +1,158 @@
+// Package prng implements the deterministic pseudo-random number
+// generator used throughout the steganographic file system.
+//
+// The paper (§6.1) constructs its generator from SHA-256; we follow it
+// by running SHA-256 in counter mode over a seed:
+//
+//	block_i = SHA256(seed ‖ uint64(i))
+//
+// The stream is deterministic for a given seed, which makes every
+// randomized decision in the system (block picks, IVs, shuffles,
+// workloads) reproducible in tests and experiments. The generator is
+// NOT safe for concurrent use; wrap it in a lock or derive independent
+// child generators with Child.
+package prng
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// PRNG is a deterministic SHA-256 counter-mode generator.
+type PRNG struct {
+	seed    [32]byte
+	counter uint64
+	buf     [32]byte
+	avail   int // unread bytes remaining at the tail of buf
+}
+
+// New returns a generator seeded by hashing the given seed material.
+func New(seed []byte) *PRNG {
+	p := &PRNG{}
+	p.seed = sha256.Sum256(seed)
+	return p
+}
+
+// NewFromUint64 seeds a generator from an integer; convenient in tests.
+func NewFromUint64(seed uint64) *PRNG {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], seed)
+	return New(b[:])
+}
+
+// Child derives an independent generator from this one's seed and a
+// label, without consuming any of the parent's stream. Two children
+// with different labels produce independent streams.
+func (p *PRNG) Child(label string) *PRNG {
+	h := sha256.New()
+	h.Write(p.seed[:])
+	h.Write([]byte{0xC4}) // domain separator
+	h.Write([]byte(label))
+	var seed []byte
+	seed = h.Sum(seed)
+	return New(seed)
+}
+
+func (p *PRNG) refill() {
+	h := sha256.New()
+	h.Write(p.seed[:])
+	var ctr [8]byte
+	binary.BigEndian.PutUint64(ctr[:], p.counter)
+	h.Write(ctr[:])
+	sum := h.Sum(nil)
+	copy(p.buf[:], sum)
+	p.counter++
+	p.avail = len(p.buf)
+}
+
+// Read fills b with pseudo-random bytes. It never fails; the error is
+// always nil and is present only to satisfy io.Reader.
+func (p *PRNG) Read(b []byte) (int, error) {
+	n := len(b)
+	for len(b) > 0 {
+		if p.avail == 0 {
+			p.refill()
+		}
+		off := len(p.buf) - p.avail
+		c := copy(b, p.buf[off:])
+		p.avail -= c
+		b = b[c:]
+	}
+	return n, nil
+}
+
+// Bytes returns n fresh pseudo-random bytes.
+func (p *PRNG) Bytes(n int) []byte {
+	b := make([]byte, n)
+	p.Read(b)
+	return b
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (p *PRNG) Uint64() uint64 {
+	var b [8]byte
+	p.Read(b[:])
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Modulo bias is removed by rejection sampling.
+func (p *PRNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with n == 0")
+	}
+	if n&(n-1) == 0 { // power of two
+		return p.Uint64() & (n - 1)
+	}
+	// Rejection sampling: draw until the value falls below the largest
+	// multiple of n representable in 64 bits.
+	limit := ^uint64(0) - (^uint64(0) % n)
+	for {
+		v := p.Uint64()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (p *PRNG) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with n <= 0")
+	}
+	return int(p.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (p *PRNG) Float64() float64 {
+	// 53 random mantissa bits, the standard construction.
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice,
+// produced by a Fisher–Yates shuffle.
+func (p *PRNG) Perm(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	p.ShuffleInts(out)
+	return out
+}
+
+// ShuffleInts permutes s in place.
+func (p *PRNG) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Shuffle permutes n elements in place using the provided swap
+// function, mirroring math/rand's contract.
+func (p *PRNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,201 @@
+package prng
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewFromUint64(42)
+	b := NewFromUint64(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverge at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := NewFromUint64(1)
+	b := NewFromUint64(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("independent streams collided %d times in 64 draws", same)
+	}
+}
+
+func TestReadExactLengths(t *testing.T) {
+	p := NewFromUint64(7)
+	for _, n := range []int{0, 1, 7, 31, 32, 33, 64, 100, 4096} {
+		b := make([]byte, n)
+		got, err := p.Read(b)
+		if err != nil || got != n {
+			t.Fatalf("Read(%d) = %d, %v", n, got, err)
+		}
+	}
+}
+
+func TestReadMatchesBytesAcrossSplits(t *testing.T) {
+	// Reading 64 bytes in one call must equal reading the same stream
+	// in odd-sized chunks.
+	a := NewFromUint64(9)
+	b := NewFromUint64(9)
+	one := a.Bytes(64)
+	var parts []byte
+	for _, n := range []int{1, 3, 5, 7, 11, 13, 24} {
+		parts = append(parts, b.Bytes(n)...)
+	}
+	if !bytes.Equal(one, parts) {
+		t.Fatal("chunked reads diverge from bulk read")
+	}
+}
+
+func TestChildIndependence(t *testing.T) {
+	p := NewFromUint64(5)
+	c1 := p.Child("alpha")
+	c2 := p.Child("beta")
+	c1again := p.Child("alpha")
+	if c1.Uint64() != c1again.Uint64() {
+		t.Fatal("same-label children must agree")
+	}
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("different-label children should not collide")
+	}
+	// Deriving children must not consume the parent stream.
+	q := NewFromUint64(5)
+	if p.Uint64() != q.Uint64() {
+		t.Fatal("Child consumed parent stream")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	p := NewFromUint64(11)
+	for _, n := range []uint64{1, 2, 3, 10, 255, 256, 1 << 40, math.MaxUint64} {
+		for i := 0; i < 200; i++ {
+			if v := p.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFromUint64(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for Intn(%d)", n)
+				}
+			}()
+			NewFromUint64(1).Intn(n)
+		}()
+	}
+}
+
+func TestUniformityChiSquare(t *testing.T) {
+	// 10 bins, 100k draws. Chi-square with 9 degrees of freedom:
+	// critical value at p=0.001 is 27.88.
+	p := NewFromUint64(123)
+	const bins, draws = 10, 100000
+	var counts [bins]int
+	for i := 0; i < draws; i++ {
+		counts[p.Intn(bins)]++
+	}
+	expected := float64(draws) / bins
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 27.88 {
+		t.Fatalf("chi-square %.2f exceeds 27.88; counts=%v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := NewFromUint64(77)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean %v deviates from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := NewFromUint64(seed)
+		perm := p.Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(perm) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUniform(t *testing.T) {
+	// Every permutation of 3 elements should appear ~1/6 of the time.
+	p := NewFromUint64(99)
+	counts := map[[3]int]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		s := []int{0, 1, 2}
+		p.ShuffleInts(s)
+		counts[[3]int{s[0], s[1], s[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("expected 6 permutations, got %d", len(counts))
+	}
+	for perm, c := range counts {
+		ratio := float64(c) / (trials / 6.0)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("permutation %v frequency off: %v", perm, ratio)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	p := NewFromUint64(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Uint64()
+	}
+}
+
+func BenchmarkRead4K(b *testing.B) {
+	p := NewFromUint64(1)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		p.Read(buf)
+	}
+}

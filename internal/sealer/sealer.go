@@ -1,0 +1,157 @@
+// Package sealer implements the per-block encryption used by the
+// steganographic file system.
+//
+// Following §4.1.1 of the paper, every block on the raw storage —
+// whether it carries file data or dummy random bytes — has the layout
+//
+//	block = IV ‖ CBC-AES(key, IV, data field)
+//
+// A "dummy update" re-encrypts the same data field under a freshly
+// drawn IV, which changes every byte of the stored block; without the
+// key an observer cannot tell whether the data field itself changed.
+//
+// The package also provides the key-derivation helpers used to build
+// file access keys (FAKs) from user passphrases.
+package sealer
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// IVSize is the length in bytes of the per-block initialization
+// vector, equal to the AES block size.
+const IVSize = aes.BlockSize
+
+// KeySize is the length in bytes of all symmetric keys (AES-256).
+const KeySize = 32
+
+// Key is a symmetric encryption key.
+type Key [KeySize]byte
+
+// ErrBadBlockSize reports a device block size unusable by the sealer.
+var ErrBadBlockSize = errors.New("sealer: block size must leave a data field that is a positive multiple of the AES block size")
+
+// DeriveKey derives a labelled subkey from secret material. It is a
+// single-step HKDF-like construction over HMAC-SHA256: independent
+// labels yield independent keys.
+func DeriveKey(secret []byte, label string) Key {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte(label))
+	var k Key
+	copy(k[:], mac.Sum(nil))
+	return k
+}
+
+// KeyFromPassphrase stretches a passphrase and salt into a key by
+// iterated hashing (a PBKDF1-style construction over SHA-256; the
+// paper predates argon2 and the module is stdlib-only).
+func KeyFromPassphrase(passphrase string, salt []byte, iterations int) Key {
+	if iterations < 1 {
+		iterations = 1
+	}
+	h := sha256.New()
+	h.Write(salt)
+	h.Write([]byte(passphrase))
+	sum := h.Sum(nil)
+	for i := 1; i < iterations; i++ {
+		h.Reset()
+		h.Write(sum)
+		h.Write(salt)
+		sum = h.Sum(sum[:0])
+	}
+	var k Key
+	copy(k[:], sum)
+	return k
+}
+
+// Sealer encrypts and decrypts fixed-size storage blocks under one key.
+// It is safe for concurrent use: all methods operate on caller-supplied
+// buffers and the cipher.Block is stateless.
+type Sealer struct {
+	block     cipher.Block
+	blockSize int // full on-disk block size, IV included
+}
+
+// New returns a Sealer for devices with the given on-disk block size.
+// The data field (blockSize − IVSize) must be a positive multiple of
+// the AES block size.
+func New(key Key, blockSize int) (*Sealer, error) {
+	field := blockSize - IVSize
+	if field <= 0 || field%aes.BlockSize != 0 {
+		return nil, fmt.Errorf("%w: block size %d", ErrBadBlockSize, blockSize)
+	}
+	b, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("sealer: %w", err)
+	}
+	return &Sealer{block: b, blockSize: blockSize}, nil
+}
+
+// BlockSize returns the full on-disk block size, IV included.
+func (s *Sealer) BlockSize() int { return s.blockSize }
+
+// DataSize returns the usable data-field size of each block.
+func (s *Sealer) DataSize() int { return s.blockSize - IVSize }
+
+// Seal writes IV ‖ CBC(key, IV, data) into dst. dst must be BlockSize
+// bytes, data must be DataSize bytes, and iv must be IVSize bytes.
+// dst must not alias data.
+func (s *Sealer) Seal(dst, iv, data []byte) error {
+	if len(dst) != s.blockSize {
+		return fmt.Errorf("sealer: dst length %d, want %d", len(dst), s.blockSize)
+	}
+	if len(iv) != IVSize {
+		return fmt.Errorf("sealer: iv length %d, want %d", len(iv), IVSize)
+	}
+	if len(data) != s.DataSize() {
+		return fmt.Errorf("sealer: data length %d, want %d", len(data), s.DataSize())
+	}
+	copy(dst[:IVSize], iv)
+	enc := cipher.NewCBCEncrypter(s.block, iv)
+	enc.CryptBlocks(dst[IVSize:], data)
+	return nil
+}
+
+// Open decrypts a sealed block into dst. dst must be DataSize bytes and
+// must not alias raw. raw must be BlockSize bytes.
+func (s *Sealer) Open(dst, raw []byte) error {
+	if len(raw) != s.blockSize {
+		return fmt.Errorf("sealer: raw length %d, want %d", len(raw), s.blockSize)
+	}
+	if len(dst) != s.DataSize() {
+		return fmt.Errorf("sealer: dst length %d, want %d", len(dst), s.DataSize())
+	}
+	dec := cipher.NewCBCDecrypter(s.block, raw[:IVSize])
+	dec.CryptBlocks(dst, raw[IVSize:])
+	return nil
+}
+
+// Reseal re-encrypts a sealed block in place under a fresh IV without
+// changing the plaintext data field — the dummy-update primitive from
+// §4.1.3. scratch, if non-nil, must be DataSize bytes and avoids an
+// allocation.
+func (s *Sealer) Reseal(raw, newIV, scratch []byte) error {
+	if scratch == nil {
+		scratch = make([]byte, s.DataSize())
+	}
+	if err := s.Open(scratch, raw); err != nil {
+		return err
+	}
+	return s.Seal(raw, newIV, scratch)
+}
+
+// Checksum computes an 8-byte integrity tag over data, keyed by the
+// sealer's derivation of ctx. It is embedded inside encrypted headers
+// to detect decryption under a wrong key.
+func Checksum(key Key, ctx string, data []byte) uint64 {
+	mac := hmac.New(sha256.New, key[:])
+	mac.Write([]byte(ctx))
+	mac.Write(data)
+	return binary.BigEndian.Uint64(mac.Sum(nil))
+}

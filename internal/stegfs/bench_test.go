@@ -1,0 +1,106 @@
+package stegfs
+
+import (
+	"fmt"
+	"testing"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/prng"
+)
+
+func benchVolume(b *testing.B, nBlocks uint64) (*Volume, *BitmapSource) {
+	b.Helper()
+	vol, err := Format(blockdev.NewMem(512, nBlocks), FormatOptions{KDFIterations: 4, FillSeed: []byte("b")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return vol, NewBitmapSource(vol.FirstDataBlock(), vol.NumBlocks(), prng.NewFromUint64(1))
+}
+
+func BenchmarkCreateFile(b *testing.B) {
+	vol, src := benchVolume(b, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each create permanently claims a header block; recycle the
+		// volume before the space (or the candidate probing) tightens.
+		if i%16384 == 16383 {
+			b.StopTimer()
+			vol, src = benchVolume(b, 1<<16)
+			b.StartTimer()
+		}
+		path := fmt.Sprintf("/bench/%d", i)
+		f, err := CreateFile(vol, DeriveFAK("u", path, vol), path, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenFile(b *testing.B) {
+	vol, src := benchVolume(b, 1<<14)
+	fak := DeriveFAK("u", "/target", vol)
+	f, err := CreateFile(vol, fak, "/target", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 64*vol.PayloadSize()), 0, InPlacePolicy{Vol: vol}); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Save(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OpenFile(vol, fak, "/target", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialScan(b *testing.B) {
+	vol, src := benchVolume(b, 1<<14)
+	fak := DeriveFAK("u", "/scan", vol)
+	f, err := CreateFile(vol, fak, "/scan", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const blocks = 128
+	data := prng.NewFromUint64(2).Bytes(blocks * vol.PayloadSize())
+	if _, err := f.WriteAt(data, 0, InPlacePolicy{Vol: vol}); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInPlaceUpdate(b *testing.B) {
+	vol, src := benchVolume(b, 1<<14)
+	fak := DeriveFAK("u", "/upd", vol)
+	f, err := CreateFile(vol, fak, "/upd", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 32*vol.PayloadSize()), 0, InPlacePolicy{Vol: vol}); err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([]byte, vol.PayloadSize())
+	rng := prng.NewFromUint64(3)
+	policy := InPlacePolicy{Vol: vol}
+	b.SetBytes(int64(len(chunk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(rng.Intn(32)) * uint64(vol.PayloadSize())
+		if _, err := f.WriteAt(chunk, off, policy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package stegfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Dir is a hidden directory: a hidden file whose content is an
+// encoded list of child path names. The 2003 StegFS paper (which this
+// system builds on) protects directory structures the same way it
+// protects files — a directory is only enumerable with its FAK, and
+// its existence is as deniable as any file's. Directories are pure
+// convenience: files remain openable directly by (key, pathname)
+// without ever being listed anywhere.
+type Dir struct {
+	f     *File
+	names map[string]bool
+}
+
+// dirMagic guards against interpreting a non-directory as one.
+const dirMagic = "SGFSDIR1"
+
+// CreateDir creates an empty hidden directory at path.
+func CreateDir(vol *Volume, fak FAK, path string, source BlockSource) (*Dir, error) {
+	f, err := CreateFile(vol, fak, path, source)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dir{f: f, names: map[string]bool{}}
+	if err := d.Save(InPlacePolicy{Vol: vol}); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// OpenDir opens an existing hidden directory.
+func OpenDir(vol *Volume, fak FAK, path string, source BlockSource) (*Dir, error) {
+	f, err := OpenFile(vol, fak, path, source)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dir{f: f}
+	if err := d.load(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Dir) load() error {
+	size := d.f.Size()
+	buf := make([]byte, size)
+	if _, err := d.f.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	if len(buf) < len(dirMagic)+8 || string(buf[:len(dirMagic)]) != dirMagic {
+		return fmt.Errorf("%w: not a directory", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint64(buf[len(dirMagic):])
+	d.names = make(map[string]bool, n)
+	off := uint64(len(dirMagic)) + 8
+	for i := uint64(0); i < n; i++ {
+		if off+8 > uint64(len(buf)) {
+			return fmt.Errorf("%w: truncated directory", ErrCorrupt)
+		}
+		l := binary.BigEndian.Uint64(buf[off:])
+		off += 8
+		if off+l > uint64(len(buf)) {
+			return fmt.Errorf("%w: truncated directory entry", ErrCorrupt)
+		}
+		d.names[string(buf[off:off+l])] = true
+		off += l
+	}
+	return nil
+}
+
+// Save persists the listing through the given update policy (Figure 6
+// relocation when running under a hiding agent) and flushes the block
+// map.
+func (d *Dir) Save(policy UpdatePolicy) error {
+	names := d.List()
+	size := len(dirMagic) + 8
+	for _, n := range names {
+		size += 8 + len(n)
+	}
+	buf := make([]byte, size)
+	copy(buf, dirMagic)
+	binary.BigEndian.PutUint64(buf[len(dirMagic):], uint64(len(names)))
+	off := len(dirMagic) + 8
+	for _, n := range names {
+		binary.BigEndian.PutUint64(buf[off:], uint64(len(n)))
+		off += 8
+		copy(buf[off:], n)
+		off += len(n)
+	}
+	// Shrink before writing if the listing got smaller, so stale tail
+	// bytes cannot resurface as phantom entries.
+	if uint64(size) < d.f.Size() {
+		if err := d.f.Resize(uint64(size), policy); err != nil {
+			return err
+		}
+	}
+	if _, err := d.f.WriteAt(buf, 0, policy); err != nil {
+		return err
+	}
+	return d.f.Save()
+}
+
+// Add records a child name. It does not create the child: callers
+// create files with their own FAKs and record them here for listing.
+func (d *Dir) Add(name string) {
+	d.names[name] = true
+}
+
+// Remove forgets a child name, reporting whether it was present.
+func (d *Dir) Remove(name string) bool {
+	if !d.names[name] {
+		return false
+	}
+	delete(d.names, name)
+	return true
+}
+
+// Has reports whether a child name is recorded.
+func (d *Dir) Has(name string) bool { return d.names[name] }
+
+// Len returns the number of entries.
+func (d *Dir) Len() int { return len(d.names) }
+
+// List returns the child names, sorted.
+func (d *Dir) List() []string {
+	out := make([]string, 0, len(d.names))
+	for n := range d.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// File exposes the underlying hidden file (for deletion etc.).
+func (d *Dir) File() *File { return d.f }

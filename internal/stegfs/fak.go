@@ -1,0 +1,73 @@
+package stegfs
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"steghide/internal/sealer"
+)
+
+// FAK is a file access key (§4.2.1). It comprises three components:
+//
+//   - Locator: the secret from which the header's candidate locations
+//     on the volume are derived;
+//   - HeaderKey: encrypts the header and the pointer (indirect)
+//     blocks;
+//   - ContentKey: encrypts the data blocks.
+//
+// The split enables plausible deniability: a coerced owner can reveal
+// the Locator and HeaderKey of a file but a wrong ContentKey and claim
+// the file is a dummy — dummy files genuinely have no meaningful
+// ContentKey.
+type FAK struct {
+	Locator    [32]byte
+	HeaderKey  sealer.Key
+	ContentKey sealer.Key
+}
+
+// DeriveFAK derives a file's FAK from the owner's passphrase, the
+// volume salt, and the file's path name. The same inputs always yield
+// the same FAK, so users need only remember their passphrase.
+func DeriveFAK(passphrase, pathname string, vol *Volume) FAK {
+	master := sealer.KeyFromPassphrase(passphrase, vol.Salt(), vol.KDFIterations())
+	return DeriveFAKFromMaster(master, pathname)
+}
+
+// DeriveFAKFromMaster derives a file FAK from an already-stretched
+// master key; used when one login session opens many files.
+func DeriveFAKFromMaster(master sealer.Key, pathname string) FAK {
+	var fak FAK
+	loc := hmac.New(sha256.New, master[:])
+	loc.Write([]byte("locator\x00"))
+	loc.Write([]byte(pathname))
+	copy(fak.Locator[:], loc.Sum(nil))
+	fak.HeaderKey = sealer.DeriveKey(master[:], "header\x00"+pathname)
+	fak.ContentKey = sealer.DeriveKey(master[:], "content\x00"+pathname)
+	return fak
+}
+
+// HeaderProbeLimit is the number of candidate header locations tried
+// before concluding a file does not exist. With ≤50% utilization the
+// probability that all candidates are occupied is ≤ 2^-64.
+const HeaderProbeLimit = 64
+
+// HeaderCandidate returns the i-th candidate block for the header of
+// the file keyed by fak on a volume of n blocks whose steg space
+// starts at first. Candidates are pseudo-random in the steg space and
+// derivable only with the Locator secret.
+func (fak *FAK) HeaderCandidate(i int, first, n uint64) uint64 {
+	mac := hmac.New(sha256.New, fak.Locator[:])
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(i))
+	mac.Write(idx[:])
+	h := mac.Sum(nil)
+	span := n - first
+	return first + binary.BigEndian.Uint64(h[:8])%span
+}
+
+// PathHash binds a header to its path name so that a FAK reused for a
+// different path cannot silently open the wrong file.
+func PathHash(pathname string) [32]byte {
+	return sha256.Sum256([]byte("stegfs-path\x00" + pathname))
+}

@@ -1,0 +1,694 @@
+package stegfs
+
+import (
+	"errors"
+	"fmt"
+
+	"steghide/internal/sealer"
+)
+
+// File is an open hidden file. The block map (header + indirect
+// blocks) is cached in memory while the file is open and written out
+// on Save/Close, exactly as §4.1.5 prescribes ("the file header is
+// always placed in the cache and is written out only when the file is
+// saved"). A File is not safe for concurrent use; the agent layer
+// serializes access.
+type File struct {
+	vol    *Volume
+	source BlockSource
+	fak    FAK
+	path   string
+
+	headerLoc uint64
+	flags     uint32
+	size      uint64
+	blocks    []uint64 // physical location of each data block
+
+	// Cached indirect-block locations (0 = not allocated). outerPtrs
+	// holds the inner pointer-block locations of the double-indirect
+	// chain between save cycles.
+	single    uint64
+	double    uint64
+	outerPtrs []uint64
+
+	hseal *sealer.Sealer // header + pointer blocks
+	cseal *sealer.Sealer // data blocks
+
+	revIndex map[uint64]int // lazy physical→logical index
+	dirty    bool
+}
+
+// CreateFile creates an empty hidden file for fak at path. The header
+// is placed at the first free candidate location; the header block is
+// written immediately so the file exists on disk from the start.
+func CreateFile(vol *Volume, fak FAK, path string, source BlockSource) (*File, error) {
+	f, err := newFile(vol, fak, path, source, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.saveHeader(); err != nil {
+		f.releaseAll()
+		return nil, err
+	}
+	return f, nil
+}
+
+// CreateDummyFile creates a dummy file (§4.2.1) of nBlocks blocks:
+// a real header describing blocks whose content is the random fill
+// they already carry. Dummy files give the volatile agent material
+// for dummy updates and coerced users something safe to disclose.
+// The FAK's ContentKey is unused by construction.
+func CreateDummyFile(vol *Volume, fak FAK, path string, source BlockSource, nBlocks uint64) (*File, error) {
+	f, err := newFile(vol, fak, path, source, flagDummy)
+	if err != nil {
+		return nil, err
+	}
+	if nBlocks > vol.MaxFileBlocks() {
+		f.releaseAll()
+		return nil, fmt.Errorf("%w: %d blocks", ErrTooLarge, nBlocks)
+	}
+	for i := uint64(0); i < nBlocks; i++ {
+		loc, err := source.AcquireRandom()
+		if err != nil {
+			f.releaseAll()
+			return nil, err
+		}
+		f.blocks = append(f.blocks, loc)
+	}
+	f.size = nBlocks * uint64(vol.PayloadSize())
+	if err := f.Save(); err != nil {
+		f.releaseAll()
+		return nil, err
+	}
+	return f, nil
+}
+
+func newFile(vol *Volume, fak FAK, path string, source BlockSource, flags uint32) (*File, error) {
+	hseal, err := vol.NewSealer(fak.HeaderKey)
+	if err != nil {
+		return nil, err
+	}
+	cseal, err := vol.NewSealer(fak.ContentKey)
+	if err != nil {
+		return nil, err
+	}
+	first, n := source.SpaceBounds()
+	var headerLoc uint64
+	found := false
+	for i := 0; i < HeaderProbeLimit; i++ {
+		cand := fak.HeaderCandidate(i, first, n)
+		if source.Acquire(cand) {
+			headerLoc = cand
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("stegfs: create %q: all header candidates occupied: %w", path, ErrVolumeFull)
+	}
+	return &File{
+		vol:       vol,
+		source:    source,
+		fak:       fak,
+		path:      path,
+		headerLoc: headerLoc,
+		flags:     flags,
+		hseal:     hseal,
+		cseal:     cseal,
+		dirty:     true,
+	}, nil
+}
+
+// OpenFile locates and loads the hidden file keyed by fak at path.
+// It returns ErrNotFound when no candidate block decodes as a header
+// under the FAK — whether because the file does not exist or because
+// the key is wrong is deliberately undecidable.
+func OpenFile(vol *Volume, fak FAK, path string, source BlockSource) (*File, error) {
+	hseal, err := vol.NewSealer(fak.HeaderKey)
+	if err != nil {
+		return nil, err
+	}
+	cseal, err := vol.NewSealer(fak.ContentKey)
+	if err != nil {
+		return nil, err
+	}
+	want := PathHash(path)
+	first, n := source.SpaceBounds()
+	for i := 0; i < HeaderProbeLimit; i++ {
+		cand := fak.HeaderCandidate(i, first, n)
+		payload, err := vol.ReadSealed(cand, hseal)
+		if err != nil {
+			return nil, fmt.Errorf("stegfs: probe header: %w", err)
+		}
+		h, err := vol.decodeHeader(payload, fak.HeaderKey, want)
+		if errors.Is(err, ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		f := &File{
+			vol:       vol,
+			source:    source,
+			fak:       fak,
+			path:      path,
+			headerLoc: cand,
+			flags:     h.flags,
+			size:      h.fileSize,
+			hseal:     hseal,
+			cseal:     cseal,
+		}
+		if err := f.loadBlockMap(h); err != nil {
+			return nil, err
+		}
+		f.claimAll()
+		return f, nil
+	}
+	return nil, ErrNotFound
+}
+
+// loadBlockMap walks header → indirect blocks to populate f.blocks.
+func (f *File) loadBlockMap(h *header) error {
+	v := f.vol
+	count := h.blockCount
+	f.blocks = make([]uint64, 0, count)
+	take := func(ptrs []uint64) {
+		for _, p := range ptrs {
+			if uint64(len(f.blocks)) == count {
+				return
+			}
+			f.blocks = append(f.blocks, p)
+		}
+	}
+	take(h.direct)
+	if uint64(len(f.blocks)) < count {
+		if h.single == 0 {
+			return fmt.Errorf("%w: missing single-indirect block", ErrCorrupt)
+		}
+		payload, err := v.ReadSealed(h.single, f.hseal)
+		if err != nil {
+			return err
+		}
+		remaining := count - uint64(len(f.blocks))
+		n := min(remaining, uint64(v.ptrsPerBlock()))
+		ptrs, err := v.decodePtrBlock(payload, int(n), f.fak.HeaderKey)
+		if err != nil {
+			return err
+		}
+		take(ptrs)
+	}
+	var outer []uint64
+	if h.double != 0 {
+		// The outer list is loaded in full (outerCount entries) even
+		// when the data needs fewer inner blocks: Save over-provisions
+		// rather than release, and releasing later requires knowing
+		// every allocated pointer block.
+		payload, err := v.ReadSealed(h.double, f.hseal)
+		if err != nil {
+			return err
+		}
+		outer, err = v.decodePtrBlock(payload, int(h.outerCount), f.fak.HeaderKey)
+		if err != nil {
+			return err
+		}
+		per := uint64(v.ptrsPerBlock())
+		for _, op := range outer {
+			if uint64(len(f.blocks)) == count {
+				break
+			}
+			if op == 0 {
+				return fmt.Errorf("%w: nil pointer in double-indirect chain", ErrCorrupt)
+			}
+			inner, err := v.ReadSealed(op, f.hseal)
+			if err != nil {
+				return err
+			}
+			remaining := count - uint64(len(f.blocks))
+			n := min(remaining, per)
+			ptrs, err := v.decodePtrBlock(inner, int(n), f.fak.HeaderKey)
+			if err != nil {
+				return err
+			}
+			take(ptrs)
+		}
+	}
+	if uint64(len(f.blocks)) != count {
+		return fmt.Errorf("%w: block map incomplete (%d/%d)", ErrCorrupt, len(f.blocks), count)
+	}
+	f.single = h.single
+	f.double = h.double
+	f.outerPtrs = outer
+	return nil
+}
+
+// claimAll registers every block of the file (header, data, indirect)
+// with the source, so an agent that learns a file at login does not
+// allocate over it.
+func (f *File) claimAll() {
+	f.source.Acquire(f.headerLoc)
+	for _, loc := range f.blocks {
+		f.source.Acquire(loc)
+	}
+	if f.single != 0 {
+		f.source.Acquire(f.single)
+	}
+	for _, loc := range f.outerPtrs {
+		f.source.Acquire(loc)
+	}
+	if f.double != 0 {
+		f.source.Acquire(f.double)
+	}
+}
+
+func (f *File) ensureRevIndex() {
+	if f.revIndex != nil {
+		return
+	}
+	f.revIndex = make(map[uint64]int, len(f.blocks))
+	for i, loc := range f.blocks {
+		f.revIndex[loc] = i
+	}
+}
+
+// Path returns the path name the file was created/opened under.
+func (f *File) Path() string { return f.path }
+
+// Size returns the logical file size in bytes.
+func (f *File) Size() uint64 { return f.size }
+
+// NumBlocks returns the number of data blocks in the map.
+func (f *File) NumBlocks() uint64 { return uint64(len(f.blocks)) }
+
+// IsDummy reports whether this is a dummy file.
+func (f *File) IsDummy() bool { return f.flags&flagDummy != 0 }
+
+// HeaderLoc returns the (fixed) location of the header block.
+func (f *File) HeaderLoc() uint64 { return f.headerLoc }
+
+// BlockLocs returns a copy of the block map.
+func (f *File) BlockLocs() []uint64 { return append([]uint64(nil), f.blocks...) }
+
+// IndirectLocs returns the locations of the file's pointer blocks
+// (single, inner-double, double roots) currently allocated.
+func (f *File) IndirectLocs() []uint64 {
+	var out []uint64
+	if f.single != 0 {
+		out = append(out, f.single)
+	}
+	out = append(out, f.outerPtrs...)
+	if f.double != 0 {
+		out = append(out, f.double)
+	}
+	return out
+}
+
+// BlockLoc returns the physical location of logical block li.
+func (f *File) BlockLoc(li uint64) (uint64, error) {
+	if li >= uint64(len(f.blocks)) {
+		return 0, fmt.Errorf("stegfs: logical block %d beyond map of %d", li, len(f.blocks))
+	}
+	return f.blocks[li], nil
+}
+
+// ContentSealer exposes the data-block sealer (used by the update
+// policies and the oblivious cache).
+func (f *File) ContentSealer() *sealer.Sealer { return f.cseal }
+
+// HeaderSealer exposes the header/pointer-block sealer.
+func (f *File) HeaderSealer() *sealer.Sealer { return f.hseal }
+
+// Dirty reports whether the cached block map differs from disk.
+func (f *File) Dirty() bool { return f.dirty }
+
+// RelocateBlock records that logical block li moved to newLoc. Called
+// by relocating update policies; allocation bookkeeping is theirs.
+func (f *File) RelocateBlock(li uint64, newLoc uint64) error {
+	if li >= uint64(len(f.blocks)) {
+		return fmt.Errorf("stegfs: relocate logical block %d beyond map of %d", li, len(f.blocks))
+	}
+	if f.revIndex != nil {
+		delete(f.revIndex, f.blocks[li])
+		f.revIndex[newLoc] = int(li)
+	}
+	f.blocks[li] = newLoc
+	f.dirty = true
+	return nil
+}
+
+// ReplaceBlockLoc rewires the map entry holding oldLoc to newLoc —
+// the bookkeeping for the swap in Figure 6, where a displaced data
+// block's location joins the dummy file that donated its target.
+func (f *File) ReplaceBlockLoc(oldLoc, newLoc uint64) error {
+	f.ensureRevIndex()
+	li, ok := f.revIndex[oldLoc]
+	if !ok {
+		return fmt.Errorf("stegfs: block %d not in file %q", oldLoc, f.path)
+	}
+	delete(f.revIndex, oldLoc)
+	f.revIndex[newLoc] = li
+	f.blocks[li] = newLoc
+	f.dirty = true
+	return nil
+}
+
+// RemoveBlockLoc withdraws the block at loc from a dummy file's map —
+// the donation half of allocation under the volatile construction,
+// where every free block belongs to some disclosed dummy file. The
+// map is compacted by moving the last entry into the hole (order of a
+// dummy file's blocks is meaningless).
+func (f *File) RemoveBlockLoc(loc uint64) error {
+	if !f.IsDummy() {
+		return fmt.Errorf("stegfs: RemoveBlockLoc on non-dummy file %q", f.path)
+	}
+	f.ensureRevIndex()
+	li, ok := f.revIndex[loc]
+	if !ok {
+		return fmt.Errorf("stegfs: block %d not in dummy file %q", loc, f.path)
+	}
+	last := len(f.blocks) - 1
+	delete(f.revIndex, loc)
+	if li != last {
+		moved := f.blocks[last]
+		f.blocks[li] = moved
+		f.revIndex[moved] = li
+	}
+	f.blocks = f.blocks[:last]
+	f.size = uint64(last) * uint64(f.vol.PayloadSize())
+	f.dirty = true
+	return nil
+}
+
+// AppendBlockLoc adds a freed block to a dummy file's map — the
+// receiving half of release under the volatile construction.
+func (f *File) AppendBlockLoc(loc uint64) error {
+	if !f.IsDummy() {
+		return fmt.Errorf("stegfs: AppendBlockLoc on non-dummy file %q", f.path)
+	}
+	f.ensureRevIndex()
+	if _, dup := f.revIndex[loc]; dup {
+		return fmt.Errorf("stegfs: block %d already in dummy file %q", loc, f.path)
+	}
+	f.revIndex[loc] = len(f.blocks)
+	f.blocks = append(f.blocks, loc)
+	f.size = uint64(len(f.blocks)) * uint64(f.vol.PayloadSize())
+	f.dirty = true
+	return nil
+}
+
+// OwnsBlock reports whether loc is one of the file's data blocks.
+func (f *File) OwnsBlock(loc uint64) bool {
+	f.ensureRevIndex()
+	_, ok := f.revIndex[loc]
+	return ok
+}
+
+// ReadBlockAt returns the plaintext payload of logical block li.
+func (f *File) ReadBlockAt(li uint64) ([]byte, error) {
+	loc, err := f.BlockLoc(li)
+	if err != nil {
+		return nil, err
+	}
+	return f.vol.ReadSealed(loc, f.cseal)
+}
+
+// WriteBlockAt updates logical block li with payload via the policy,
+// recording any relocation in the cached map.
+func (f *File) WriteBlockAt(li uint64, payload []byte, policy UpdatePolicy) error {
+	loc, err := f.BlockLoc(li)
+	if err != nil {
+		return err
+	}
+	newLoc, err := policy.Update(loc, f.cseal, payload)
+	if err != nil {
+		return err
+	}
+	if newLoc != loc {
+		return f.RelocateBlock(li, newLoc)
+	}
+	return nil
+}
+
+// Resize grows or shrinks the file to size bytes. Growth allocates
+// fresh random blocks (zero-filled and written immediately, so the
+// blocks exist on disk); shrinkage releases blocks back to the source
+// — their ciphertext remains in place as plausible dummy content.
+func (f *File) Resize(size uint64, policy UpdatePolicy) error {
+	ps := uint64(f.vol.PayloadSize())
+	want := (size + ps - 1) / ps
+	if want > f.vol.MaxFileBlocks() {
+		return fmt.Errorf("%w: %d blocks", ErrTooLarge, want)
+	}
+	cur := uint64(len(f.blocks))
+	switch {
+	case want > cur:
+		zero := make([]byte, ps)
+		for i := cur; i < want; i++ {
+			loc, err := f.source.AcquireRandom()
+			if err != nil {
+				return err
+			}
+			if err := f.vol.WriteSealed(loc, f.cseal, zero); err != nil {
+				f.source.Release(loc)
+				return err
+			}
+			f.blocks = append(f.blocks, loc)
+			if f.revIndex != nil {
+				f.revIndex[loc] = int(i)
+			}
+		}
+	case want < cur:
+		for _, loc := range f.blocks[want:] {
+			if f.revIndex != nil {
+				delete(f.revIndex, loc)
+			}
+			f.source.Release(loc)
+		}
+		f.blocks = f.blocks[:want]
+	}
+	f.size = size
+	f.dirty = true
+	return nil
+}
+
+// ReadAt reads len(p) bytes at byte offset off, returning the number
+// of bytes read; reads past EOF are truncated.
+func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+	if off >= f.size {
+		return 0, nil
+	}
+	if off+uint64(len(p)) > f.size {
+		p = p[:f.size-off]
+	}
+	ps := uint64(f.vol.PayloadSize())
+	read := 0
+	for read < len(p) {
+		li := (off + uint64(read)) / ps
+		bo := (off + uint64(read)) % ps
+		payload, err := f.ReadBlockAt(li)
+		if err != nil {
+			return read, err
+		}
+		read += copy(p[read:], payload[bo:])
+	}
+	return read, nil
+}
+
+// WriteAt writes p at byte offset off via the policy, growing the
+// file as needed. Partial-block writes read-modify-write the block.
+func (f *File) WriteAt(p []byte, off uint64, policy UpdatePolicy) (int, error) {
+	if f.IsDummy() {
+		return 0, fmt.Errorf("stegfs: write to dummy file %q", f.path)
+	}
+	end := off + uint64(len(p))
+	if end > f.size {
+		if err := f.Resize(end, policy); err != nil {
+			return 0, err
+		}
+	}
+	ps := uint64(f.vol.PayloadSize())
+	written := 0
+	for written < len(p) {
+		li := (off + uint64(written)) / ps
+		bo := (off + uint64(written)) % ps
+		n := int(ps - bo)
+		if n > len(p)-written {
+			n = len(p) - written
+		}
+		var payload []byte
+		if bo == 0 && n == int(ps) {
+			payload = p[written : written+n]
+		} else {
+			var err error
+			payload, err = f.ReadBlockAt(li)
+			if err != nil {
+				return written, err
+			}
+			copy(payload[bo:], p[written:written+n])
+		}
+		if err := f.WriteBlockAt(li, payload, policy); err != nil {
+			return written, err
+		}
+		written += n
+	}
+	return written, nil
+}
+
+// Save persists the block map: pointer blocks first, then the header.
+// The header's location is fixed (it must stay derivable from the
+// FAK), so it is rewritten in place; pointer blocks are rewritten in
+// place under the header key. All of these writes are ordinary block
+// updates in the observable stream.
+//
+// Indirect blocks are allocated on demand but never released here:
+// allocation can itself mutate the block map (a dummy file's source
+// may donate the file's own blocks), and an allocate/release pair at
+// a capacity boundary would oscillate forever. Over-provisioned
+// indirect blocks are recorded in the header and reused on growth;
+// they are only released by Delete.
+func (f *File) Save() error {
+	if !f.dirty {
+		return nil
+	}
+	v := f.vol
+	d := v.directSlots()
+	per := v.ptrsPerBlock()
+
+	// Phase 1: allocate indirect blocks until the requirement is
+	// stable. Each acquisition may shrink f.blocks (self-donating
+	// dummy files), which can only reduce the requirement, so the
+	// loop terminates.
+	for {
+		n := len(f.blocks)
+		needSingle := n > d
+		nInner := 0
+		if n > d+per {
+			nInner = (n - d - per + per - 1) / per
+		}
+		if nInner > per {
+			return fmt.Errorf("%w: %d inner pointer blocks", ErrTooLarge, nInner)
+		}
+		switch {
+		case needSingle && f.single == 0:
+			loc, err := f.source.AcquireRandom()
+			if err != nil {
+				return err
+			}
+			f.single = loc
+		case nInner > len(f.outerPtrs):
+			loc, err := f.source.AcquireRandom()
+			if err != nil {
+				return err
+			}
+			f.outerPtrs = append(f.outerPtrs, loc)
+		case (nInner > 0 || len(f.outerPtrs) > 0) && f.double == 0:
+			loc, err := f.source.AcquireRandom()
+			if err != nil {
+				return err
+			}
+			f.double = loc
+		default:
+			goto stable
+		}
+	}
+stable:
+
+	// Phase 2: the map is now stable; write pointer blocks and header
+	// from it.
+	{
+		h := &header{
+			flags:      f.flags,
+			outerCount: uint32(len(f.outerPtrs)),
+			fileSize:   f.size,
+			blockCount: uint64(len(f.blocks)),
+			pathHash:   PathHash(f.path),
+			single:     f.single,
+			double:     f.double,
+		}
+		h.direct = make([]uint64, d)
+		rest := f.blocks[copy(h.direct, f.blocks):]
+
+		if len(rest) > 0 {
+			n := min(len(rest), per)
+			if err := v.WriteSealed(f.single, f.hseal, v.encodePtrBlock(rest[:n], f.fak.HeaderKey)); err != nil {
+				return err
+			}
+			rest = rest[n:]
+		}
+		for i := 0; len(rest) > 0; i++ {
+			n := min(len(rest), per)
+			if err := v.WriteSealed(f.outerPtrs[i], f.hseal, v.encodePtrBlock(rest[:n], f.fak.HeaderKey)); err != nil {
+				return err
+			}
+			rest = rest[n:]
+		}
+		if f.double != 0 {
+			if err := v.WriteSealed(f.double, f.hseal, v.encodePtrBlock(f.outerPtrs, f.fak.HeaderKey)); err != nil {
+				return err
+			}
+		}
+		if err := f.saveHeaderFrom(h); err != nil {
+			return err
+		}
+	}
+	f.dirty = false
+	return nil
+}
+
+func (f *File) saveHeader() error {
+	d := f.vol.directSlots()
+	h := &header{
+		flags:      f.flags,
+		outerCount: uint32(len(f.outerPtrs)),
+		fileSize:   f.size,
+		blockCount: uint64(len(f.blocks)),
+		pathHash:   PathHash(f.path),
+		direct:     make([]uint64, d),
+		single:     f.single,
+		double:     f.double,
+	}
+	copy(h.direct, f.blocks)
+	return f.saveHeaderFrom(h)
+}
+
+func (f *File) saveHeaderFrom(h *header) error {
+	payload := f.vol.encodeHeader(h, f.fak.HeaderKey)
+	return f.vol.WriteSealed(f.headerLoc, f.hseal, payload)
+}
+
+// Close saves the file if dirty. The File must not be used after.
+func (f *File) Close() error { return f.Save() }
+
+// Delete removes the file: all blocks (data, pointer, header) are
+// released to the source and the header block is overwritten with
+// random bytes so it can never decode again. To an observer this is
+// one more update in the stream.
+func (f *File) Delete() error {
+	if err := f.vol.RewriteRandom(f.headerLoc); err != nil {
+		return err
+	}
+	f.releaseAll()
+	f.blocks = nil
+	f.revIndex = nil
+	f.size = 0
+	f.dirty = false
+	return nil
+}
+
+func (f *File) releaseAll() {
+	for _, loc := range f.blocks {
+		f.source.Release(loc)
+	}
+	if f.single != 0 {
+		f.source.Release(f.single)
+		f.single = 0
+	}
+	for _, loc := range f.outerPtrs {
+		f.source.Release(loc)
+	}
+	f.outerPtrs = nil
+	if f.double != 0 {
+		f.source.Release(f.double)
+		f.double = 0
+	}
+	f.source.Release(f.headerLoc)
+}

@@ -1,0 +1,149 @@
+package stegfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"steghide/internal/sealer"
+)
+
+// Header payload layout (all inside the encrypted data field):
+//
+//	off  0  magic        [8]byte  "SGFSHDR1"
+//	off  8  checksum     uint64   keyed over payload[16:]
+//	off 16  flags        uint32   bit0 = dummy file
+//	off 20  outerCount   uint32   pointer blocks behind doubleIndir
+//	off 24  fileSize     uint64   logical size in bytes
+//	off 32  blockCount   uint64   data blocks in the block map
+//	off 40  pathHash     [32]byte binds header to its path name
+//	off 72  singleIndir  uint64   pointer block (0 = none)
+//	off 80  doubleIndir  uint64   pointer block of pointer blocks
+//	off 88  direct       [(payload-88)/8]uint64
+//
+// Pointer blocks are sealed under the HeaderKey and hold payload/8
+// block addresses each. Address 0 (the superblock) doubles as the nil
+// pointer; it is never a legal data location. Indirect blocks may be
+// over-provisioned relative to blockCount (Save never releases them;
+// see File.Save), which is why outerCount is stored explicitly.
+const (
+	headerMagic     = "SGFSHDR1"
+	headerFixedSize = 88
+	flagDummy       = 1 << 0
+)
+
+// header is the decoded form of a file header.
+type header struct {
+	flags      uint32
+	outerCount uint32
+	fileSize   uint64
+	blockCount uint64
+	pathHash   [32]byte
+	single     uint64
+	double     uint64
+	direct     []uint64
+}
+
+// directSlots returns the number of direct pointers a header holds on
+// this volume.
+func (v *Volume) directSlots() int { return (v.payload - headerFixedSize) / 8 }
+
+// ptrsPerBlock returns the number of addresses per pointer block; the
+// first 8 payload bytes hold a keyed checksum so a corrupted or
+// mis-keyed chain fails closed instead of yielding garbage locations.
+func (v *Volume) ptrsPerBlock() int { return (v.payload - 8) / 8 }
+
+// MaxFileBlocks returns the largest block map representable on this
+// volume: direct + single-indirect + double-indirect.
+func (v *Volume) MaxFileBlocks() uint64 {
+	d := uint64(v.directSlots())
+	p := uint64(v.ptrsPerBlock())
+	return d + p + p*p
+}
+
+// encodeHeader serializes h into a payload-sized buffer, computing the
+// keyed checksum that detects decryption under a wrong key.
+func (v *Volume) encodeHeader(h *header, key sealer.Key) []byte {
+	buf := make([]byte, v.payload)
+	copy(buf, headerMagic)
+	binary.BigEndian.PutUint32(buf[16:], h.flags)
+	binary.BigEndian.PutUint32(buf[20:], h.outerCount)
+	binary.BigEndian.PutUint64(buf[24:], h.fileSize)
+	binary.BigEndian.PutUint64(buf[32:], h.blockCount)
+	copy(buf[40:], h.pathHash[:])
+	binary.BigEndian.PutUint64(buf[72:], h.single)
+	binary.BigEndian.PutUint64(buf[80:], h.double)
+	for i, p := range h.direct {
+		binary.BigEndian.PutUint64(buf[headerFixedSize+8*i:], p)
+	}
+	sum := sealer.Checksum(key, "stegfs-header", buf[16:])
+	binary.BigEndian.PutUint64(buf[8:], sum)
+	return buf
+}
+
+// decodeHeader parses a decrypted payload. It returns ErrNotFound when
+// the payload is not a header under this key (the common case while
+// probing candidates) and only returns other errors for structural
+// impossibilities.
+func (v *Volume) decodeHeader(payload []byte, key sealer.Key, wantPath [32]byte) (*header, error) {
+	if len(payload) != v.payload {
+		return nil, fmt.Errorf("%w: header payload %d bytes", ErrCorrupt, len(payload))
+	}
+	if string(payload[:8]) != headerMagic {
+		return nil, ErrNotFound
+	}
+	sum := binary.BigEndian.Uint64(payload[8:])
+	if sum != sealer.Checksum(key, "stegfs-header", payload[16:]) {
+		return nil, ErrNotFound
+	}
+	h := &header{
+		flags:      binary.BigEndian.Uint32(payload[16:]),
+		outerCount: binary.BigEndian.Uint32(payload[20:]),
+		fileSize:   binary.BigEndian.Uint64(payload[24:]),
+		blockCount: binary.BigEndian.Uint64(payload[32:]),
+		single:     binary.BigEndian.Uint64(payload[72:]),
+		double:     binary.BigEndian.Uint64(payload[80:]),
+		direct:     make([]uint64, v.directSlots()),
+	}
+	copy(h.pathHash[:], payload[40:72])
+	if h.pathHash != wantPath {
+		return nil, ErrNotFound
+	}
+	for i := range h.direct {
+		h.direct[i] = binary.BigEndian.Uint64(payload[headerFixedSize+8*i:])
+	}
+	if h.blockCount > v.MaxFileBlocks() {
+		return nil, fmt.Errorf("%w: block count %d exceeds map capacity", ErrCorrupt, h.blockCount)
+	}
+	if int(h.outerCount) > v.ptrsPerBlock() {
+		return nil, fmt.Errorf("%w: outer count %d exceeds pointer block capacity", ErrCorrupt, h.outerCount)
+	}
+	return h, nil
+}
+
+// encodePtrBlock serializes up to ptrsPerBlock addresses behind a
+// keyed checksum.
+func (v *Volume) encodePtrBlock(ptrs []uint64, key sealer.Key) []byte {
+	buf := make([]byte, v.payload)
+	for i, p := range ptrs {
+		binary.BigEndian.PutUint64(buf[8+8*i:], p)
+	}
+	sum := sealer.Checksum(key, "stegfs-ptr", buf[8:])
+	binary.BigEndian.PutUint64(buf, sum)
+	return buf
+}
+
+// decodePtrBlock verifies and parses n addresses from a pointer block
+// payload.
+func (v *Volume) decodePtrBlock(payload []byte, n int, key sealer.Key) ([]uint64, error) {
+	if n > v.ptrsPerBlock() {
+		return nil, fmt.Errorf("%w: %d pointers requested from a %d-pointer block", ErrCorrupt, n, v.ptrsPerBlock())
+	}
+	if binary.BigEndian.Uint64(payload) != sealer.Checksum(key, "stegfs-ptr", payload[8:]) {
+		return nil, fmt.Errorf("%w: pointer block checksum mismatch", ErrCorrupt)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64(payload[8+8*i:])
+	}
+	return out, nil
+}

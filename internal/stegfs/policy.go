@@ -1,0 +1,35 @@
+package stegfs
+
+import "steghide/internal/sealer"
+
+// UpdatePolicy decides where an updated block lands and what extra
+// I/O accompanies the update. It is the seam between the base file
+// system and the access-hiding constructions:
+//
+//   - the original StegFS (and the conventional baselines) update in
+//     place — see InPlacePolicy;
+//   - the update-hiding constructions (§4, Figure 6) relocate the
+//     block to a uniformly random position and emit camouflage I/O —
+//     see internal/steghide.
+type UpdatePolicy interface {
+	// Update writes payload as the new sealed content of the block
+	// currently at loc, returning the block's (possibly new) location.
+	// Implementations that relocate must transfer allocation ownership
+	// of the old and new locations themselves.
+	Update(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error)
+}
+
+// InPlacePolicy is the conventional read-modify-write: blocks never
+// move. This is the update behaviour of the original StegFS baseline,
+// which hides existence but not access patterns.
+type InPlacePolicy struct {
+	Vol *Volume
+}
+
+// Update implements UpdatePolicy.
+func (p InPlacePolicy) Update(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
+	if err := p.Vol.WriteSealed(loc, seal, payload); err != nil {
+		return 0, err
+	}
+	return loc, nil
+}

@@ -1,0 +1,287 @@
+// Package stegfs implements the steganographic file system of
+// Pang/Tan/Zhou (ICDE 2003) that the paper builds on, extended with
+// the hooks the access-hiding constructions of the 2004 paper need.
+//
+// On-disk model (§4.1.1 of the paper):
+//
+//   - The volume is partitioned into fixed-size blocks. Block 0 is a
+//     plaintext superblock (geometry + key-derivation salt); attackers
+//     are assumed to understand the scheme completely (§3.2.2), so the
+//     superblock reveals nothing they do not already know.
+//   - Every other block — data or dummy — is `IV ‖ CBC-AES(data
+//     field)`. At format time each block is filled with random bytes,
+//     so unused (dummy) blocks are indistinguishable from ciphertext.
+//   - A hidden file is a tree of blocks rooted at a header block whose
+//     location is derived from the file's access key (FAK) and path
+//     name. Without the FAK neither the header nor the existence of
+//     the file can be established.
+//   - Dummy files (headers that describe runs of random blocks) give
+//     the volatile agent something to update when no real work exists,
+//     and give coerced users something safe to disclose.
+//
+// The package deliberately does not decide *where* updated blocks go:
+// that is the UpdatePolicy, supplied by the update-hiding layer
+// (internal/steghide) or by the in-place baseline.
+package stegfs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/prng"
+	"steghide/internal/sealer"
+)
+
+// Superblock constants.
+const (
+	superMagic   = "STEGVOL1"
+	superBlock   = 0 // block index of the superblock
+	saltSize     = 32
+	currentVer   = 1
+	defaultIters = 4096
+)
+
+// Sentinel errors returned by the package.
+var (
+	// ErrNotFound reports that no file with the given FAK/path exists —
+	// deliberately indistinguishable from "wrong key" (plausible
+	// deniability).
+	ErrNotFound = errors.New("stegfs: no such file (or wrong access key)")
+	// ErrVolumeFull reports that no free block could be acquired.
+	ErrVolumeFull = errors.New("stegfs: volume full")
+	// ErrCorrupt reports a structurally invalid volume or block.
+	ErrCorrupt = errors.New("stegfs: corrupt volume")
+	// ErrTooLarge reports a file size beyond the block map's reach.
+	ErrTooLarge = errors.New("stegfs: file too large for block map")
+)
+
+// FormatOptions control volume creation.
+type FormatOptions struct {
+	// KDFIterations for passphrase stretching; defaults to 4096.
+	KDFIterations int
+	// FillSeed seeds the random fill of the volume. A zero value uses
+	// an arbitrary fixed seed; callers wanting irreproducible volumes
+	// should pass entropy.
+	FillSeed []byte
+}
+
+// Volume is an open steganographic volume. Its block-level primitives
+// (ReadSealed, WriteSealed, Reseal) are safe for concurrent use; the
+// File layer serializes itself per file.
+type Volume struct {
+	dev       blockdev.Device
+	blockSize int
+	payload   int
+	nBlocks   uint64
+	salt      [saltSize]byte
+	kdfIters  int
+
+	mu  sync.Mutex
+	rng *prng.PRNG // IV / fill generator
+}
+
+// MinBlockSize is the smallest supported block size: the header's
+// fixed fields plus at least one direct pointer must fit the payload.
+const MinBlockSize = 128
+
+// Format initializes a steganographic volume on dev: it writes the
+// superblock and fills every other block with random bytes, the
+// "abandoned blocks" of the construction. Existing content is
+// destroyed.
+func Format(dev blockdev.Device, opts FormatOptions) (*Volume, error) {
+	bs := dev.BlockSize()
+	if bs < MinBlockSize {
+		return nil, fmt.Errorf("stegfs: block size %d < minimum %d", bs, MinBlockSize)
+	}
+	if (bs-sealer.IVSize)%16 != 0 {
+		return nil, fmt.Errorf("stegfs: block size %d leaves unaligned data field", bs)
+	}
+	if dev.NumBlocks() < 8 {
+		return nil, fmt.Errorf("stegfs: volume of %d blocks too small", dev.NumBlocks())
+	}
+	iters := opts.KDFIterations
+	if iters <= 0 {
+		iters = defaultIters
+	}
+	seed := opts.FillSeed
+	if len(seed) == 0 {
+		seed = []byte("stegfs-default-fill-seed")
+	}
+	rng := prng.New(seed)
+
+	v := &Volume{
+		dev:       dev,
+		blockSize: bs,
+		payload:   bs - sealer.IVSize,
+		nBlocks:   dev.NumBlocks(),
+		kdfIters:  iters,
+		rng:       rng.Child("volume-iv"),
+	}
+	rng.Read(v.salt[:])
+
+	// Random-fill the steg space. Fresh random bytes are
+	// indistinguishable from CBC ciphertext, so after this pass every
+	// block plausibly holds hidden data.
+	fill := rng.Child("fill")
+	buf := make([]byte, bs)
+	for i := uint64(1); i < v.nBlocks; i++ {
+		fill.Read(buf)
+		if err := dev.WriteBlock(i, buf); err != nil {
+			return nil, fmt.Errorf("stegfs: format fill: %w", err)
+		}
+	}
+	if err := v.writeSuper(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Open reads the superblock of an existing volume on dev.
+func Open(dev blockdev.Device) (*Volume, error) {
+	bs := dev.BlockSize()
+	buf := make([]byte, bs)
+	if err := dev.ReadBlock(superBlock, buf); err != nil {
+		return nil, fmt.Errorf("stegfs: read superblock: %w", err)
+	}
+	if string(buf[:8]) != superMagic {
+		return nil, fmt.Errorf("%w: bad superblock magic", ErrCorrupt)
+	}
+	ver := binary.BigEndian.Uint32(buf[8:])
+	if ver != currentVer {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	}
+	gotBS := int(binary.BigEndian.Uint32(buf[12:]))
+	n := binary.BigEndian.Uint64(buf[16:])
+	iters := int(binary.BigEndian.Uint32(buf[24:]))
+	if gotBS != bs {
+		return nil, fmt.Errorf("%w: superblock block size %d != device %d", ErrCorrupt, gotBS, bs)
+	}
+	if n != dev.NumBlocks() {
+		return nil, fmt.Errorf("%w: superblock claims %d blocks, device has %d", ErrCorrupt, n, dev.NumBlocks())
+	}
+	v := &Volume{
+		dev:       dev,
+		blockSize: bs,
+		payload:   bs - sealer.IVSize,
+		nBlocks:   n,
+		kdfIters:  iters,
+	}
+	copy(v.salt[:], buf[28:28+saltSize])
+	sum := sha256.Sum256(buf[:28+saltSize])
+	if !bytes.Equal(buf[28+saltSize:28+saltSize+8], sum[:8]) {
+		return nil, fmt.Errorf("%w: superblock checksum mismatch", ErrCorrupt)
+	}
+	// Per-volume IV stream; seeded from the salt so it differs between
+	// volumes, forked from clock-free material so reopening does not
+	// repeat IVs only if callers supply entropy — acceptable for a
+	// simulation-grade volume and deterministic for experiments.
+	v.rng = prng.New(v.salt[:]).Child("volume-iv-reopen")
+	return v, nil
+}
+
+func (v *Volume) writeSuper() error {
+	buf := make([]byte, v.blockSize)
+	copy(buf, superMagic)
+	binary.BigEndian.PutUint32(buf[8:], currentVer)
+	binary.BigEndian.PutUint32(buf[12:], uint32(v.blockSize))
+	binary.BigEndian.PutUint64(buf[16:], v.nBlocks)
+	binary.BigEndian.PutUint32(buf[24:], uint32(v.kdfIters))
+	copy(buf[28:], v.salt[:])
+	sum := sha256.Sum256(buf[:28+saltSize])
+	copy(buf[28+saltSize:], sum[:8])
+	if err := v.dev.WriteBlock(superBlock, buf); err != nil {
+		return fmt.Errorf("stegfs: write superblock: %w", err)
+	}
+	return nil
+}
+
+// Device returns the underlying block device.
+func (v *Volume) Device() blockdev.Device { return v.dev }
+
+// BlockSize returns the on-disk block size.
+func (v *Volume) BlockSize() int { return v.blockSize }
+
+// PayloadSize returns the per-block usable data-field size.
+func (v *Volume) PayloadSize() int { return v.payload }
+
+// NumBlocks returns the number of blocks including the superblock.
+func (v *Volume) NumBlocks() uint64 { return v.nBlocks }
+
+// FirstDataBlock returns the first block of the steg space.
+func (v *Volume) FirstDataBlock() uint64 { return superBlock + 1 }
+
+// Salt returns the volume's key-derivation salt.
+func (v *Volume) Salt() []byte { return append([]byte(nil), v.salt[:]...) }
+
+// KDFIterations returns the passphrase-stretching iteration count.
+func (v *Volume) KDFIterations() int { return v.kdfIters }
+
+// NewSealer builds a block sealer for this volume's geometry.
+func (v *Volume) NewSealer(key sealer.Key) (*sealer.Sealer, error) {
+	return sealer.New(key, v.blockSize)
+}
+
+// nextIV draws a fresh IV from the volume's generator.
+func (v *Volume) nextIV(dst []byte) {
+	v.mu.Lock()
+	v.rng.Read(dst[:sealer.IVSize])
+	v.mu.Unlock()
+}
+
+// ReadSealed reads block loc and decrypts it with seal, returning the
+// payload in a fresh buffer.
+func (v *Volume) ReadSealed(loc uint64, seal *sealer.Sealer) ([]byte, error) {
+	raw := make([]byte, v.blockSize)
+	if err := v.dev.ReadBlock(loc, raw); err != nil {
+		return nil, err
+	}
+	out := make([]byte, v.payload)
+	if err := seal.Open(out, raw); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteSealed encrypts payload under seal with a fresh IV and writes
+// it to block loc.
+func (v *Volume) WriteSealed(loc uint64, seal *sealer.Sealer, payload []byte) error {
+	raw := make([]byte, v.blockSize)
+	var iv [sealer.IVSize]byte
+	v.nextIV(iv[:])
+	if err := seal.Seal(raw, iv[:], payload); err != nil {
+		return err
+	}
+	return v.dev.WriteBlock(loc, raw)
+}
+
+// Reseal performs a dummy update on block loc (§4.1.3): decrypt,
+// fresh IV, re-encrypt, write back. Every byte of the stored block
+// changes while the plaintext is preserved.
+func (v *Volume) Reseal(loc uint64, seal *sealer.Sealer) error {
+	raw := make([]byte, v.blockSize)
+	if err := v.dev.ReadBlock(loc, raw); err != nil {
+		return err
+	}
+	var iv [sealer.IVSize]byte
+	v.nextIV(iv[:])
+	if err := seal.Reseal(raw, iv[:], nil); err != nil {
+		return err
+	}
+	return v.dev.WriteBlock(loc, raw)
+}
+
+// RewriteRandom overwrites block loc with fresh random bytes — the
+// dummy update available when no key for the block is held (used on
+// dummy-file blocks, whose plaintext is meaningless by construction).
+func (v *Volume) RewriteRandom(loc uint64) error {
+	buf := make([]byte, v.blockSize)
+	v.mu.Lock()
+	v.rng.Read(buf)
+	v.mu.Unlock()
+	return v.dev.WriteBlock(loc, buf)
+}

@@ -1,0 +1,105 @@
+package steghide
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// DummySource is anything that can emit one dummy update — both agent
+// constructions implement it.
+type DummySource interface {
+	DummyUpdate() error
+}
+
+// Daemon issues dummy updates on a fixed period, §4.1.3's "whenever
+// there is no user activity, the agent would issue dummy updates on
+// randomly selected blocks". Real updates are indistinguishable from
+// the daemon's traffic, so the period is a bandwidth/latency knob,
+// not a security one — the stream must simply never be silent while
+// the system is up.
+type Daemon struct {
+	src    DummySource
+	period time.Duration
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	issued  uint64
+	errs    uint64
+	lastErr error
+}
+
+// NewDaemon prepares (but does not start) a dummy-traffic daemon.
+func NewDaemon(src DummySource, period time.Duration) *Daemon {
+	if period <= 0 {
+		period = 250 * time.Millisecond
+	}
+	return &Daemon{src: src, period: period}
+}
+
+// Start launches the background loop. Starting a running daemon is a
+// no-op.
+func (d *Daemon) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stop != nil {
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go d.loop(d.stop, d.done)
+}
+
+func (d *Daemon) loop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(d.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			err := d.src.DummyUpdate()
+			d.mu.Lock()
+			switch {
+			case err == nil:
+				d.issued++
+			case errors.Is(err, ErrNoDummySpace):
+				// Nothing disclosed yet — normal at boot; keep ticking.
+			default:
+				d.errs++
+				d.lastErr = err
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// Stop halts the loop and waits for it to exit. Stopping a stopped
+// daemon is a no-op.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	stop, done := d.stop, d.done
+	d.stop, d.done = nil, nil
+	d.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Issued returns how many dummy updates the daemon has emitted.
+func (d *Daemon) Issued() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.issued
+}
+
+// Errors returns the failure count and the most recent error.
+func (d *Daemon) Errors() (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.errs, d.lastErr
+}

@@ -1,0 +1,109 @@
+package steghide
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countingSource counts calls and can be switched to failing.
+type countingSource struct {
+	mu    sync.Mutex
+	calls int
+	err   error
+}
+
+func (c *countingSource) DummyUpdate() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	return c.err
+}
+
+func (c *countingSource) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+func TestDaemonEmitsAndStops(t *testing.T) {
+	src := &countingSource{}
+	d := NewDaemon(src, time.Millisecond)
+	d.Start()
+	d.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Issued() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d.Issued() < 5 {
+		t.Fatalf("daemon issued only %d updates", d.Issued())
+	}
+	d.Stop()
+	d.Stop() // idempotent
+	after := src.count()
+	time.Sleep(20 * time.Millisecond)
+	if src.count() != after {
+		t.Fatal("daemon kept running after Stop")
+	}
+}
+
+func TestDaemonTolleratesNoDummySpace(t *testing.T) {
+	src := &countingSource{err: ErrNoDummySpace}
+	d := NewDaemon(src, time.Millisecond)
+	d.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for src.count() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	d.Stop()
+	if n, _ := d.Errors(); n != 0 {
+		t.Fatalf("boot-state ErrNoDummySpace counted as %d errors", n)
+	}
+	if d.Issued() != 0 {
+		t.Fatal("failed updates counted as issued")
+	}
+}
+
+func TestDaemonRecordsRealErrors(t *testing.T) {
+	boom := errors.New("disk on fire")
+	src := &countingSource{err: boom}
+	d := NewDaemon(src, time.Millisecond)
+	d.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n, _ := d.Errors(); n >= 3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.Stop()
+	n, last := d.Errors()
+	if n == 0 || !errors.Is(last, boom) {
+		t.Fatalf("errors not recorded: n=%d last=%v", n, last)
+	}
+}
+
+func TestDaemonAgainstRealAgent(t *testing.T) {
+	a, _ := newC2(t, 1024)
+	s, err := a.LoginWithPassphrase("u", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDummy("/d", 64); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDaemon(a, time.Millisecond)
+	d.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Issued() < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	d.Stop()
+	if d.Issued() < 10 {
+		t.Fatalf("daemon issued only %d updates against the real agent", d.Issued())
+	}
+	if got := a.Stats().DummyUpdates; got < 10 {
+		t.Fatalf("agent recorded %d dummy updates", got)
+	}
+}

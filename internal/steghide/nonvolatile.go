@@ -1,0 +1,264 @@
+package steghide
+
+import (
+	"fmt"
+	"sync"
+
+	"steghide/internal/prng"
+	"steghide/internal/sealer"
+	"steghide/internal/stegfs"
+)
+
+// NonVolatileAgent is Construction 1 (§4.1, "StegHide*"). It holds in
+// persistent memory a single key that encrypts every block of the
+// volume and a bitmap marking data blocks against dummy blocks (the
+// FAK of the implicit dummy file that owns all free blocks). Users
+// contribute only the locator secret that derives their headers'
+// positions; all sealing uses the agent's key, so the agent can issue
+// dummy updates on any block of the volume.
+type NonVolatileAgent struct {
+	mu     sync.Mutex
+	vol    *stegfs.Volume
+	source *stegfs.BitmapSource
+	seal   *sealer.Sealer
+	key    sealer.Key
+	rng    *prng.PRNG
+	stats  statsBox
+	files  map[string]*stegfs.File
+}
+
+// NewNonVolatile creates the agent for a freshly formatted volume.
+// secret is the agent's persistent key material; rng drives all its
+// random choices.
+func NewNonVolatile(vol *stegfs.Volume, secret []byte, rng *prng.PRNG) (*NonVolatileAgent, error) {
+	key := sealer.DeriveKey(secret, "steghide-c1-block-key")
+	seal, err := vol.NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	return &NonVolatileAgent{
+		vol:    vol,
+		source: stegfs.NewBitmapSource(vol.FirstDataBlock(), vol.NumBlocks(), rng.Child("alloc")),
+		seal:   seal,
+		key:    key,
+		rng:    rng.Child("figure6"),
+		files:  map[string]*stegfs.File{},
+	}, nil
+}
+
+// Vol returns the underlying volume.
+func (a *NonVolatileAgent) Vol() *stegfs.Volume { return a.vol }
+
+// Source exposes the agent's persistent data/dummy bitmap.
+func (a *NonVolatileAgent) Source() *stegfs.BitmapSource { return a.source }
+
+// Stats returns a snapshot of the agent's counters.
+func (a *NonVolatileAgent) Stats() UpdateStats { return a.stats.snapshot() }
+
+// ResetStats zeroes the counters.
+func (a *NonVolatileAgent) ResetStats() { a.stats.reset() }
+
+// fileFAK builds the FAK for Construction 1: the locator comes from
+// the user's secret (so only the user can find the header), while the
+// header and content keys are the agent's global block key (§4.1.2:
+// one secret key encrypts all storage blocks).
+func (a *NonVolatileAgent) fileFAK(locatorSecret, path string) stegfs.FAK {
+	master := sealer.KeyFromPassphrase(locatorSecret, a.vol.Salt(), a.vol.KDFIterations())
+	fak := stegfs.DeriveFAKFromMaster(master, path)
+	fak.HeaderKey = a.key
+	fak.ContentKey = a.key
+	return fak
+}
+
+// Create creates a hidden file for the user identified by
+// locatorSecret. The agent retains the open handle until Close.
+func (a *NonVolatileAgent) Create(locatorSecret, path string) (*stegfs.File, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, open := a.files[path]; open {
+		return nil, fmt.Errorf("steghide: %q already open", path)
+	}
+	f, err := stegfs.CreateFile(a.vol, a.fileFAK(locatorSecret, path), path, a.source)
+	if err != nil {
+		return nil, err
+	}
+	a.files[path] = f
+	return f, nil
+}
+
+// Open opens an existing hidden file.
+func (a *NonVolatileAgent) Open(locatorSecret, path string) (*stegfs.File, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if f, open := a.files[path]; open {
+		return f, nil
+	}
+	f, err := stegfs.OpenFile(a.vol, a.fileFAK(locatorSecret, path), path, a.source)
+	if err != nil {
+		return nil, err
+	}
+	a.files[path] = f
+	return f, nil
+}
+
+// Close saves and forgets an open file.
+func (a *NonVolatileAgent) Close(path string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, open := a.files[path]
+	if !open {
+		return fmt.Errorf("steghide: %q not open", path)
+	}
+	delete(a.files, path)
+	return f.Close()
+}
+
+// Write writes data at offset off of an open file through the
+// Figure 6 update policy. The block map stays cached; per §4.1.5 the
+// header is flushed only when the file is saved (Sync or Close), so
+// header writes do not add a fixed hot block to every update.
+func (a *NonVolatileAgent) Write(path string, data []byte, off uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, open := a.files[path]
+	if !open {
+		return fmt.Errorf("steghide: %q not open", path)
+	}
+	_, err := f.WriteAt(data, off, policyFunc(a.update))
+	return err
+}
+
+// Sync flushes an open file's cached block map to the volume.
+func (a *NonVolatileAgent) Sync(path string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, open := a.files[path]
+	if !open {
+		return fmt.Errorf("steghide: %q not open", path)
+	}
+	return f.Save()
+}
+
+// Read reads len(p) bytes at offset off of an open file.
+func (a *NonVolatileAgent) Read(path string, p []byte, off uint64) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, open := a.files[path]
+	if !open {
+		return 0, fmt.Errorf("steghide: %q not open", path)
+	}
+	return f.ReadAt(p, off)
+}
+
+// Policy exposes the Figure-6 update policy, for callers that manage
+// stegfs.File handles themselves (experiments, baselines harness).
+func (a *NonVolatileAgent) Policy() stegfs.UpdatePolicy { return policyFunc(a.update) }
+
+// policyFunc adapts a function to stegfs.UpdatePolicy.
+type policyFunc func(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error)
+
+// Update implements stegfs.UpdatePolicy.
+func (p policyFunc) Update(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
+	return p(loc, seal, payload)
+}
+
+// update is the Figure 6 data-update algorithm for Construction 1.
+// Every draw is uniform over the whole steg space; each iteration
+// costs one read and one write, matching the paper's E = N/D
+// analysis.
+func (a *NonVolatileAgent) update(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
+	if a.source.FreeCount() == 0 {
+		return 0, fmt.Errorf("%w: volume at 100%% utilization", ErrNoDummySpace)
+	}
+	first, n := a.source.SpaceBounds()
+	span := n - first
+	scratch := make([]byte, a.vol.BlockSize())
+
+	a.stats.mu.Lock()
+	a.stats.s.DataUpdates++
+	a.stats.mu.Unlock()
+
+	for {
+		a.stats.mu.Lock()
+		a.stats.s.Iterations++
+		a.stats.mu.Unlock()
+
+		b2 := first + a.rng.Uint64n(span)
+		switch {
+		case b2 == loc:
+			// Update in place: read in B1, re-encrypt with new IV.
+			if err := a.vol.Device().ReadBlock(loc, scratch); err != nil {
+				return 0, err
+			}
+			if err := a.vol.WriteSealed(loc, seal, payload); err != nil {
+				return 0, err
+			}
+			a.stats.mu.Lock()
+			a.stats.s.InPlace++
+			a.stats.mu.Unlock()
+			return loc, nil
+
+		case a.source.IsFree(b2):
+			// B2 is a dummy block: the data moves there and the old
+			// location joins the dummy set.
+			if err := a.vol.Device().ReadBlock(loc, scratch); err != nil {
+				return 0, err
+			}
+			if !a.source.Acquire(b2) {
+				continue // raced with another update; redraw
+			}
+			if err := a.vol.WriteSealed(b2, seal, payload); err != nil {
+				a.source.Release(b2)
+				return 0, err
+			}
+			a.source.Release(loc)
+			a.stats.mu.Lock()
+			a.stats.s.Relocations++
+			a.stats.mu.Unlock()
+			return b2, nil
+
+		default:
+			// B2 holds data: camouflage dummy update, then redraw.
+			if err := a.vol.Reseal(b2, a.seal); err != nil {
+				return 0, err
+			}
+			a.stats.mu.Lock()
+			a.stats.s.Camouflage++
+			a.stats.mu.Unlock()
+		}
+	}
+}
+
+// DummyUpdate issues one idle-time dummy update on a uniformly random
+// block of the steg space (Figure 6, else-branch).
+func (a *NonVolatileAgent) DummyUpdate() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	first, n := a.source.SpaceBounds()
+	b3 := first + a.rng.Uint64n(n-first)
+	if err := a.vol.Reseal(b3, a.seal); err != nil {
+		return err
+	}
+	a.stats.mu.Lock()
+	a.stats.s.DummyUpdates++
+	a.stats.mu.Unlock()
+	return nil
+}
+
+// State serializes the agent's persistent memory — the data/dummy
+// bitmap — for storage outside the raw volume (the "non-volatile
+// memory" of the construction). The caller is responsible for
+// protecting it; pairing it with the agent secret is what coercion of
+// the administrator would expose.
+func (a *NonVolatileAgent) State() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.source.MarshalBinary()
+}
+
+// LoadState restores persistent memory saved by State.
+func (a *NonVolatileAgent) LoadState(data []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.source.UnmarshalBinary(data)
+}

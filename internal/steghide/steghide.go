@@ -1,0 +1,103 @@
+// Package steghide implements the paper's primary contribution: the
+// update-analysis countermeasure of §4, in both constructions.
+//
+// The threat: an attacker who can snapshot the raw storage repeatedly
+// sees which blocks changed between snapshots. Even with StegFS
+// hiding the directory structure, a stable set of changing blocks
+// betrays the existence (and extent) of hidden files.
+//
+// The defence (Figure 6):
+//
+//   - When idle, the agent issues dummy updates on randomly selected
+//     blocks: read, decrypt, fresh IV, re-encrypt, write. Without the
+//     key, a dummy update is indistinguishable from a data update.
+//   - When a data block is updated, it is relocated to a uniformly
+//     random block: the agent repeatedly draws a random block B2;
+//     if B2 is the block itself it updates in place; if B2 is a dummy
+//     block the data moves there (the old location becomes a dummy);
+//     otherwise B2 gets a camouflage dummy update and the draw
+//     repeats.
+//
+// Under this algorithm every observable update touches a uniformly
+// random block, whether or not real work is happening — the scheme is
+// perfectly secure in the sense of Definition 1 (§3.2.4). The expected
+// I/O overhead is N/D, where D of N blocks are dummies (§4.1.5).
+//
+// Two constructions differ in where secrets live:
+//
+//   - NonVolatileAgent (Construction 1, "StegHide*"): the agent keeps
+//     one global block-encryption key and the dummy file's identity in
+//     persistent memory, so it can reseal any block and knows the
+//     data/dummy partition at all times.
+//   - VolatileAgent (Construction 2, "StegHide"): the agent boots with
+//     zero knowledge. Users disclose per-file FAKs (and dummy-file
+//     FAKs) at login; the agent operates strictly on disclosed blocks
+//     and forgets everything at logout. A coerced user can disclose
+//     dummy files — or real files with a wrong content key — and
+//     plausibly deny everything else.
+package steghide
+
+import (
+	"errors"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoDummySpace reports that the update algorithm cannot make
+	// progress because no dummy blocks are visible: Construction 1 at
+	// 100% utilization, or Construction 2 before any dummy file has
+	// been disclosed.
+	ErrNoDummySpace = errors.New("steghide: no dummy blocks available to the agent")
+	// ErrUnknownUser reports an operation for a user with no session.
+	ErrUnknownUser = errors.New("steghide: user has no active session")
+	// ErrNotDisclosed reports an operation on a file that has not been
+	// disclosed in the current session.
+	ErrNotDisclosed = errors.New("steghide: file not disclosed in this session")
+)
+
+// UpdateStats aggregates the observable work of an agent. The
+// relationship Iterations/DataUpdates ≈ N/D is the paper's expected
+// overhead E (§4.1.5); each iteration costs one read and one write.
+type UpdateStats struct {
+	// DataUpdates is the number of Figure-6 data updates performed.
+	DataUpdates uint64
+	// Iterations is the total number of block draws across updates.
+	Iterations uint64
+	// Relocations counts updates whose block moved to a dummy slot.
+	Relocations uint64
+	// InPlace counts updates where the draw hit the block itself.
+	InPlace uint64
+	// Camouflage counts dummy updates issued on other data blocks
+	// while searching for a target.
+	Camouflage uint64
+	// DummyUpdates counts idle-time dummy updates.
+	DummyUpdates uint64
+}
+
+// ExpectedOverhead returns measured Iterations per data update — the
+// empirical counterpart of E = N/D. Returns 0 before any update.
+func (s UpdateStats) ExpectedOverhead() float64 {
+	if s.DataUpdates == 0 {
+		return 0
+	}
+	return float64(s.Iterations) / float64(s.DataUpdates)
+}
+
+// statsBox guards shared stats for an agent.
+type statsBox struct {
+	mu sync.Mutex
+	s  UpdateStats
+}
+
+func (b *statsBox) snapshot() UpdateStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.s
+}
+
+func (b *statsBox) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.s = UpdateStats{}
+}

@@ -1,0 +1,617 @@
+package steghide
+
+import (
+	"fmt"
+	"sync"
+
+	"steghide/internal/prng"
+	"steghide/internal/sealer"
+	"steghide/internal/stegfs"
+)
+
+// VolatileAgent is Construction 2 (§4.2, "StegHide" — the construction
+// the paper implemented as a real file system). The agent keeps no
+// persistent secrets: it boots knowing nothing, learns files as users
+// disclose FAKs at login, and forgets everything at logout. Every
+// block it knows belongs to some disclosed file — real files (whose
+// data, header and pointer blocks it can reseal with the disclosed
+// keys) or dummy files (whose blocks are meaningless random bytes it
+// may overwrite freely and, crucially, relocate data into).
+//
+// All operations are serialized by one agent-wide mutex: the agent of
+// the system model is a single trusted process in front of the
+// storage, and the Figure 6 algorithm's bookkeeping (ownership swaps
+// between files) must be atomic with respect to dummy traffic.
+type VolatileAgent struct {
+	mu  sync.Mutex
+	vol *stegfs.Volume
+	rng *prng.PRNG
+
+	// known maps every disclosed block to its owner. list/pos give
+	// O(1) uniform sampling and membership maintenance.
+	known map[uint64]*ownerInfo
+	list  []uint64
+	pos   map[uint64]int
+
+	dummyData uint64 // count of relocatable dummy-data blocks
+
+	sessions map[string]*Session
+	stats    statsBox
+}
+
+// ownerInfo records what the agent may do with a disclosed block.
+type ownerInfo struct {
+	file *stegfs.File
+	user string
+	// seal re-encrypts the block for camouflage updates: the content
+	// sealer for data blocks, the header sealer for header/pointer
+	// blocks, nil for dummy-data blocks (freshly drawn random bytes
+	// are the reseal of meaningless content).
+	seal *sealer.Sealer
+	// dummy marks a relocatable dummy-data block.
+	dummy bool
+	// pending marks a block acquired mid-operation whose final role
+	// is not yet classified; it is skipped as a camouflage target.
+	pending bool
+}
+
+// NewVolatile creates an empty volatile agent over a volume.
+func NewVolatile(vol *stegfs.Volume, rng *prng.PRNG) *VolatileAgent {
+	return &VolatileAgent{
+		vol:      vol,
+		rng:      rng.Child("figure6-volatile"),
+		known:    map[uint64]*ownerInfo{},
+		pos:      map[uint64]int{},
+		sessions: map[string]*Session{},
+	}
+}
+
+// Vol returns the underlying volume.
+func (a *VolatileAgent) Vol() *stegfs.Volume { return a.vol }
+
+// Stats returns a snapshot of the agent's counters.
+func (a *VolatileAgent) Stats() UpdateStats { return a.stats.snapshot() }
+
+// ResetStats zeroes the counters.
+func (a *VolatileAgent) ResetStats() { a.stats.reset() }
+
+// KnownBlocks returns how many blocks the agent currently knows.
+func (a *VolatileAgent) KnownBlocks() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.list)
+}
+
+// DummyBlocks returns how many relocatable dummy blocks are visible.
+func (a *VolatileAgent) DummyBlocks() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dummyData
+}
+
+// --- block registry -------------------------------------------------
+
+func (a *VolatileAgent) register(loc uint64, info *ownerInfo) {
+	if old, ok := a.known[loc]; ok {
+		if old.dummy {
+			a.dummyData--
+		}
+		a.known[loc] = info
+	} else {
+		a.known[loc] = info
+		a.pos[loc] = len(a.list)
+		a.list = append(a.list, loc)
+	}
+	if info.dummy {
+		a.dummyData++
+	}
+}
+
+func (a *VolatileAgent) unregister(loc uint64) {
+	info, ok := a.known[loc]
+	if !ok {
+		return
+	}
+	if info.dummy {
+		a.dummyData--
+	}
+	delete(a.known, loc)
+	i := a.pos[loc]
+	last := len(a.list) - 1
+	if i != last {
+		moved := a.list[last]
+		a.list[i] = moved
+		a.pos[moved] = i
+	}
+	a.list = a.list[:last]
+	delete(a.pos, loc)
+}
+
+// registerFile (re)classifies every block of a disclosed file.
+func (a *VolatileAgent) registerFile(user string, f *stegfs.File) {
+	hseal := f.HeaderSealer()
+	cseal := f.ContentSealer()
+	a.register(f.HeaderLoc(), &ownerInfo{file: f, user: user, seal: hseal})
+	for _, loc := range f.BlockLocs() {
+		if f.IsDummy() {
+			a.register(loc, &ownerInfo{file: f, user: user, dummy: true})
+		} else {
+			a.register(loc, &ownerInfo{file: f, user: user, seal: cseal})
+		}
+	}
+	for _, loc := range f.IndirectLocs() {
+		a.register(loc, &ownerInfo{file: f, user: user, seal: hseal})
+	}
+}
+
+// forgetFile removes every registration pointing at f.
+func (a *VolatileAgent) forgetFile(f *stegfs.File) {
+	var gone []uint64
+	for loc, info := range a.known {
+		if info.file == f {
+			gone = append(gone, loc)
+		}
+	}
+	for _, loc := range gone {
+		a.unregister(loc)
+	}
+}
+
+// --- BlockSource for disclosed space ---------------------------------
+
+// volatileSource adapts the agent's disclosed-block registry to
+// stegfs.BlockSource. Allocation draws from disclosed dummy blocks
+// (withdrawing them from their dummy file); release donates blocks to
+// a disclosed dummy file of the same user when one exists.
+type volatileSource struct {
+	a    *VolatileAgent
+	user string
+	// allowUnknown lets AcquireRandom claim abandoned (undisclosed)
+	// blocks; set only on the source used to materialize dummy files.
+	allowUnknown bool
+}
+
+// SpaceBounds implements stegfs.BlockSource: header candidates range
+// over the whole steg space regardless of disclosure.
+func (s *volatileSource) SpaceBounds() (uint64, uint64) {
+	return s.a.vol.FirstDataBlock(), s.a.vol.NumBlocks()
+}
+
+// FreeCount implements stegfs.BlockSource.
+func (s *volatileSource) FreeCount() uint64 { return s.a.dummyData }
+
+// IsFree implements stegfs.BlockSource.
+func (s *volatileSource) IsFree(loc uint64) bool {
+	info, ok := s.a.known[loc]
+	return ok && info.dummy
+}
+
+// Acquire implements stegfs.BlockSource. Dummy blocks are withdrawn
+// from their dummy file; unknown blocks are claimed optimistically —
+// the residual stomping risk for undisclosed files is inherent to
+// StegFS creation (the 2003 paper mitigates it with replication) and
+// documented in DESIGN.md.
+func (s *volatileSource) Acquire(loc uint64) bool {
+	a := s.a
+	if loc < a.vol.FirstDataBlock() || loc >= a.vol.NumBlocks() {
+		return false
+	}
+	info, ok := a.known[loc]
+	if !ok {
+		a.register(loc, &ownerInfo{user: s.user, pending: true})
+		return true
+	}
+	if !info.dummy {
+		return false
+	}
+	if err := info.file.RemoveBlockLoc(loc); err != nil {
+		return false
+	}
+	a.register(loc, &ownerInfo{user: s.user, pending: true})
+	return true
+}
+
+// AcquireRandom implements stegfs.BlockSource: a uniformly random
+// disclosed dummy block. Sources created with allowUnknown (used only
+// while materializing new dummy files) claim unknown — abandoned —
+// blocks instead, so new cover extends the disclosed space rather
+// than cannibalizing other dummy files; ordinary file growth never
+// touches unknown blocks, keeping data within disclosed space
+// (§4.2.2).
+func (s *volatileSource) AcquireRandom() (uint64, error) {
+	a := s.a
+	if s.allowUnknown {
+		first, n := a.vol.FirstDataBlock(), a.vol.NumBlocks()
+		for try := 0; try < 4096; try++ {
+			loc := first + a.rng.Uint64n(n-first)
+			if _, ok := a.known[loc]; ok {
+				continue
+			}
+			a.register(loc, &ownerInfo{user: s.user, pending: true})
+			return loc, nil
+		}
+		// The volume is almost fully disclosed; fall through to the
+		// dummy pool.
+	}
+	if a.dummyData == 0 {
+		return 0, fmt.Errorf("%w: disclose a dummy file first", ErrNoDummySpace)
+	}
+	for {
+		loc := a.list[a.rng.Intn(len(a.list))]
+		info := a.known[loc]
+		if !info.dummy {
+			continue
+		}
+		if err := info.file.RemoveBlockLoc(loc); err != nil {
+			return 0, err
+		}
+		a.register(loc, &ownerInfo{user: s.user, pending: true})
+		return loc, nil
+	}
+}
+
+// Release implements stegfs.BlockSource: the block joins one of the
+// user's disclosed dummy files; with none disclosed it becomes
+// unknown again (forgotten, unreachable until redisclosed).
+func (s *volatileSource) Release(loc uint64) {
+	a := s.a
+	sess := a.sessions[s.user]
+	if sess != nil {
+		for _, df := range sess.dummyFiles {
+			if err := df.AppendBlockLoc(loc); err == nil {
+				a.register(loc, &ownerInfo{file: df, user: s.user, dummy: true})
+				return
+			}
+		}
+	}
+	a.unregister(loc)
+}
+
+// --- sessions ---------------------------------------------------------
+
+// Session is one user's login: the set of FAKs they disclosed and the
+// open file handles. All methods funnel through the agent's mutex.
+type Session struct {
+	agent      *VolatileAgent
+	user       string
+	master     sealer.Key
+	source     *volatileSource
+	files      map[string]*stegfs.File
+	dummyFiles map[string]*stegfs.File
+}
+
+// Login opens a session for user; master is the stretched passphrase
+// key from which the user's per-file FAKs derive.
+func (a *VolatileAgent) Login(user string, master sealer.Key) (*Session, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.sessions[user]; dup {
+		return nil, fmt.Errorf("steghide: user %q already logged in", user)
+	}
+	s := &Session{
+		agent:      a,
+		user:       user,
+		master:     master,
+		source:     &volatileSource{a: a, user: user},
+		files:      map[string]*stegfs.File{},
+		dummyFiles: map[string]*stegfs.File{},
+	}
+	a.sessions[user] = s
+	return s, nil
+}
+
+// LoginWithPassphrase stretches the passphrase against the volume salt
+// and logs in.
+func (a *VolatileAgent) LoginWithPassphrase(user, passphrase string) (*Session, error) {
+	master := sealer.KeyFromPassphrase(passphrase, a.vol.Salt(), a.vol.KDFIterations())
+	return a.Login(user, master)
+}
+
+// Logout flushes all of the user's files and erases the agent's
+// knowledge of them — the volatility that protects the administrator
+// from coercion.
+func (a *VolatileAgent) Logout(user string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.sessions[user]
+	if !ok {
+		return ErrUnknownUser
+	}
+	var firstErr error
+	closeAll := func(m map[string]*stegfs.File) {
+		for _, f := range m {
+			if err := f.Save(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			// Save may have allocated pointer blocks (registered as
+			// pending); classify them before forgetting the file so
+			// nothing leaks in the registry.
+			a.registerFile(s.user, f)
+			a.forgetFile(f)
+		}
+	}
+	closeAll(s.files)
+	closeAll(s.dummyFiles)
+	delete(a.sessions, user)
+	s.master = sealer.Key{} // best-effort erasure
+	return firstErr
+}
+
+// fak derives the FAK for one of the session user's paths.
+func (s *Session) fak(path string) stegfs.FAK {
+	return stegfs.DeriveFAKFromMaster(s.master, path)
+}
+
+// Create creates and disclosed-registers a hidden file.
+func (s *Session) Create(path string) (*stegfs.File, error) {
+	a := s.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := s.files[path]; dup {
+		return nil, fmt.Errorf("steghide: %q already open", path)
+	}
+	f, err := stegfs.CreateFile(a.vol, s.fak(path), path, s.source)
+	if err != nil {
+		return nil, err
+	}
+	s.files[path] = f
+	a.registerFile(s.user, f)
+	return f, nil
+}
+
+// CreateDummy creates a dummy file of nBlocks blocks and discloses it.
+// Its blocks immediately become relocation targets and camouflage
+// material for the whole agent. New dummy files may claim abandoned
+// (undisclosed) blocks — that is how cover is bootstrapped.
+func (s *Session) CreateDummy(path string, nBlocks uint64) (*stegfs.File, error) {
+	a := s.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := s.dummyFiles[path]; dup {
+		return nil, fmt.Errorf("steghide: dummy %q already open", path)
+	}
+	boot := &volatileSource{a: a, user: s.user, allowUnknown: true}
+	f, err := stegfs.CreateDummyFile(a.vol, s.fak(path), path, boot, nBlocks)
+	if err != nil {
+		return nil, err
+	}
+	s.dummyFiles[path] = f
+	a.registerFile(s.user, f)
+	return f, nil
+}
+
+// Disclose opens an existing file (real or dummy — the header says
+// which) and registers its blocks with the agent.
+func (s *Session) Disclose(path string) (*stegfs.File, error) {
+	a := s.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if f, dup := s.files[path]; dup {
+		return f, nil
+	}
+	if f, dup := s.dummyFiles[path]; dup {
+		return f, nil
+	}
+	f, err := stegfs.OpenFile(a.vol, s.fak(path), path, s.source)
+	if err != nil {
+		return nil, err
+	}
+	if f.IsDummy() {
+		s.dummyFiles[path] = f
+	} else {
+		s.files[path] = f
+	}
+	a.registerFile(s.user, f)
+	return f, nil
+}
+
+// Write writes data at offset off of a disclosed file via Figure 6,
+// then re-registers any blocks whose roles changed (growth). The
+// block map stays cached; per §4.1.5 the header is flushed only when
+// the file is saved (Save, or implicitly at Logout).
+func (s *Session) Write(path string, data []byte, off uint64) error {
+	a := s.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, ok := s.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotDisclosed, path)
+	}
+	if _, err := f.WriteAt(data, off, policyFunc(a.update)); err != nil {
+		return err
+	}
+	a.registerFile(s.user, f)
+	return nil
+}
+
+// Save flushes a disclosed file's cached block map (header and
+// pointer blocks) to the volume and re-registers freshly allocated
+// pointer blocks.
+func (s *Session) Save(path string) error {
+	a := s.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, ok := s.files[path]
+	if !ok {
+		if df, isDummy := s.dummyFiles[path]; isDummy {
+			if err := df.Save(); err != nil {
+				return err
+			}
+			a.registerFile(s.user, df)
+			return nil
+		}
+		return fmt.Errorf("%w: %q", ErrNotDisclosed, path)
+	}
+	if err := f.Save(); err != nil {
+		return err
+	}
+	a.registerFile(s.user, f)
+	return nil
+}
+
+// Read reads len(p) bytes at offset off of a disclosed file.
+func (s *Session) Read(path string, p []byte, off uint64) (int, error) {
+	a := s.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, ok := s.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotDisclosed, path)
+	}
+	return f.ReadAt(p, off)
+}
+
+// Delete removes a disclosed file, donating its blocks to the user's
+// dummy files.
+func (s *Session) Delete(path string) error {
+	a := s.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, ok := s.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotDisclosed, path)
+	}
+	a.forgetFile(f)
+	if err := f.Delete(); err != nil {
+		return err
+	}
+	delete(s.files, path)
+	return nil
+}
+
+// Files lists the session's disclosed real-file paths.
+func (s *Session) Files() []string {
+	a := s.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(s.files))
+	for p := range s.files {
+		out = append(out, p)
+	}
+	return out
+}
+
+// --- Figure 6 over disclosed blocks -----------------------------------
+
+// update is the Figure 6 data-update algorithm for Construction 2:
+// identical in shape to Construction 1, but every draw is uniform
+// over the blocks disclosed in the current sessions (§4.2.2 — the
+// agent can only update files users have disclosed, so an attacker
+// sees only part of the storage being touched, which discloses
+// nothing since updated blocks need not contain useful data).
+func (a *VolatileAgent) update(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
+	if a.dummyData == 0 {
+		return 0, fmt.Errorf("%w: disclose a dummy file first", ErrNoDummySpace)
+	}
+	scratch := make([]byte, a.vol.BlockSize())
+
+	a.stats.mu.Lock()
+	a.stats.s.DataUpdates++
+	a.stats.mu.Unlock()
+
+	for {
+		a.stats.mu.Lock()
+		a.stats.s.Iterations++
+		a.stats.mu.Unlock()
+
+		b2 := a.list[a.rng.Intn(len(a.list))]
+		info := a.known[b2]
+		switch {
+		case b2 == loc:
+			if err := a.vol.Device().ReadBlock(loc, scratch); err != nil {
+				return 0, err
+			}
+			if err := a.vol.WriteSealed(loc, seal, payload); err != nil {
+				return 0, err
+			}
+			a.stats.mu.Lock()
+			a.stats.s.InPlace++
+			a.stats.mu.Unlock()
+			return loc, nil
+
+		case info.dummy:
+			// Swap: the data moves to the dummy slot; the old location
+			// joins the donating dummy file.
+			if err := a.vol.Device().ReadBlock(loc, scratch); err != nil {
+				return 0, err
+			}
+			dv := info.file
+			if err := dv.ReplaceBlockLoc(b2, loc); err != nil {
+				return 0, err
+			}
+			if err := a.vol.WriteSealed(b2, seal, payload); err != nil {
+				return 0, err
+			}
+			old := a.known[loc]
+			a.register(b2, &ownerInfo{file: ownedFile(old), user: ownedUser(old), seal: seal})
+			a.register(loc, &ownerInfo{file: dv, user: info.user, dummy: true})
+			a.stats.mu.Lock()
+			a.stats.s.Relocations++
+			a.stats.mu.Unlock()
+			return b2, nil
+
+		case info.pending:
+			// Mid-operation block with an unclassified role: not a
+			// safe camouflage target; redraw.
+			continue
+
+		default:
+			if err := a.vol.Reseal(b2, info.seal); err != nil {
+				return 0, err
+			}
+			a.stats.mu.Lock()
+			a.stats.s.Camouflage++
+			a.stats.mu.Unlock()
+		}
+	}
+}
+
+func ownedFile(o *ownerInfo) *stegfs.File {
+	if o == nil {
+		return nil
+	}
+	return o.file
+}
+
+func ownedUser(o *ownerInfo) string {
+	if o == nil {
+		return ""
+	}
+	return o.user
+}
+
+// DummyUpdate issues one idle-time dummy update on a uniformly random
+// disclosed block.
+func (a *VolatileAgent) DummyUpdate() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.list) == 0 {
+		return fmt.Errorf("%w: nothing disclosed", ErrNoDummySpace)
+	}
+	scratch := make([]byte, a.vol.BlockSize())
+	for try := 0; try < 64; try++ {
+		b3 := a.list[a.rng.Intn(len(a.list))]
+		info := a.known[b3]
+		if info.pending {
+			continue
+		}
+		var err error
+		if info.dummy {
+			// Meaningless content: fresh random bytes are its reseal.
+			// Read first so the observable I/O matches a reseal.
+			if err = a.vol.Device().ReadBlock(b3, scratch); err == nil {
+				err = a.vol.RewriteRandom(b3)
+			}
+		} else {
+			err = a.vol.Reseal(b3, info.seal)
+		}
+		if err != nil {
+			return err
+		}
+		a.stats.mu.Lock()
+		a.stats.s.DummyUpdates++
+		a.stats.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("%w: only pending blocks visible", ErrNoDummySpace)
+}

@@ -1,0 +1,289 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"steghide/internal/steghide"
+)
+
+// AgentServer exposes a volatile agent (Construction 2) to clients
+// over TCP. Each connection is one user's channel; the login state is
+// connection-scoped, and dropping the connection logs the user out —
+// the volatility property, enforced by transport lifetime.
+type AgentServer struct {
+	agent *steghide.VolatileAgent
+	ln    net.Listener
+	wg    sync.WaitGroup
+}
+
+// NewAgentServer starts serving the agent on addr.
+func NewAgentServer(addr string, agent *steghide.VolatileAgent) (*AgentServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	s := &AgentServer{agent: agent, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *AgentServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for connections to drain.
+func (s *AgentServer) Close() error {
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *AgentServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *AgentServer) serve(conn net.Conn) {
+	var session *steghide.Session
+	var user string
+	defer func() {
+		if session != nil {
+			s.agent.Logout(user) //nolint:errcheck // best-effort cleanup
+		}
+	}()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := s.handle(req, &session, &user)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *AgentServer) handle(req frame, session **steghide.Session, user *string) frame {
+	d := &decoder{b: req.Body}
+	switch req.Type {
+	case msgLogin:
+		if *session != nil {
+			return errFrame(fmt.Errorf("wire: already logged in"))
+		}
+		u := d.str()
+		pass := d.str()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		sess, err := s.agent.LoginWithPassphrase(u, pass)
+		if err != nil {
+			return errFrame(err)
+		}
+		*session = sess
+		*user = u
+		return frame{Type: msgOK}
+
+	case msgLogout:
+		if *session == nil {
+			return errFrame(steghide.ErrUnknownUser)
+		}
+		err := s.agent.Logout(*user)
+		*session = nil
+		*user = ""
+		if err != nil {
+			return errFrame(err)
+		}
+		return frame{Type: msgOK}
+	}
+
+	if *session == nil {
+		return errFrame(fmt.Errorf("wire: not logged in"))
+	}
+	sess := *session
+	switch req.Type {
+	case msgCreate:
+		path := d.str()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		if _, err := sess.Create(path); err != nil {
+			return errFrame(err)
+		}
+		return frame{Type: msgOK}
+	case msgCreateDummy:
+		path := d.str()
+		blocks := d.u64()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		if _, err := sess.CreateDummy(path, blocks); err != nil {
+			return errFrame(err)
+		}
+		return frame{Type: msgOK}
+	case msgDisclose:
+		path := d.str()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		f, err := sess.Disclose(path)
+		if err != nil {
+			return errFrame(err)
+		}
+		e := &encoder{}
+		var dummy uint64
+		if f.IsDummy() {
+			dummy = 1
+		}
+		e.u64(dummy).u64(f.Size())
+		return frame{Type: msgOK, Body: e.b}
+	case msgRead:
+		path := d.str()
+		off := d.u64()
+		n := d.u64()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		if n > maxBodySize {
+			return errFrame(fmt.Errorf("wire: read of %d bytes exceeds limit", n))
+		}
+		buf := make([]byte, n)
+		got, err := sess.Read(path, buf, off)
+		if err != nil {
+			return errFrame(err)
+		}
+		return frame{Type: msgOK, Body: buf[:got]}
+	case msgWrite:
+		path := d.str()
+		off := d.u64()
+		data := d.raw()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		if err := sess.Write(path, data, off); err != nil {
+			return errFrame(err)
+		}
+		return frame{Type: msgOK}
+	case msgSave:
+		path := d.str()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		if err := sess.Save(path); err != nil {
+			return errFrame(err)
+		}
+		return frame{Type: msgOK}
+	default:
+		return errFrame(fmt.Errorf("wire: unknown message type %#x", req.Type))
+	}
+}
+
+// Client is a user's connection to an AgentServer.
+type Client struct {
+	conn net.Conn
+	mu   sync.Mutex
+}
+
+// DialAgent connects to an agent server.
+func DialAgent(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close drops the connection (logging the user out server-side).
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Login authenticates the connection's user.
+func (c *Client) Login(user, passphrase string) error {
+	e := &encoder{}
+	e.str(user).str(passphrase)
+	_, err := call(c.conn, &c.mu, frame{Type: msgLogin, Body: e.b})
+	return err
+}
+
+// Logout ends the session, flushing disclosed files.
+func (c *Client) Logout() error {
+	_, err := call(c.conn, &c.mu, frame{Type: msgLogout})
+	return err
+}
+
+// Create creates a hidden file.
+func (c *Client) Create(path string) error {
+	e := &encoder{}
+	e.str(path)
+	_, err := call(c.conn, &c.mu, frame{Type: msgCreate, Body: e.b})
+	return err
+}
+
+// CreateDummy creates and discloses a dummy file of n blocks.
+func (c *Client) CreateDummy(path string, blocks uint64) error {
+	e := &encoder{}
+	e.str(path)
+	e.u64(blocks)
+	_, err := call(c.conn, &c.mu, frame{Type: msgCreateDummy, Body: e.b})
+	return err
+}
+
+// Disclose opens an existing file, reporting whether it is a dummy
+// and its size.
+func (c *Client) Disclose(path string) (isDummy bool, size uint64, err error) {
+	e := &encoder{}
+	e.str(path)
+	resp, err := call(c.conn, &c.mu, frame{Type: msgDisclose, Body: e.b})
+	if err != nil {
+		return false, 0, err
+	}
+	d := &decoder{b: resp.Body}
+	dummy := d.u64()
+	size = d.u64()
+	if d.err != nil {
+		return false, 0, d.err
+	}
+	return dummy == 1, size, nil
+}
+
+// Read reads up to len(p) bytes at offset off of a disclosed file.
+func (c *Client) Read(path string, p []byte, off uint64) (int, error) {
+	e := &encoder{}
+	e.str(path)
+	e.u64(off)
+	e.u64(uint64(len(p)))
+	resp, err := call(c.conn, &c.mu, frame{Type: msgRead, Body: e.b})
+	if err != nil {
+		return 0, err
+	}
+	return copy(p, resp.Body), nil
+}
+
+// Write writes data at offset off of a disclosed file.
+func (c *Client) Write(path string, data []byte, off uint64) error {
+	e := &encoder{}
+	e.str(path)
+	e.u64(off)
+	e.bytes(data)
+	_, err := call(c.conn, &c.mu, frame{Type: msgWrite, Body: e.b})
+	return err
+}
+
+// Save flushes a disclosed file's block map.
+func (c *Client) Save(path string) error {
+	e := &encoder{}
+	e.str(path)
+	_, err := call(c.conn, &c.mu, frame{Type: msgSave, Body: e.b})
+	return err
+}

@@ -1,0 +1,360 @@
+// Package wire implements the system model of §3.2 over TCP: users
+// talk to a trusted agent through a private channel, and the agent
+// talks to the shared raw storage over a channel an attacker can
+// observe.
+//
+// Two servers are provided:
+//
+//   - StorageServer exposes a block device (the raw storage). Its
+//     protocol carries only block indices and ciphertext, and an
+//     optional tap publishes every request to a Tracer — the
+//     wire-level traffic-analysis attacker's view.
+//   - AgentServer exposes a volatile agent (Construction 2) to
+//     clients: login, disclose, create, read, write, logout. In a real
+//     deployment this channel would be TLS; the protocol layer is
+//     orthogonal to the constructions being reproduced.
+//
+// The framing is deliberately simple: fixed 16-byte header (type,
+// flags, length) followed by a binary body, all big-endian.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"steghide/internal/blockdev"
+)
+
+// Message types.
+const (
+	// Storage protocol.
+	msgReadBlock  = 0x01
+	msgWriteBlock = 0x02
+	msgDevInfo    = 0x03
+	// Agent protocol.
+	msgLogin       = 0x10
+	msgLogout      = 0x11
+	msgCreate      = 0x12
+	msgCreateDummy = 0x13
+	msgDisclose    = 0x14
+	msgRead        = 0x15
+	msgWrite       = 0x16
+	msgSave        = 0x17
+	// Replies.
+	msgOK  = 0x70
+	msgErr = 0x7F
+)
+
+const (
+	headerSize  = 16
+	maxBodySize = 64 << 20 // defensive bound on a frame body
+)
+
+// ErrRemote carries an error string returned by the peer.
+var ErrRemote = errors.New("wire: remote error")
+
+// frame is one protocol message.
+type frame struct {
+	Type uint32
+	Body []byte
+}
+
+func writeFrame(w io.Writer, f frame) error {
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], f.Type)
+	binary.BigEndian.PutUint64(hdr[8:], uint64(len(f.Body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if len(f.Body) > 0 {
+		if _, err := w.Write(f.Body); err != nil {
+			return fmt.Errorf("wire: write body: %w", err)
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint64(hdr[8:])
+	if n > maxBodySize {
+		return frame{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	f := frame{Type: binary.BigEndian.Uint32(hdr[0:])}
+	if n > 0 {
+		f.Body = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Body); err != nil {
+			return frame{}, fmt.Errorf("wire: read body: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// call sends a request and decodes the reply, translating msgErr.
+func call(conn net.Conn, mu *sync.Mutex, req frame) (frame, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if err := writeFrame(conn, req); err != nil {
+		return frame{}, err
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		return frame{}, err
+	}
+	if resp.Type == msgErr {
+		return frame{}, fmt.Errorf("%w: %s", ErrRemote, resp.Body)
+	}
+	return resp, nil
+}
+
+// encoder builds binary bodies.
+type encoder struct{ b []byte }
+
+func (e *encoder) u64(v uint64) *encoder {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	e.b = append(e.b, tmp[:]...)
+	return e
+}
+
+func (e *encoder) str(s string) *encoder {
+	e.u64(uint64(len(s)))
+	e.b = append(e.b, s...)
+	return e
+}
+
+func (e *encoder) bytes(p []byte) *encoder {
+	e.u64(uint64(len(p)))
+	e.b = append(e.b, p...)
+	return e
+}
+
+// decoder parses binary bodies.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.err = fmt.Errorf("wire: truncated body")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) str() string { return string(d.raw()) }
+
+func (d *decoder) raw() []byte {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)) < n {
+		d.err = fmt.Errorf("wire: truncated body")
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+// --- storage server ----------------------------------------------------
+
+// StorageServer exposes a block device over TCP.
+type StorageServer struct {
+	dev blockdev.Device
+	tap blockdev.Tracer // optional: the wire attacker's observation
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewStorageServer starts serving dev on addr (e.g. "127.0.0.1:0").
+// tap may be nil.
+func NewStorageServer(addr string, dev blockdev.Device, tap blockdev.Tracer) (*StorageServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	s := &StorageServer{dev: dev, tap: tap, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *StorageServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for connections to drain.
+func (s *StorageServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *StorageServer) acceptLoop() {
+	defer s.wg.Done()
+	var seq uint64
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn, &seq)
+		}()
+	}
+}
+
+func (s *StorageServer) serve(conn net.Conn, seq *uint64) {
+	buf := make([]byte, s.dev.BlockSize())
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		var resp frame
+		switch req.Type {
+		case msgDevInfo:
+			e := &encoder{}
+			e.u64(uint64(s.dev.BlockSize())).u64(s.dev.NumBlocks())
+			resp = frame{Type: msgOK, Body: e.b}
+		case msgReadBlock:
+			d := &decoder{b: req.Body}
+			idx := d.u64()
+			if d.err != nil {
+				resp = errFrame(d.err)
+				break
+			}
+			if err := s.dev.ReadBlock(idx, buf); err != nil {
+				resp = errFrame(err)
+				break
+			}
+			if s.tap != nil {
+				s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpRead, Block: idx})
+			}
+			resp = frame{Type: msgOK, Body: append([]byte(nil), buf...)}
+		case msgWriteBlock:
+			d := &decoder{b: req.Body}
+			idx := d.u64()
+			data := d.raw()
+			if d.err != nil {
+				resp = errFrame(d.err)
+				break
+			}
+			if err := s.dev.WriteBlock(idx, data); err != nil {
+				resp = errFrame(err)
+				break
+			}
+			if s.tap != nil {
+				s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpWrite, Block: idx})
+			}
+			resp = frame{Type: msgOK}
+		default:
+			resp = errFrame(fmt.Errorf("wire: unknown message type %#x", req.Type))
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func bump(seq *uint64) uint64 {
+	*seq++
+	return *seq
+}
+
+func errFrame(err error) frame {
+	return frame{Type: msgErr, Body: []byte(err.Error())}
+}
+
+// RemoteDevice is a blockdev.Device backed by a StorageServer. It is
+// safe for concurrent use (requests are serialized on one connection).
+type RemoteDevice struct {
+	conn      net.Conn
+	mu        sync.Mutex
+	blockSize int
+	numBlocks uint64
+}
+
+// DialStorage connects to a storage server and fetches its geometry.
+func DialStorage(addr string) (*RemoteDevice, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	d := &RemoteDevice{conn: conn}
+	resp, err := call(conn, &d.mu, frame{Type: msgDevInfo})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	dec := &decoder{b: resp.Body}
+	d.blockSize = int(dec.u64())
+	d.numBlocks = dec.u64()
+	if dec.err != nil {
+		conn.Close()
+		return nil, dec.err
+	}
+	return d, nil
+}
+
+// BlockSize implements blockdev.Device.
+func (d *RemoteDevice) BlockSize() int { return d.blockSize }
+
+// NumBlocks implements blockdev.Device.
+func (d *RemoteDevice) NumBlocks() uint64 { return d.numBlocks }
+
+// ReadBlock implements blockdev.Device.
+func (d *RemoteDevice) ReadBlock(i uint64, buf []byte) error {
+	if len(buf) != d.blockSize {
+		return fmt.Errorf("%w: %d != %d", blockdev.ErrBufSize, len(buf), d.blockSize)
+	}
+	e := &encoder{}
+	e.u64(i)
+	resp, err := call(d.conn, &d.mu, frame{Type: msgReadBlock, Body: e.b})
+	if err != nil {
+		return err
+	}
+	if len(resp.Body) != d.blockSize {
+		return fmt.Errorf("wire: short block read (%d bytes)", len(resp.Body))
+	}
+	copy(buf, resp.Body)
+	return nil
+}
+
+// WriteBlock implements blockdev.Device.
+func (d *RemoteDevice) WriteBlock(i uint64, data []byte) error {
+	if len(data) != d.blockSize {
+		return fmt.Errorf("%w: %d != %d", blockdev.ErrBufSize, len(data), d.blockSize)
+	}
+	e := &encoder{}
+	e.u64(i)
+	e.bytes(data)
+	_, err := call(d.conn, &d.mu, frame{Type: msgWriteBlock, Body: e.b})
+	return err
+}
+
+// Close implements blockdev.Device.
+func (d *RemoteDevice) Close() error { return d.conn.Close() }

@@ -1,0 +1,93 @@
+// Package workload generates the file populations and operation
+// streams of the paper's evaluation (Table 2): files of 4–8 MB on a
+// 1 GB volume kept at or below 50% utilization, single-block and
+// ranged updates at random positions, and per-user request streams
+// for the concurrency experiments.
+//
+// Everything is driven by the deterministic PRNG so experiments are
+// reproducible; scale factors shrink the absolute sizes without
+// changing any ratio the paper's claims depend on.
+package workload
+
+import (
+	"fmt"
+
+	"steghide/internal/prng"
+)
+
+// FileSpec describes one generated file.
+type FileSpec struct {
+	Name   string
+	Blocks uint64
+}
+
+// Population plans a set of files totalling roughly targetBlocks,
+// with sizes uniform in [minBlocks, maxBlocks] (the paper's "(4, 8]
+// MBytes" becomes a block range at any scale).
+func Population(rng *prng.PRNG, prefix string, targetBlocks, minBlocks, maxBlocks uint64) ([]FileSpec, error) {
+	if minBlocks == 0 || maxBlocks < minBlocks {
+		return nil, fmt.Errorf("workload: size range [%d,%d]", minBlocks, maxBlocks)
+	}
+	var specs []FileSpec
+	var total uint64
+	for i := 0; total < targetBlocks; i++ {
+		n := minBlocks + rng.Uint64n(maxBlocks-minBlocks+1)
+		if total+n > targetBlocks {
+			n = targetBlocks - total
+			if n == 0 {
+				break
+			}
+		}
+		specs = append(specs, FileSpec{
+			Name:   fmt.Sprintf("%s/file-%04d", prefix, i),
+			Blocks: n,
+		})
+		total += n
+	}
+	return specs, nil
+}
+
+// Content produces deterministic pseudo-random file content of n
+// bytes for a given name, so any copy can be re-derived for
+// verification.
+func Content(name string, n int) []byte {
+	return prng.New([]byte("workload-content\x00" + name)).Bytes(n)
+}
+
+// UpdateOp is one update request: `Blocks` consecutive blocks starting
+// at logical block Off of file Name.
+type UpdateOp struct {
+	Name   string
+	Off    uint64
+	Blocks int
+}
+
+// Updates generates count update ops of fixed range over the given
+// files, at uniformly random positions.
+func Updates(rng *prng.PRNG, files []FileSpec, count, rangeBlocks int) ([]UpdateOp, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("workload: no files")
+	}
+	if rangeBlocks < 1 {
+		return nil, fmt.Errorf("workload: update range %d", rangeBlocks)
+	}
+	ops := make([]UpdateOp, 0, count)
+	for i := 0; i < count; i++ {
+		f := files[rng.Intn(len(files))]
+		if f.Blocks < uint64(rangeBlocks) {
+			return nil, fmt.Errorf("workload: file %s smaller than update range", f.Name)
+		}
+		off := rng.Uint64n(f.Blocks - uint64(rangeBlocks) + 1)
+		ops = append(ops, UpdateOp{Name: f.Name, Off: off, Blocks: rangeBlocks})
+	}
+	return ops, nil
+}
+
+// ReadStream lists the logical blocks of a whole-file scan.
+func ReadStream(f FileSpec) []uint64 {
+	out := make([]uint64, f.Blocks)
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	return out
+}

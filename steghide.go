@@ -1,0 +1,308 @@
+// Package steghide is a steganographic file system that hides not
+// only the existence of files but also the *accesses* to them,
+// reproducing Zhou, Pang & Tan, "Hiding Data Accesses in
+// Steganographic File System" (ICDE 2004).
+//
+// # What it gives you
+//
+//   - A StegFS volume: fixed-size encrypted blocks on any Device;
+//     hidden files are block trees rooted at headers derivable only
+//     from a file access key (FAK), on a volume whose free space is
+//     indistinguishable random noise.
+//   - Update hiding (§4 of the paper): agents that relocate every
+//     updated block to a uniformly random position and emit dummy
+//     updates, so a snapshot-diffing attacker sees the same uniform
+//     process whether or not real work happens. Two constructions:
+//     NonVolatileAgent (one persistent agent key; "StegHide*") and
+//     VolatileAgent (per-user keys disclosed at login, forgotten at
+//     logout, with deniable dummy files; "StegHide").
+//   - Read hiding (§5): an ObliviousStore — a hierarchy of levels à
+//     la hierarchical ORAM, reshuffled by external merge sort — used
+//     as a cache in front of the StegFS partition so read patterns
+//     are destroyed too.
+//   - The substrate to run and evaluate it all: in-memory/file block
+//     devices, a 2004-era disk model with a virtual clock, the
+//     conventional-FS baselines, the attacker implementations, and an
+//     experiment harness that regenerates every table and figure of
+//     the paper (see cmd/benchrunner).
+//
+// # Quick start
+//
+//	dev := steghide.NewMemDevice(4096, 1<<15)
+//	vol, _ := steghide.Format(dev, steghide.FormatOptions{})
+//	agent := steghide.NewVolatileAgent(vol, steghide.NewPRNG([]byte("entropy")))
+//	session, _ := agent.LoginWithPassphrase("alice", "correct horse")
+//	session.CreateDummy("/cover", 4096) // deniable cover + relocation targets
+//	session.Create("/secret")
+//	session.Write("/secret", []byte("hello"), 0)
+//	agent.Logout("alice") // agent forgets everything
+//
+// See examples/ for runnable programs, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for paper-vs-measured results.
+package steghide
+
+import (
+	"time"
+
+	"steghide/internal/attack"
+	"steghide/internal/blockdev"
+	"steghide/internal/diskmodel"
+	"steghide/internal/oblivious"
+	"steghide/internal/prng"
+	"steghide/internal/sealer"
+	"steghide/internal/stegfs"
+	"steghide/internal/steghide"
+	"steghide/internal/wire"
+)
+
+// Device is a fixed-geometry block store — the raw storage of the
+// system model. Implementations in this package: NewMemDevice,
+// CreateFileDevice/OpenFileDevice, NewSimDevice, DialStorage.
+type Device = blockdev.Device
+
+// Tracer receives every access on a traced device; Collector retains
+// them — the attacker's observation stream.
+type (
+	Tracer    = blockdev.Tracer
+	Collector = blockdev.Collector
+	Event     = blockdev.Event
+)
+
+// MemDevice is the in-memory Device; its Snapshot method is the
+// update-analysis attacker's primitive.
+type MemDevice = blockdev.Mem
+
+// NewMemDevice allocates an in-memory device of n blocks.
+func NewMemDevice(blockSize int, n uint64) *MemDevice {
+	return blockdev.NewMem(blockSize, n)
+}
+
+// CreateFileDevice creates (or truncates) a file-backed device.
+func CreateFileDevice(path string, blockSize int, n uint64) (*blockdev.File, error) {
+	return blockdev.CreateFile(path, blockSize, n)
+}
+
+// OpenFileDevice opens an existing file-backed device.
+func OpenFileDevice(path string, blockSize int) (*blockdev.File, error) {
+	return blockdev.OpenFile(path, blockSize)
+}
+
+// NewTracedDevice wraps a device so every access is published to the
+// tracer — the attacker's wire tap, or the experiment probes.
+func NewTracedDevice(base Device, t Tracer) *blockdev.Traced {
+	return blockdev.NewTraced(base, t)
+}
+
+// NewStripedDevice aggregates several devices (local or remote) into
+// one volume, block-striped round-robin — the data-grid / P2P
+// deployment the paper's §7 points to. The hiding constructions'
+// uniform access streams spread evenly across members, so no single
+// node observes more than its share of the already pattern-free
+// traffic.
+func NewStripedDevice(members ...Device) (*blockdev.Striped, error) {
+	return blockdev.NewStriped(members...)
+}
+
+// DiskParams2004 returns the simulated-drive parameters matching the
+// paper's testbed (Table 1).
+func DiskParams2004(numBlocks uint64, blockSize int) diskmodel.Params {
+	return diskmodel.Params2004(numBlocks, blockSize)
+}
+
+// NewSimDevice wraps a device so accesses advance a simulated 2004
+// drive's virtual clock (disk.Now reports elapsed service time).
+func NewSimDevice(base Device, params diskmodel.Params) (*blockdev.Sim, error) {
+	disk, err := diskmodel.New(params)
+	if err != nil {
+		return nil, err
+	}
+	return blockdev.NewSim(base, disk), nil
+}
+
+// PRNG is the deterministic SHA-256 generator all randomized choices
+// flow through.
+type PRNG = prng.PRNG
+
+// NewPRNG seeds a generator from arbitrary bytes.
+func NewPRNG(seed []byte) *PRNG { return prng.New(seed) }
+
+// Key is a 256-bit symmetric key.
+type Key = sealer.Key
+
+// DeriveKey derives a labelled subkey from secret material.
+func DeriveKey(secret []byte, label string) Key { return sealer.DeriveKey(secret, label) }
+
+// Volume is an open steganographic volume; File is an open hidden
+// file; FAK is a file access key (locator + header key + content
+// key); FormatOptions controls Format.
+type (
+	Volume        = stegfs.Volume
+	File          = stegfs.File
+	FAK           = stegfs.FAK
+	FormatOptions = stegfs.FormatOptions
+	BlockSource   = stegfs.BlockSource
+	UpdatePolicy  = stegfs.UpdatePolicy
+)
+
+// Format initializes a steganographic volume on dev: superblock plus
+// a random fill that makes every block plausible ciphertext.
+func Format(dev Device, opts FormatOptions) (*Volume, error) { return stegfs.Format(dev, opts) }
+
+// OpenVolume opens an existing volume.
+func OpenVolume(dev Device) (*Volume, error) { return stegfs.Open(dev) }
+
+// DeriveFAK derives a file's access key from a passphrase and path.
+func DeriveFAK(passphrase, pathname string, vol *Volume) FAK {
+	return stegfs.DeriveFAK(passphrase, pathname, vol)
+}
+
+// Power-user file layer: direct (FAK, path) access without an agent.
+// Most callers should prefer the agents, which add the access hiding.
+type (
+	// Dir is a hidden directory: an enumerable, deniable listing.
+	Dir = stegfs.Dir
+	// InPlacePolicy is the non-hiding update policy of the 2003 StegFS.
+	InPlacePolicy = stegfs.InPlacePolicy
+	// CheckReport is the result of a volume integrity check.
+	CheckReport = stegfs.CheckReport
+)
+
+// NewBitmapSource builds the standard block allocator over the steg
+// space of a volume.
+func NewBitmapSource(vol *Volume, rng *PRNG) *stegfs.BitmapSource {
+	return stegfs.NewBitmapSource(vol.FirstDataBlock(), vol.NumBlocks(), rng)
+}
+
+// CreateHiddenFile, OpenHiddenFile, CreateHiddenDir and OpenHiddenDir
+// are the raw (FAK, path) file layer.
+func CreateHiddenFile(vol *Volume, fak FAK, path string, src BlockSource) (*File, error) {
+	return stegfs.CreateFile(vol, fak, path, src)
+}
+
+// OpenHiddenFile opens an existing hidden file.
+func OpenHiddenFile(vol *Volume, fak FAK, path string, src BlockSource) (*File, error) {
+	return stegfs.OpenFile(vol, fak, path, src)
+}
+
+// CreateHiddenDir creates a hidden directory.
+func CreateHiddenDir(vol *Volume, fak FAK, path string, src BlockSource) (*Dir, error) {
+	return stegfs.CreateDir(vol, fak, path, src)
+}
+
+// OpenHiddenDir opens a hidden directory.
+func OpenHiddenDir(vol *Volume, fak FAK, path string, src BlockSource) (*Dir, error) {
+	return stegfs.OpenDir(vol, fak, path, src)
+}
+
+// CheckVolume verifies everything reachable with the given
+// credentials (passphrase → paths): header decode, checksummed
+// pointer chains, data-block readability, no cross-owned blocks.
+func CheckVolume(vol *Volume, creds map[string][]string) (*CheckReport, error) {
+	return stegfs.Check(vol, creds)
+}
+
+// DummyDaemon emits idle-time dummy updates on a period (§4.1.3).
+type DummyDaemon = steghide.Daemon
+
+// NewDummyDaemon wires a daemon to either agent construction.
+func NewDummyDaemon(src steghide.DummySource, period time.Duration) *DummyDaemon {
+	return steghide.NewDaemon(src, period)
+}
+
+// Errors re-exported for errors.Is checks.
+var (
+	ErrNotFound     = stegfs.ErrNotFound
+	ErrVolumeFull   = stegfs.ErrVolumeFull
+	ErrNoDummySpace = steghide.ErrNoDummySpace
+	ErrCacheFull    = oblivious.ErrCacheFull
+)
+
+// NonVolatileAgent is Construction 1 (§4.1, "StegHide*"): the agent
+// keeps a global block key and the data/dummy bitmap in persistent
+// memory. VolatileAgent is Construction 2 (§4.2, "StegHide"): the
+// agent boots with zero knowledge and learns keys only at login.
+type (
+	NonVolatileAgent = steghide.NonVolatileAgent
+	VolatileAgent    = steghide.VolatileAgent
+	Session          = steghide.Session
+	UpdateStats      = steghide.UpdateStats
+)
+
+// NewNonVolatileAgent creates the Construction 1 agent over a freshly
+// formatted volume.
+func NewNonVolatileAgent(vol *Volume, secret []byte, rng *PRNG) (*NonVolatileAgent, error) {
+	return steghide.NewNonVolatile(vol, secret, rng)
+}
+
+// NewVolatileAgent creates the Construction 2 agent; users bring
+// their keys at login.
+func NewVolatileAgent(vol *Volume, rng *PRNG) *VolatileAgent {
+	return steghide.NewVolatile(vol, rng)
+}
+
+// ObliviousStore is the §5 hierarchical cache; ObliviousFS composes
+// it with a StegFS partition into the full read-hiding system.
+type (
+	ObliviousStore  = oblivious.Store
+	ObliviousConfig = oblivious.Config
+	ObliviousFS     = oblivious.FS
+	BlockID         = oblivious.BlockID
+)
+
+// ObliviousFootprint returns the device blocks a store geometry
+// occupies (levels plus sort scratch).
+func ObliviousFootprint(bufferBlocks, levels int) uint64 {
+	return oblivious.Footprint(bufferBlocks, levels)
+}
+
+// NewObliviousStore builds and formats an oblivious store.
+func NewObliviousStore(cfg ObliviousConfig) (*ObliviousStore, error) { return oblivious.New(cfg) }
+
+// NewObliviousFS wires an oblivious store to a StegFS partition.
+func NewObliviousFS(store *ObliviousStore, vol *Volume, rng *PRNG) (*ObliviousFS, error) {
+	return oblivious.NewFS(store, vol, rng)
+}
+
+// UpdateAnalyzer and TrafficAnalyzer are the §3.2.2 attackers, for
+// validating deployments the way the examples do.
+type (
+	UpdateAnalyzer  = attack.UpdateAnalyzer
+	TrafficAnalyzer = attack.TrafficAnalyzer
+	Verdict         = attack.Verdict
+)
+
+// NewUpdateAnalyzer builds the snapshot-diffing attacker.
+func NewUpdateAnalyzer(blockSize int, nBlocks uint64) *UpdateAnalyzer {
+	return attack.NewUpdateAnalyzer(blockSize, nBlocks)
+}
+
+// NewTrafficAnalyzer builds the wire-tapping attacker.
+func NewTrafficAnalyzer(nBlocks uint64) *TrafficAnalyzer {
+	return attack.NewTrafficAnalyzer(nBlocks)
+}
+
+// Wire layer: serve raw storage or a volatile agent over TCP, per the
+// §3.2 system model.
+type (
+	StorageServer = wire.StorageServer
+	AgentServer   = wire.AgentServer
+	AgentClient   = wire.Client
+	RemoteDevice  = wire.RemoteDevice
+)
+
+// NewStorageServer serves dev on addr; tap (optional) observes all
+// traffic like a wire attacker would.
+func NewStorageServer(addr string, dev Device, tap Tracer) (*StorageServer, error) {
+	return wire.NewStorageServer(addr, dev, tap)
+}
+
+// DialStorage connects to a remote storage server as a Device.
+func DialStorage(addr string) (*RemoteDevice, error) { return wire.DialStorage(addr) }
+
+// NewAgentServer serves a volatile agent on addr.
+func NewAgentServer(addr string, agent *VolatileAgent) (*AgentServer, error) {
+	return wire.NewAgentServer(addr, agent)
+}
+
+// DialAgent connects a user to an agent server.
+func DialAgent(addr string) (*AgentClient, error) { return wire.DialAgent(addr) }
