@@ -170,6 +170,10 @@ func cmdStorage(args []string) error {
 	var tap steghide.Tracer
 	if *logOps {
 		tap = tracerFunc(func(e steghide.Event) {
+			if n := e.Span(); n > 1 {
+				fmt.Printf("observed: %-5s blocks [%d,%d)\n", e.Op, e.Block, e.Block+n)
+				return
+			}
 			fmt.Printf("observed: %-5s block %d\n", e.Op, e.Block)
 		})
 	}

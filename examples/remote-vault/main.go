@@ -93,7 +93,7 @@ func main() {
 	fmt.Printf("alice recovered her secret across sessions: %q\n\n", got)
 
 	// --- what the attacker saw ------------------------------------------
-	events := tap.Events()
+	events := steghide.ExpandEvents(tap.Events())
 	reads, writes := 0, 0
 	for _, e := range events {
 		if e.Op.String() == "read" {

@@ -1,0 +1,3 @@
+module steghide
+
+go 1.24

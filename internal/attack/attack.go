@@ -165,7 +165,7 @@ func NewTrafficAnalyzer(nBlocks uint64) *TrafficAnalyzer {
 // direct StegFS reads repeat whenever the user does.
 func (t *TrafficAnalyzer) RepeatedReads(events []blockdev.Event) (repeats int, distinct int) {
 	seen := map[uint64]int{}
-	for _, e := range events {
+	for _, e := range blockdev.ExpandEvents(events) {
 		if e.Op != blockdev.OpRead {
 			continue
 		}
@@ -184,7 +184,7 @@ func (t *TrafficAnalyzer) RepeatedReads(events []blockdev.Event) (repeats int, d
 // skew it; dummy-mixed oblivious traffic does not.
 func (t *TrafficAnalyzer) FrequencySkew(events []blockdev.Event, bins int) (Verdict, error) {
 	var reads []uint64
-	for _, e := range events {
+	for _, e := range blockdev.ExpandEvents(events) {
 		if e.Op == blockdev.OpRead {
 			reads = append(reads, e.Block)
 		}

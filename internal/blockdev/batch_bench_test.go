@@ -1,0 +1,116 @@
+package blockdev
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Paired loop-vs-batched benchmarks: the same 64-block transfer
+// through the per-block Device interface and through the batch plane.
+
+const (
+	benchBS    = 4096
+	benchBatch = 64
+)
+
+func benchDeviceRead(b *testing.B, d Device, batched bool) {
+	b.Helper()
+	bufs := AllocBlocks(benchBatch, d.BlockSize())
+	seed := AllocBlocks(benchBatch, d.BlockSize())
+	fillPattern(seed, 5)
+	if err := WriteBlocks(d, 0, seed); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(benchBatch * d.BlockSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			if err := ReadBlocks(d, 0, bufs); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		for j := range bufs {
+			if err := d.ReadBlock(uint64(j), bufs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchDeviceWrite(b *testing.B, d Device, batched bool) {
+	b.Helper()
+	data := AllocBlocks(benchBatch, d.BlockSize())
+	fillPattern(data, 5)
+	b.SetBytes(int64(benchBatch * d.BlockSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			if err := WriteBlocks(d, 0, data); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		for j := range data {
+			if err := d.WriteBlock(uint64(j), data[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchRead(b *testing.B) {
+	b.Run("mem/loop", func(b *testing.B) { benchDeviceRead(b, NewMem(benchBS, 1<<10), false) })
+	b.Run("mem/batched", func(b *testing.B) { benchDeviceRead(b, NewMem(benchBS, 1<<10), true) })
+	b.Run("file/loop", func(b *testing.B) {
+		d, err := CreateFile(filepath.Join(b.TempDir(), "v"), benchBS, 1<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		benchDeviceRead(b, d, false)
+	})
+	b.Run("file/batched", func(b *testing.B) {
+		d, err := CreateFile(filepath.Join(b.TempDir(), "v"), benchBS, 1<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		benchDeviceRead(b, d, true)
+	})
+	b.Run("striped-mem/loop", func(b *testing.B) {
+		s, err := NewStriped(NewMem(benchBS, 1<<9), NewMem(benchBS, 1<<9), NewMem(benchBS, 1<<9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDeviceRead(b, s, false)
+	})
+	b.Run("striped-mem/batched", func(b *testing.B) {
+		s, err := NewStriped(NewMem(benchBS, 1<<9), NewMem(benchBS, 1<<9), NewMem(benchBS, 1<<9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDeviceRead(b, s, true)
+	})
+}
+
+func BenchmarkBatchWrite(b *testing.B) {
+	b.Run("mem/loop", func(b *testing.B) { benchDeviceWrite(b, NewMem(benchBS, 1<<10), false) })
+	b.Run("mem/batched", func(b *testing.B) { benchDeviceWrite(b, NewMem(benchBS, 1<<10), true) })
+	b.Run("file/loop", func(b *testing.B) {
+		d, err := CreateFile(filepath.Join(b.TempDir(), "v"), benchBS, 1<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		benchDeviceWrite(b, d, false)
+	})
+	b.Run("file/batched", func(b *testing.B) {
+		d, err := CreateFile(filepath.Join(b.TempDir(), "v"), benchBS, 1<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		benchDeviceWrite(b, d, true)
+	})
+}

@@ -1,0 +1,384 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"steghide/internal/diskmodel"
+)
+
+// loopOnly hides a device's batch fast path, forcing the helpers onto
+// their per-block fallback.
+type loopOnly struct{ Device }
+
+func fillPattern(bufs [][]byte, seed byte) {
+	for i, b := range bufs {
+		for j := range b {
+			b[j] = seed + byte(i) + byte(j)*3
+		}
+	}
+}
+
+// TestBatchHelpersMatchLoop verifies the fast paths and the loop
+// fallback produce identical device contents and identical reads.
+func TestBatchHelpersMatchLoop(t *testing.T) {
+	const bs, n = 64, 32
+	fast := NewMem(bs, n)
+	slow := NewMem(bs, n)
+
+	data := AllocBlocks(8, bs)
+	fillPattern(data, 7)
+	if err := WriteBlocks(fast, 5, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBlocks(loopOnly{slow}, 5, data); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fast.Snapshot(), slow.Snapshot()) {
+		t.Fatal("batched and looped writes diverge")
+	}
+
+	idx := []uint64{30, 2, 17, 25, 9}
+	scattered := AllocBlocks(len(idx), bs)
+	fillPattern(scattered, 101)
+	if err := WriteBlocksAt(fast, idx, scattered); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBlocksAt(loopOnly{slow}, idx, scattered); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fast.Snapshot(), slow.Snapshot()) {
+		t.Fatal("batched and looped scattered writes diverge")
+	}
+
+	got1 := AllocBlocks(8, bs)
+	got2 := AllocBlocks(8, bs)
+	if err := ReadBlocks(fast, 5, got1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadBlocks(loopOnly{fast}, 5, got2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got1 {
+		if !bytes.Equal(got1[i], got2[i]) {
+			t.Fatalf("read %d diverges", i)
+		}
+	}
+	sg1 := AllocBlocks(len(idx), bs)
+	if err := ReadBlocksAt(fast, idx, sg1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sg1 {
+		if !bytes.Equal(sg1[i], scattered[i]) {
+			t.Fatalf("scattered read %d diverges", i)
+		}
+	}
+}
+
+// TestBatchValidation exercises the up-front argument checks: nothing
+// may be transferred on a malformed batch.
+func TestBatchValidation(t *testing.T) {
+	m := NewMem(64, 8)
+	good := AllocBlocks(4, 64)
+
+	if err := WriteBlocks(m, 6, good); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("overrun batch: %v", err)
+	}
+	if err := ReadBlocks(m, 6, good); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("overrun read batch: %v", err)
+	}
+	bad := [][]byte{make([]byte, 64), make([]byte, 63)}
+	if err := WriteBlocks(m, 0, bad); !errors.Is(err, ErrBufSize) {
+		t.Fatalf("short buffer: %v", err)
+	}
+	if err := ReadBlocksAt(m, []uint64{1, 2}, good[:1]); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("shape mismatch: %v", err)
+	}
+	if err := WriteBlocksAt(m, []uint64{1, 9}, good[:2]); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("scattered overrun: %v", err)
+	}
+	// Empty batches are no-ops.
+	if err := ReadBlocks(m, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBlocksAt(m, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubDeviceBatchBounds verifies out-of-range batches on a
+// SubDevice fail in the sub's own address space and never leak into
+// the parent's surrounding blocks.
+func TestSubDeviceBatchBounds(t *testing.T) {
+	const bs = 64
+	parent := NewMem(bs, 20)
+	before := parent.Snapshot()
+	sub, err := NewSub(parent, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := AllocBlocks(4, bs)
+	fillPattern(data, 1)
+	// Contiguous: [6, 10) exceeds the 8-block window.
+	if err := WriteBlocks(sub, 6, data); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	// Scattered: index 8 is one past the window even though parent
+	// block 13 exists.
+	if err := WriteBlocksAt(sub, []uint64{0, 8, 2, 3}, data); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	if err := ReadBlocksAt(sub, []uint64{7, 8}, data[:2]); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	if !bytes.Equal(parent.Snapshot(), before) {
+		t.Fatal("failed batch mutated the parent")
+	}
+
+	// An in-range batch lands at the right parent offset.
+	if err := WriteBlocks(sub, 4, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, bs)
+	if err := parent.ReadBlock(5+4, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[0]) {
+		t.Fatal("sub batch landed at wrong parent block")
+	}
+}
+
+// TestStripedBatchSpansBoundaries verifies a contiguous batch that
+// wraps several times around the stripe is ordered correctly and each
+// member receives exactly its residue class.
+func TestStripedBatchSpansBoundaries(t *testing.T) {
+	const bs = 32
+	members := []*Mem{NewMem(bs, 8), NewMem(bs, 8), NewMem(bs, 8)}
+	s, err := NewStriped(members[0], members[1], members[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch [4, 17): 13 blocks crossing the stripe 5 times.
+	const start, count = 4, 13
+	data := AllocBlocks(count, bs)
+	fillPattern(data, 9)
+	if err := WriteBlocks(s, start, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-block readback through the striped view.
+	one := make([]byte, bs)
+	for i := 0; i < count; i++ {
+		if err := s.ReadBlock(start+uint64(i), one); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one, data[i]) {
+			t.Fatalf("block %d misordered after striped batch", start+i)
+		}
+	}
+	// Per-member distribution: volume block i must sit on member i%3
+	// at local index i/3, and only the batch's blocks may be non-zero.
+	zero := make([]byte, bs)
+	for v := uint64(0); v < s.NumBlocks(); v++ {
+		m, local := s.Locate(v)
+		if err := members[m].ReadBlock(local, one); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case v >= start && v < start+count:
+			if !bytes.Equal(one, data[v-start]) {
+				t.Fatalf("volume block %d not on member %d/%d", v, m, local)
+			}
+		default:
+			if !bytes.Equal(one, zero) {
+				t.Fatalf("batch leaked into volume block %d", v)
+			}
+		}
+	}
+
+	// Scattered batch across members round-trips too.
+	idx := []uint64{22, 1, 14, 9, 2}
+	sd := AllocBlocks(len(idx), bs)
+	fillPattern(sd, 77)
+	if err := WriteBlocksAt(s, idx, sd); err != nil {
+		t.Fatal(err)
+	}
+	got := AllocBlocks(len(idx), bs)
+	if err := ReadBlocksAt(s, idx, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range idx {
+		if !bytes.Equal(got[i], sd[i]) {
+			t.Fatalf("scattered striped block %d diverges", idx[i])
+		}
+	}
+}
+
+// TestFaultMidBatchPrefix verifies a fault firing inside a batch
+// leaves the documented prefix: blocks before the failing index
+// transferred, blocks at and after it untouched.
+func TestFaultMidBatchPrefix(t *testing.T) {
+	const bs, n = 64, 16
+	base := NewMem(bs, n)
+	f := NewFault(base)
+
+	data := AllocBlocks(6, bs)
+	fillPattern(data, 3)
+	f.FailWritesAfter(4)
+	err := WriteBlocks(f, 2, data)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	one := make([]byte, bs)
+	zero := make([]byte, bs)
+	for i := 0; i < 6; i++ {
+		if err := base.ReadBlock(2+uint64(i), one); err != nil {
+			t.Fatal(err)
+		}
+		if i < 4 {
+			if !bytes.Equal(one, data[i]) {
+				t.Fatalf("prefix block %d not written", i)
+			}
+		} else if !bytes.Equal(one, zero) {
+			t.Fatalf("block %d written past the fault", i)
+		}
+	}
+
+	// Read side: the prefix is filled, the rest untouched.
+	f.Heal()
+	f.FailReadsAfter(2)
+	bufs := AllocBlocks(4, bs)
+	fillPattern(bufs, 200) // sentinel
+	sentinel := append([]byte(nil), bufs[2]...)
+	err = ReadBlocksAt(f, []uint64{2, 3, 4, 5}, bufs)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !bytes.Equal(bufs[0], data[0]) || !bytes.Equal(bufs[1], data[1]) {
+		t.Fatal("read prefix not filled before the fault")
+	}
+	if !bytes.Equal(bufs[2], sentinel) {
+		t.Fatal("buffer past the fault was touched")
+	}
+}
+
+// TestTracedBatchEvents verifies contiguous batches trace as one
+// ranged event, scattered batches as per-block events, and that both
+// Counter and ExpandEvents agree on the per-block view.
+func TestTracedBatchEvents(t *testing.T) {
+	var col Collector
+	var cnt Counter
+	d := NewTraced(NewMem(64, 32), MultiTracer{&col, &cnt})
+
+	data := AllocBlocks(5, 64)
+	if err := WriteBlocks(d, 10, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadBlocksAt(d, []uint64{3, 8, 1}, data[:3]); err != nil {
+		t.Fatal(err)
+	}
+
+	events := col.Events()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4 (1 ranged + 3 scattered)", len(events))
+	}
+	if events[0].Op != OpWrite || events[0].Block != 10 || events[0].Span() != 5 {
+		t.Fatalf("ranged event = %+v", events[0])
+	}
+	flat := ExpandEvents(events)
+	if len(flat) != 8 {
+		t.Fatalf("expanded to %d events, want 8", len(flat))
+	}
+	for i := 0; i < 5; i++ {
+		if flat[i].Block != 10+uint64(i) || flat[i].Span() != 1 {
+			t.Fatalf("expanded event %d = %+v", i, flat[i])
+		}
+	}
+	if cnt.Writes() != 5 || cnt.Reads() != 3 {
+		t.Fatalf("counter saw %d writes / %d reads", cnt.Writes(), cnt.Reads())
+	}
+	// A failed batch must not be traced.
+	if err := ReadBlocks(d, 30, data); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if col.Len() != 4 {
+		t.Fatal("failed batch was traced")
+	}
+}
+
+// TestFileBatchRoundTrip verifies the file device's contiguous and
+// run-coalescing scattered batch paths against per-block access.
+func TestFileBatchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol")
+	d, err := CreateFile(path, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	data := AllocBlocks(10, 128)
+	fillPattern(data, 13)
+	if err := WriteBlocks(d, 20, data); err != nil {
+		t.Fatal(err)
+	}
+	// Mixed runs: [20,21,22], [40], [25,26].
+	idx := []uint64{20, 21, 22, 40, 25, 26}
+	bufs := AllocBlocks(len(idx), 128)
+	if err := ReadBlocksAt(d, idx, bufs); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 128)
+	for i, x := range idx {
+		if err := d.ReadBlock(x, one); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one, bufs[i]) {
+			t.Fatalf("coalesced read %d (block %d) diverges", i, x)
+		}
+	}
+	// Scattered write through run coalescing, re-read per block.
+	fillPattern(bufs, 91)
+	if err := WriteBlocksAt(d, idx, bufs); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range idx {
+		if err := d.ReadBlock(x, one); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one, bufs[i]) {
+			t.Fatalf("coalesced write %d (block %d) diverges", i, x)
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimBatchChargesOneSeek verifies a contiguous batch costs one
+// positioning plus n transfers on the disk model.
+func TestSimBatchChargesOneSeek(t *testing.T) {
+	const bs, n = 512, 1024
+	disk := diskmodel.MustNew(diskmodel.Params2004(n, bs))
+	s := NewSim(NewMem(bs, n), disk)
+
+	bufs := AllocBlocks(64, bs)
+	if err := ReadBlocks(s, 512, bufs); err != nil {
+		t.Fatal(err)
+	}
+	st := disk.Stats()
+	if st.Accesses != 64 {
+		t.Fatalf("accesses = %d, want 64", st.Accesses)
+	}
+	if st.Sequential != 63 {
+		t.Fatalf("sequential = %d, want 63 (one seek to start)", st.Sequential)
+	}
+	wantTransfer := 64 * disk.Params().TransferTime()
+	if st.TransferTime != wantTransfer {
+		t.Fatalf("transfer time %v, want %v", st.TransferTime, wantTransfer)
+	}
+}

@@ -125,6 +125,7 @@ type File struct {
 	f         *os.File
 	blockSize int
 	numBlocks uint64
+	scratch   sync.Pool // *[]byte slabs for batched transfers
 }
 
 // CreateFile creates (or truncates) a file-backed device of n blocks.

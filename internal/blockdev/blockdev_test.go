@@ -192,7 +192,7 @@ func TestTracedPublishesEvents(t *testing.T) {
 	if len(events) != 3 {
 		t.Fatalf("got %d events", len(events))
 	}
-	want := []Event{{1, OpWrite, 3}, {2, OpRead, 3}, {3, OpRead, 5}}
+	want := []Event{{Seq: 1, Op: OpWrite, Block: 3}, {Seq: 2, Op: OpRead, Block: 3}, {Seq: 3, Op: OpRead, Block: 5}}
 	for i, e := range events {
 		if e != want[i] {
 			t.Fatalf("event %d = %+v, want %+v", i, e, want[i])

@@ -25,11 +25,42 @@ func (o Op) String() string {
 // Event is one observed access: what an attacker tapping the
 // agent⇄storage channel sees (§3.2.2, second attacker group). The
 // payload is deliberately absent — it is ciphertext and carries no
-// pattern beyond its existence.
+// pattern beyond its existence. A batched contiguous access is one
+// event covering Count blocks; Count of 0 or 1 is a single block.
 type Event struct {
 	Seq   uint64
 	Op    Op
 	Block uint64
+	Count uint64
+}
+
+// Span returns how many blocks the event covers (at least 1).
+func (e Event) Span() uint64 {
+	if e.Count < 2 {
+		return 1
+	}
+	return e.Count
+}
+
+// ExpandEvents flattens ranged events into one event per block, for
+// consumers that analyze per-block address streams. Single-block
+// streams are returned unchanged (no copy).
+func ExpandEvents(events []Event) []Event {
+	total := 0
+	for _, e := range events {
+		total += int(e.Span())
+	}
+	if total == len(events) {
+		return events
+	}
+	out := make([]Event, 0, total)
+	for _, e := range events {
+		n := e.Span()
+		for i := uint64(0); i < n; i++ {
+			out = append(out, Event{Seq: e.Seq, Op: e.Op, Block: e.Block + i})
+		}
+	}
+	return out
 }
 
 // Tracer receives every access on a Traced device.
@@ -113,9 +144,9 @@ type Counter struct {
 // Record implements Tracer.
 func (c *Counter) Record(e Event) {
 	if e.Op == OpRead {
-		c.reads.Add(1)
+		c.reads.Add(e.Span())
 	} else {
-		c.writes.Add(1)
+		c.writes.Add(e.Span())
 	}
 }
 

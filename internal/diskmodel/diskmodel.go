@@ -138,31 +138,43 @@ func (d *Disk) Params() Params { return d.p }
 // Access services one block access and returns its duration. write
 // only affects accounting; the cost model is symmetric.
 func (d *Disk) Access(block uint64, write bool) time.Duration {
-	if block >= d.p.NumBlocks {
-		panic(fmt.Sprintf("diskmodel: block %d out of range [0,%d)", block, d.p.NumBlocks))
+	return d.AccessRange(block, 1, write)
+}
+
+// AccessRange services one batched sequential pass over the n blocks
+// [start, start+n): at most one seek + rotation to reach start, then n
+// transfers at media rate. This is the cost model for a device-level
+// batch — exactly what a drive charges for a contiguous multi-block
+// request — and it is what makes batching pay on simulated hardware.
+func (d *Disk) AccessRange(start uint64, n int, write bool) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if start >= d.p.NumBlocks || start+uint64(n) > d.p.NumBlocks {
+		panic(fmt.Sprintf("diskmodel: range [%d,%d) out of [0,%d)", start, start+uint64(n), d.p.NumBlocks))
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
-	transfer := d.p.TransferTime()
+	transfer := time.Duration(n) * d.p.TransferTime()
 	var positioning time.Duration
-	sequential := d.primed && block == d.head
+	sequential := d.primed && start == d.head
 	if !sequential {
 		var dist uint64
 		if d.primed {
-			if block > d.head {
-				dist = block - d.head
+			if start > d.head {
+				dist = start - d.head
 			} else {
-				dist = d.head - block
+				dist = d.head - start
 			}
 		} else {
-			dist = block // initial positioning from block 0
+			dist = start // initial positioning from block 0
 		}
 		positioning = d.p.SeekTime(dist) + d.p.RotationalLatency
 	}
 	cost := positioning + transfer
 
-	d.head = block + 1
+	d.head = start + uint64(n)
 	if d.head >= d.p.NumBlocks {
 		d.head = d.p.NumBlocks - 1 // park at the end; next access seeks
 		d.primed = false
@@ -170,14 +182,15 @@ func (d *Disk) Access(block uint64, write bool) time.Duration {
 		d.primed = true
 	}
 	d.now += cost
-	d.stats.Accesses++
+	d.stats.Accesses += uint64(n)
+	d.stats.Sequential += uint64(n - 1)
 	if sequential {
 		d.stats.Sequential++
 	}
 	if write {
-		d.stats.Writes++
+		d.stats.Writes += uint64(n)
 	} else {
-		d.stats.Reads++
+		d.stats.Reads += uint64(n)
 	}
 	d.stats.BusyTime += cost
 	d.stats.SeekTime += positioning

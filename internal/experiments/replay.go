@@ -28,8 +28,11 @@ func readStream(blocks []uint64) []ioEvent {
 	return out
 }
 
-// fromTrace converts captured device events into replayable ones.
+// fromTrace converts captured device events into replayable ones,
+// flattening batched ranged events into one access per block so the
+// disk-model replay still services every block the device touched.
 func fromTrace(events []blockdev.Event) []ioEvent {
+	events = blockdev.ExpandEvents(events)
 	out := make([]ioEvent, len(events))
 	for i, e := range events {
 		out[i] = ioEvent{block: e.Block, write: e.Op == blockdev.OpWrite}

@@ -33,7 +33,7 @@ func SecurityDef1(s Scale) (*Table, error) {
 
 		writesOf := func(events []blockdev.Event) []uint64 {
 			var out []uint64
-			for _, e := range events {
+			for _, e := range blockdev.ExpandEvents(events) {
 				if e.Op == blockdev.OpWrite {
 					out = append(out, e.Block)
 				}

@@ -76,24 +76,34 @@ func Sort(dev blockdev.Device, src, scratch Region, memBlocks int, key KeyFunc, 
 	if len(opts) > 0 {
 		opt = opts[0]
 	}
-	write := func(i uint64, block []byte) error {
+	// write places a batch of blocks at [start, start+len(blocks)) in
+	// one device batch, applying Transform first. All of the sort's
+	// write traffic is contiguous, so every write is one batch call.
+	write := func(start uint64, blocks [][]byte) error {
 		if opt.Transform != nil {
-			if err := opt.Transform(block); err != nil {
-				return fmt.Errorf("extsort: transform: %w", err)
+			for _, b := range blocks {
+				if err := opt.Transform(b); err != nil {
+					return fmt.Errorf("extsort: transform: %w", err)
+				}
 			}
 		}
-		return dev.WriteBlock(i, block)
+		if err := blockdev.WriteBlocks(dev, start, blocks); err != nil {
+			return fmt.Errorf("extsort: %w", err)
+		}
+		return nil
 	}
-	// writeFinal is used for writes that place a block at its final
+	// writeFinal is used for writes that place blocks at their final
 	// position, so OnOutput observes the settled layout exactly once
 	// per block.
-	writeFinal := func(i uint64, block []byte) error {
-		if err := write(i, block); err != nil {
+	writeFinal := func(start uint64, blocks [][]byte) error {
+		if err := write(start, blocks); err != nil {
 			return err
 		}
 		if opt.OnOutput != nil {
-			if err := opt.OnOutput(i, block); err != nil {
-				return fmt.Errorf("extsort: on-output: %w", err)
+			for i, b := range blocks {
+				if err := opt.OnOutput(start+uint64(i), b); err != nil {
+					return fmt.Errorf("extsort: on-output: %w", err)
+				}
 			}
 		}
 		return nil
@@ -113,13 +123,17 @@ func Sort(dev blockdev.Device, src, scratch Region, memBlocks int, key KeyFunc, 
 
 	bs := dev.BlockSize()
 
-	readIn := func(i uint64, buf []byte) error {
-		if err := dev.ReadBlock(i, buf); err != nil {
+	// readIn pulls a contiguous range in one device batch and runs
+	// OnInput over it in position order.
+	readIn := func(start uint64, bufs [][]byte) error {
+		if err := blockdev.ReadBlocks(dev, start, bufs); err != nil {
 			return fmt.Errorf("extsort: %w", err)
 		}
 		if opt.OnInput != nil {
-			if err := opt.OnInput(i, buf); err != nil {
-				return fmt.Errorf("extsort: on-input: %w", err)
+			for i, b := range bufs {
+				if err := opt.OnInput(start+uint64(i), b); err != nil {
+					return fmt.Errorf("extsort: on-input: %w", err)
+				}
 			}
 		}
 		return nil
@@ -127,20 +141,12 @@ func Sort(dev blockdev.Device, src, scratch Region, memBlocks int, key KeyFunc, 
 
 	// In-memory fast path: everything fits in the window.
 	if src.Len <= uint64(memBlocks) {
-		blocks := make([][]byte, src.Len)
-		for i := range blocks {
-			blocks[i] = make([]byte, bs)
-			if err := readIn(src.Start+uint64(i), blocks[i]); err != nil {
-				return err
-			}
+		blocks := blockdev.AllocBlocks(int(src.Len), bs)
+		if err := readIn(src.Start, blocks); err != nil {
+			return err
 		}
 		sortBlocks(blocks, key)
-		for i, b := range blocks {
-			if err := writeFinal(src.Start+uint64(i), b); err != nil {
-				return err
-			}
-		}
-		return nil
+		return writeFinal(src.Start, blocks)
 	}
 
 	// Merge geometry. The fan-in is balanced against the per-cursor
@@ -167,26 +173,19 @@ func Sort(dev blockdev.Device, src, scratch Region, memBlocks int, key KeyFunc, 
 	if passes%2 == 1 {
 		runBase = scratch
 	}
-	window := make([][]byte, memBlocks)
-	for i := range window {
-		window[i] = make([]byte, bs)
-	}
+	window := blockdev.AllocBlocks(memBlocks, bs)
 	var runs []Region
 	for off := uint64(0); off < src.Len; {
 		n := uint64(memBlocks)
 		if src.Len-off < n {
 			n = src.Len - off
 		}
-		for i := uint64(0); i < n; i++ {
-			if err := readIn(src.Start+off+i, window[i]); err != nil {
-				return err
-			}
+		if err := readIn(src.Start+off, window[:n]); err != nil {
+			return err
 		}
 		sortBlocks(window[:n], key)
-		for i := uint64(0); i < n; i++ {
-			if err := write(runBase.Start+off+i, window[i]); err != nil {
-				return fmt.Errorf("extsort: %w", err)
-			}
+		if err := write(runBase.Start+off, window[:n]); err != nil {
+			return err
 		}
 		runs = append(runs, Region{Start: runBase.Start + off, Len: n})
 		off += n
@@ -233,15 +232,11 @@ func Sort(dev blockdev.Device, src, scratch Region, memBlocks int, key KeyFunc, 
 			if final.Len-off < n {
 				n = final.Len - off
 			}
-			for i := uint64(0); i < n; i++ {
-				if err := dev.ReadBlock(final.Start+off+i, window[i]); err != nil {
-					return fmt.Errorf("extsort: %w", err)
-				}
+			if err := blockdev.ReadBlocks(dev, final.Start+off, window[:n]); err != nil {
+				return fmt.Errorf("extsort: %w", err)
 			}
-			for i := uint64(0); i < n; i++ {
-				if err := writeFinal(src.Start+off+i, window[i]); err != nil {
-					return err
-				}
+			if err := writeFinal(src.Start+off, window[:n]); err != nil {
+				return err
 			}
 			off += n
 		}
@@ -302,15 +297,15 @@ func (h *cursorHeap) Pop() any {
 
 func (c *cursor) advance(dev blockdev.Device, key KeyFunc) error {
 	if c.next >= c.have {
-		// Refill the chunk with sequential reads from the run.
+		// Refill the chunk with one batched sequential read from the run.
 		c.have = 0
 		c.next = 0
-		for c.have < len(c.chunk) && c.pos < c.run.Len {
-			if err := dev.ReadBlock(c.run.Start+c.pos, c.chunk[c.have]); err != nil {
+		if n := min(uint64(len(c.chunk)), c.run.Len-c.pos); n > 0 {
+			if err := blockdev.ReadBlocks(dev, c.run.Start+c.pos, c.chunk[:n]); err != nil {
 				return fmt.Errorf("extsort: %w", err)
 			}
-			c.pos++
-			c.have++
+			c.pos += n
+			c.have = int(n)
 		}
 		if c.have == 0 {
 			c.done = true
@@ -325,17 +320,17 @@ func (c *cursor) advance(dev blockdev.Device, key KeyFunc) error {
 
 // mergeRuns k-way merges the given runs into a region starting at
 // dstStart and returns it. Each cursor and the output use a buffer of
-// `chunk` blocks so the pass's I/O stays mostly sequential.
-func mergeRuns(dev blockdev.Device, runs []Region, dstStart uint64, chunk int, key KeyFunc, write func(uint64, []byte) error) (Region, error) {
+// `chunk` blocks, refilled and flushed as single device batches, so
+// the pass's I/O stays mostly sequential and costs one batch call per
+// chunk. The output buffers are reused across flushes — the merge
+// allocates nothing per block.
+func mergeRuns(dev blockdev.Device, runs []Region, dstStart uint64, chunk int, key KeyFunc, write func(uint64, [][]byte) error) (Region, error) {
 	bs := dev.BlockSize()
 	h := make(cursorHeap, 0, len(runs))
 	var total uint64
 	for i, r := range runs {
 		total += r.Len
-		c := &cursor{run: r, tie: i, chunk: make([][]byte, chunk)}
-		for j := range c.chunk {
-			c.chunk[j] = make([]byte, bs)
-		}
+		c := &cursor{run: r, tie: i, chunk: blockdev.AllocBlocks(chunk, bs)}
 		if err := c.advance(dev, key); err != nil {
 			return Region{}, err
 		}
@@ -345,21 +340,23 @@ func mergeRuns(dev blockdev.Device, runs []Region, dstStart uint64, chunk int, k
 	}
 	heap.Init(&h)
 	out := dstStart
-	outChunk := make([][]byte, 0, chunk)
+	outChunk := blockdev.AllocBlocks(chunk, bs)
+	outN := 0
 	flush := func() error {
-		for _, b := range outChunk {
-			if err := write(out, b); err != nil {
-				return fmt.Errorf("extsort: %w", err)
-			}
-			out++
+		if outN == 0 {
+			return nil
 		}
-		outChunk = outChunk[:0]
+		if err := write(out, outChunk[:outN]); err != nil {
+			return err
+		}
+		out += uint64(outN)
+		outN = 0
 		return nil
 	}
 	for h.Len() > 0 {
 		c := h[0]
-		block := make([]byte, bs)
-		copy(block, c.buf)
+		copy(outChunk[outN], c.buf)
+		outN++
 		k := c.key
 		if err := c.advance(dev, key); err != nil {
 			return Region{}, err
@@ -372,8 +369,7 @@ func mergeRuns(dev blockdev.Device, runs []Region, dstStart uint64, chunk int, k
 			}
 			heap.Fix(&h, 0)
 		}
-		outChunk = append(outChunk, block)
-		if len(outChunk) == chunk {
+		if outN == chunk {
 			if err := flush(); err != nil {
 				return Region{}, err
 			}

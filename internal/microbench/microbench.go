@@ -1,0 +1,174 @@
+// Package microbench defines the fixed micro-benchmark suite that
+// cmd/benchrunner can run outside `go test` and emit as
+// machine-readable JSON (BENCH_results.json), giving successive PRs a
+// perf trajectory to compare against. The suite covers the hot paths
+// the batch I/O plane serves: raw device batches (local and remote),
+// the oblivious reshuffle, and a sequential hidden-file scan.
+package microbench
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/oblivious"
+	"steghide/internal/prng"
+	"steghide/internal/sealer"
+	"steghide/internal/stegfs"
+	"steghide/internal/wire"
+)
+
+// Result is one benchmark's outcome in stable, diffable units.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
+}
+
+// bench is one suite entry.
+type bench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+const (
+	benchBS    = 4096
+	benchBatch = 64
+)
+
+func suite() []bench {
+	return []bench{
+		{"batch-read-mem/loop", func(b *testing.B) { devRead(b, blockdev.NewMem(benchBS, 1<<10), false) }},
+		{"batch-read-mem/batched", func(b *testing.B) { devRead(b, blockdev.NewMem(benchBS, 1<<10), true) }},
+		{"batch-read-wire/loop", func(b *testing.B) { remoteRead(b, false) }},
+		{"batch-read-wire/batched", func(b *testing.B) { remoteRead(b, true) }},
+		{"oblivious-reshuffle", obliviousReshuffle},
+		{"stegfs-seq-scan", stegfsScan},
+	}
+}
+
+// Run executes the whole suite and returns the results.
+func Run() []Result {
+	var out []Result
+	for _, bm := range suite() {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bm.fn(b)
+		})
+		res := Result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// WriteJSON runs the suite and writes it to path.
+func WriteJSON(path string) error {
+	results := Run()
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("microbench: %w", err)
+	}
+	return nil
+}
+
+func devRead(b *testing.B, d blockdev.Device, batched bool) {
+	bufs := blockdev.AllocBlocks(benchBatch, d.BlockSize())
+	b.SetBytes(int64(benchBatch * d.BlockSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			if err := blockdev.ReadBlocks(d, 0, bufs); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		for j := range bufs {
+			if err := d.ReadBlock(uint64(j), bufs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func remoteRead(b *testing.B, batched bool) {
+	srv, err := wire.NewStorageServer("127.0.0.1:0", blockdev.NewMem(benchBS, 1<<8), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	dev, err := wire.DialStorage(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dev.Close()
+	devRead(b, dev, batched)
+}
+
+func obliviousReshuffle(b *testing.B) {
+	const bufBlocks, levels = 16, 4
+	dev := blockdev.NewMem(512, oblivious.Footprint(bufBlocks, levels)+8)
+	s, err := oblivious.New(oblivious.Config{
+		Dev:          dev,
+		Key:          sealer.DeriveKey([]byte("bench"), "obli"),
+		BufferBlocks: bufBlocks,
+		Levels:       levels,
+		RNG:          prng.NewFromUint64(42),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, s.ValueSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint64(val, uint64(i))
+		if err := s.Put(oblivious.BlockID{File: 1, Index: uint64(i % s.Capacity())}, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func stegfsScan(b *testing.B) {
+	vol, err := stegfs.Format(blockdev.NewMem(512, 1<<14),
+		stegfs.FormatOptions{KDFIterations: 4, FillSeed: []byte("b")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := stegfs.NewBitmapSource(vol.FirstDataBlock(), vol.NumBlocks(), prng.NewFromUint64(1))
+	fak := stegfs.DeriveFAK("u", "/scan", vol)
+	f, err := stegfs.CreateFile(vol, fak, "/scan", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const blocks = 128
+	data := prng.NewFromUint64(2).Bytes(blocks * vol.PayloadSize())
+	if _, err := f.WriteAt(data, 0, stegfs.InPlacePolicy{Vol: vol}); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package oblivious
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/prng"
+	"steghide/internal/sealer"
+)
+
+func benchStore(b *testing.B, bufferBlocks, levels int) *Store {
+	b.Helper()
+	dev := blockdev.NewMem(512, Footprint(bufferBlocks, levels)+8)
+	s, err := New(Config{
+		Dev:          dev,
+		Key:          sealer.DeriveKey([]byte("bench"), "obli"),
+		BufferBlocks: bufferBlocks,
+		Levels:       levels,
+		RNG:          prng.NewFromUint64(42),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkReshuffle drives the store's write path hard enough that
+// every iteration pays for buffer flushes and level merges — the
+// external-sort reshuffle whose allocation behaviour the batch plane
+// and scratch reuse are meant to fix. Run with -benchmem.
+func BenchmarkReshuffle(b *testing.B) {
+	s := benchStore(b, 16, 4)
+	val := make([]byte, s.ValueSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint64(val, uint64(i))
+		if err := s.Put(BlockID{File: 1, Index: uint64(i % s.Capacity())}, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObliviousGet measures the steady-state probe path (one
+// batched scattered read per access).
+func BenchmarkObliviousGet(b *testing.B) {
+	s := benchStore(b, 16, 4)
+	val := make([]byte, s.ValueSize())
+	for i := 0; i < s.Capacity()/2; i++ {
+		binary.BigEndian.PutUint64(val, uint64(i))
+		if err := s.Put(BlockID{File: 1, Index: uint64(i)}, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get(BlockID{File: 1, Index: uint64(i % (s.Capacity() / 2))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

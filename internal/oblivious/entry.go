@@ -75,12 +75,17 @@ type entry struct {
 	value    []byte // nil for dummies
 }
 
-// codec seals and opens slots under the store's key.
+// codec seals and opens slots under the store's key. Like the Store
+// it serves, it is not safe for concurrent use: encode and decode
+// share per-codec scratch buffers so the hot paths (probes, flushes,
+// shuffle passes) allocate nothing per block.
 type codec struct {
 	seal     *sealer.Sealer
 	key      sealer.Key
 	payload  int
 	valueLen int
+	encBuf   []byte // plaintext scratch for encode
+	decBuf   []byte // plaintext scratch for decode
 }
 
 func newCodec(key sealer.Key, blockSize int) (*codec, error) {
@@ -92,14 +97,24 @@ func newCodec(key sealer.Key, blockSize int) (*codec, error) {
 	if payload <= entryMetaSize {
 		return nil, fmt.Errorf("oblivious: block size %d leaves no room for values", blockSize)
 	}
-	return &codec{seal: s, key: key, payload: payload, valueLen: payload - entryMetaSize}, nil
+	return &codec{
+		seal:     s,
+		key:      key,
+		payload:  payload,
+		valueLen: payload - entryMetaSize,
+		encBuf:   make([]byte, payload),
+		decBuf:   make([]byte, payload),
+	}, nil
 }
 
 // encode seals e into a full raw slot. Dummies may have short or nil
 // values; real values must be exactly valueLen bytes. fill supplies
 // padding/dummy bytes.
 func (c *codec) encode(dst []byte, e *entry, iv []byte, fill func([]byte)) error {
-	payload := make([]byte, c.payload)
+	payload := c.encBuf
+	// Every field below is overwritten except the padding word; clear
+	// it so reused scratch never leaks stale bytes into the ciphertext.
+	binary.BigEndian.PutUint32(payload[12:], 0)
 	var flags uint32
 	if e.real {
 		flags |= flagReal
@@ -128,7 +143,7 @@ func (c *codec) encode(dst []byte, e *entry, iv []byte, fill func([]byte)) error
 // decode opens a raw slot. The value slice is freshly allocated for
 // real entries.
 func (c *codec) decode(raw []byte) (*entry, error) {
-	payload := make([]byte, c.payload)
+	payload := c.decBuf
 	if err := c.seal.Open(payload, raw); err != nil {
 		return nil, err
 	}

@@ -66,6 +66,7 @@ func (s *Store) dump(i int) error {
 	// pass places each block (OnOutput).
 	lowCount := li.region.Len
 	var dummies uint64
+	iv := make([]byte, sealer.IVSize)
 	onInput := func(pos uint64, raw []byte) error {
 		e, err := s.codec.decode(raw)
 		if err != nil {
@@ -82,7 +83,6 @@ func (s *Store) dump(i int) error {
 			e.lowClass = dummies < lowCount
 			dummies++
 		}
-		iv := make([]byte, sealer.IVSize)
 		s.rng.Read(iv)
 		return s.codec.encode(raw, e, iv, func(p []byte) { s.rng.Read(p) })
 	}
@@ -156,7 +156,9 @@ func (s *Store) resealTransform() func([]byte) error {
 	}
 }
 
-// shuffleDev counts shuffle I/O.
+// shuffleDev counts shuffle I/O. It forwards batches to the inner
+// device's fast path (via the package helpers) so the merge sort's
+// batched passes stay batched all the way down.
 type shuffleDev struct {
 	blockdev.Device
 	s *Store
@@ -175,6 +177,42 @@ func (d *shuffleDev) WriteBlock(i uint64, data []byte) error {
 		return err
 	}
 	d.s.stats.ShuffleWrites++
+	return nil
+}
+
+// ReadBlocks implements blockdev.BatchDevice.
+func (d *shuffleDev) ReadBlocks(start uint64, bufs [][]byte) error {
+	if err := blockdev.ReadBlocks(d.Device, start, bufs); err != nil {
+		return err
+	}
+	d.s.stats.ShuffleReads += uint64(len(bufs))
+	return nil
+}
+
+// WriteBlocks implements blockdev.BatchDevice.
+func (d *shuffleDev) WriteBlocks(start uint64, data [][]byte) error {
+	if err := blockdev.WriteBlocks(d.Device, start, data); err != nil {
+		return err
+	}
+	d.s.stats.ShuffleWrites += uint64(len(data))
+	return nil
+}
+
+// ReadBlocksAt implements blockdev.BatchDevice.
+func (d *shuffleDev) ReadBlocksAt(idx []uint64, bufs [][]byte) error {
+	if err := blockdev.ReadBlocksAt(d.Device, idx, bufs); err != nil {
+		return err
+	}
+	d.s.stats.ShuffleReads += uint64(len(idx))
+	return nil
+}
+
+// WriteBlocksAt implements blockdev.BatchDevice.
+func (d *shuffleDev) WriteBlocksAt(idx []uint64, data [][]byte) error {
+	if err := blockdev.WriteBlocksAt(d.Device, idx, data); err != nil {
+		return err
+	}
+	d.s.stats.ShuffleWrites += uint64(len(idx))
 	return nil
 }
 

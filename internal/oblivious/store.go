@@ -107,6 +107,14 @@ type Store struct {
 
 	// epochSeeds feed the shuffle-tag PRF; refreshed per shuffle.
 	tagRNG *prng.PRNG
+
+	// Reusable scratch. The store is not safe for concurrent use (the
+	// agent serializes access), so one set of buffers serves every hot
+	// path instead of a make per call:
+	ioBufs    [][]byte // B blocks for batched level scans (flush/format)
+	probeIdx  []uint64 // one slot index per level (Get/DummyRead)
+	probeBufs [][]byte // one block per level (Get/DummyRead)
+	iv        []byte   // IV scratch for sealing
 }
 
 // New builds and formats an oblivious store: every level slot is
@@ -154,20 +162,27 @@ func New(cfg Config) (*Store, error) {
 		start += slots
 	}
 	s.scratch = extsort.Region{Start: start, Len: 3 * (uint64(1) << uint(cfg.Levels-1)) * b}
+	s.ioBufs = blockdev.AllocBlocks(cfg.BufferBlocks, s.dev.BlockSize())
+	s.probeIdx = make([]uint64, cfg.Levels)
+	s.probeBufs = blockdev.AllocBlocks(cfg.Levels, s.dev.BlockSize())
+	s.iv = make([]byte, sealer.IVSize)
 
-	// Format: seal a dummy into every slot (sequential write pass).
-	raw := make([]byte, s.dev.BlockSize())
-	iv := make([]byte, sealer.IVSize)
+	// Format: seal a dummy into every slot, written out in batched
+	// sequential passes of B blocks.
 	for _, lv := range s.levels {
-		for slot := lv.region.Start; slot < lv.region.End(); slot++ {
-			s.rng.Read(iv)
-			e := &entry{nonce: s.rng.Uint64()}
-			if err := s.codec.encode(raw, e, iv, func(p []byte) { s.rng.Read(p) }); err != nil {
+		for slot := lv.region.Start; slot < lv.region.End(); {
+			n := min(uint64(len(s.ioBufs)), lv.region.End()-slot)
+			for i := uint64(0); i < n; i++ {
+				s.rng.Read(s.iv)
+				e := &entry{nonce: s.rng.Uint64()}
+				if err := s.codec.encode(s.ioBufs[i], e, s.iv, func(p []byte) { s.rng.Read(p) }); err != nil {
+					return nil, err
+				}
+			}
+			if err := blockdev.WriteBlocks(s.dev, slot, s.ioBufs[:n]); err != nil {
 				return nil, err
 			}
-			if err := s.dev.WriteBlock(slot, raw); err != nil {
-				return nil, err
-			}
+			slot += n
 		}
 		lv.resetEpoch(s, nil)
 	}
@@ -235,12 +250,13 @@ func (s *Store) now() time.Duration {
 	return s.clock()
 }
 
-// readSlot performs one observable slot read.
-func (s *Store) readSlot(slot uint64, raw []byte) error {
-	if err := s.dev.ReadBlock(slot, raw); err != nil {
+// readSlots performs the observable probe reads of one access as a
+// single scattered batch — one slot per level, one device call.
+func (s *Store) readSlots(idx []uint64, bufs [][]byte) error {
+	if err := blockdev.ReadBlocksAt(s.dev, idx, bufs); err != nil {
 		return err
 	}
-	s.stats.LevelReads++
+	s.stats.LevelReads += uint64(len(idx))
 	return nil
 }
 
@@ -260,37 +276,42 @@ func (s *Store) Get(id BlockID) ([]byte, bool, error) {
 	t0 := s.now()
 	sort0 := s.stats.SortTime
 
-	var found *entry
-	raw := make([]byte, s.dev.BlockSize())
-	for _, lv := range s.levels {
-		slot, here := lv.index[id]
-		if found == nil && here {
-			if err := s.readSlot(slot, raw); err != nil {
-				return nil, false, err
-			}
-			e, err := s.codec.decode(raw)
-			if err != nil {
-				return nil, false, err
-			}
-			if !e.real || e.id != id {
-				return nil, false, fmt.Errorf("%w: index pointed at wrong entry", ErrCorruptSlot)
-			}
-			found = e
-			// Consumed: the entry promotes to the buffer. The slot
-			// keeps its (now stale) ciphertext until the next merge
-			// drops it, but it no longer counts toward occupancy.
-			delete(lv.index, id)
-			if lv.realCount > 0 {
-				lv.realCount--
-			}
+	// Pick the probe slot of every level up front — the slot choices
+	// never depend on the reads — then fetch them in one batch.
+	realLevel := -1
+	for li, lv := range s.levels {
+		if slot, here := lv.index[id]; here && realLevel < 0 {
+			realLevel = li
+			s.probeIdx[li] = slot
 			continue
 		}
 		slot, err := lv.drawDummy(s)
 		if err != nil {
 			return nil, false, err
 		}
-		if err := s.readSlot(slot, raw); err != nil {
+		s.probeIdx[li] = slot
+	}
+	if err := s.readSlots(s.probeIdx, s.probeBufs); err != nil {
+		return nil, false, err
+	}
+
+	var found *entry
+	if realLevel >= 0 {
+		lv := s.levels[realLevel]
+		e, err := s.codec.decode(s.probeBufs[realLevel])
+		if err != nil {
 			return nil, false, err
+		}
+		if !e.real || e.id != id {
+			return nil, false, fmt.Errorf("%w: index pointed at wrong entry", ErrCorruptSlot)
+		}
+		found = e
+		// Consumed: the entry promotes to the buffer. The slot keeps
+		// its (now stale) ciphertext until the next merge drops it,
+		// but it no longer counts toward occupancy.
+		delete(lv.index, id)
+		if lv.realCount > 0 {
+			lv.realCount--
 		}
 	}
 
@@ -320,15 +341,15 @@ func (s *Store) DummyRead() error {
 	s.stats.DummyReads++
 	t0 := s.now()
 	sort0 := s.stats.SortTime
-	raw := make([]byte, s.dev.BlockSize())
-	for _, lv := range s.levels {
+	for li, lv := range s.levels {
 		slot, err := lv.drawDummy(s)
 		if err != nil {
 			return err
 		}
-		if err := s.readSlot(slot, raw); err != nil {
-			return err
-		}
+		s.probeIdx[li] = slot
+	}
+	if err := s.readSlots(s.probeIdx, s.probeBufs); err != nil {
+		return err
 	}
 	if err := s.afterAccess(); err != nil {
 		return err
@@ -480,24 +501,28 @@ func (s *Store) flush() error {
 	lv := s.levels[0]
 
 	// Collect survivors: level-1 entries not superseded by the buffer.
-	raw := make([]byte, s.dev.BlockSize())
+	// The level is scanned in batched sequential passes of B blocks.
 	entries := make([]*entry, 0, lv.capReal)
-	for slot := lv.region.Start; slot < lv.region.End(); slot++ {
-		if err := s.dev.ReadBlock(slot, raw); err != nil {
+	for slot := lv.region.Start; slot < lv.region.End(); {
+		n := min(uint64(len(s.ioBufs)), lv.region.End()-slot)
+		if err := blockdev.ReadBlocks(s.dev, slot, s.ioBufs[:n]); err != nil {
 			return err
 		}
-		s.stats.ShuffleReads++
-		e, err := s.codec.decode(raw)
-		if err != nil {
-			return err
+		s.stats.ShuffleReads += n
+		for i := uint64(0); i < n; i++ {
+			e, err := s.codec.decode(s.ioBufs[i])
+			if err != nil {
+				return err
+			}
+			if !e.real {
+				continue
+			}
+			if b, ok := s.buffer[e.id]; ok && b.version >= e.version {
+				continue
+			}
+			entries = append(entries, e)
 		}
-		if !e.real {
-			continue
-		}
-		if b, ok := s.buffer[e.id]; ok && b.version >= e.version {
-			continue
-		}
-		entries = append(entries, e)
+		slot += n
 	}
 	for _, e := range s.buffer {
 		entries = append(entries, e)
@@ -518,25 +543,28 @@ func (s *Store) flush() error {
 	for i, e := range entries {
 		place[perm[i]] = e
 	}
-	iv := make([]byte, sealer.IVSize)
-	for off := 0; off < slots; off++ {
-		slot := lv.region.Start + uint64(off)
-		e := place[off]
-		if e == nil {
-			e = &entry{nonce: s.rng.Uint64()}
-		} else {
-			e.nonce = s.rng.Uint64()
-			lv.index[e.id] = slot
-			realSlots[slot] = true
+	for off := 0; off < slots; {
+		n := min(len(s.ioBufs), slots-off)
+		for i := 0; i < n; i++ {
+			slot := lv.region.Start + uint64(off+i)
+			e := place[off+i]
+			if e == nil {
+				e = &entry{nonce: s.rng.Uint64()}
+			} else {
+				e.nonce = s.rng.Uint64()
+				lv.index[e.id] = slot
+				realSlots[slot] = true
+			}
+			s.rng.Read(s.iv)
+			if err := s.codec.encode(s.ioBufs[i], e, s.iv, func(p []byte) { s.rng.Read(p) }); err != nil {
+				return err
+			}
 		}
-		s.rng.Read(iv)
-		if err := s.codec.encode(raw, e, iv, func(p []byte) { s.rng.Read(p) }); err != nil {
+		if err := blockdev.WriteBlocks(s.dev, lv.region.Start+uint64(off), s.ioBufs[:n]); err != nil {
 			return err
 		}
-		if err := s.dev.WriteBlock(slot, raw); err != nil {
-			return err
-		}
-		s.stats.ShuffleWrites++
+		s.stats.ShuffleWrites += uint64(n)
+		off += n
 	}
 	lv.realCount = len(entries)
 	lv.resetEpoch(s, realSlots)

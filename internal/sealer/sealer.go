@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // IVSize is the length in bytes of the per-block initialization
@@ -75,8 +76,19 @@ func KeyFromPassphrase(passphrase string, salt []byte, iterations int) Key {
 // buffers and the cipher.Block is stateless.
 type Sealer struct {
 	block     cipher.Block
-	blockSize int // full on-disk block size, IV included
+	blockSize int       // full on-disk block size, IV included
+	scratch   sync.Pool // *[]byte data-field buffers for Reseal paths
 }
+
+// getScratch borrows a DataSize-byte buffer from the sealer's pool.
+func (s *Sealer) getScratch() []byte {
+	if v := s.scratch.Get(); v != nil {
+		return *(v.(*[]byte))
+	}
+	return make([]byte, s.DataSize())
+}
+
+func (s *Sealer) putScratch(b []byte) { s.scratch.Put(&b) }
 
 // New returns a Sealer for devices with the given on-disk block size.
 // The data field (blockSize − IVSize) must be a positive multiple of
@@ -134,16 +146,64 @@ func (s *Sealer) Open(dst, raw []byte) error {
 
 // Reseal re-encrypts a sealed block in place under a fresh IV without
 // changing the plaintext data field — the dummy-update primitive from
-// §4.1.3. scratch, if non-nil, must be DataSize bytes and avoids an
-// allocation.
+// §4.1.3. scratch, if non-nil, must be DataSize bytes; if nil a pooled
+// buffer is used, so no allocation happens either way after warm-up.
 func (s *Sealer) Reseal(raw, newIV, scratch []byte) error {
 	if scratch == nil {
-		scratch = make([]byte, s.DataSize())
+		scratch = s.getScratch()
+		defer s.putScratch(scratch)
 	}
 	if err := s.Open(scratch, raw); err != nil {
 		return err
 	}
 	return s.Seal(raw, newIV, scratch)
+}
+
+// SealMany seals datas[i] into dsts[i] for every i, drawing each
+// block's IV through nextIV. It is the batched companion of Seal for
+// bulk writers (formats, reshuffles, flushes).
+func (s *Sealer) SealMany(dsts [][]byte, nextIV func(iv []byte), datas [][]byte) error {
+	if len(dsts) != len(datas) {
+		return fmt.Errorf("sealer: %d destinations for %d payloads", len(dsts), len(datas))
+	}
+	var iv [IVSize]byte
+	for i, dst := range dsts {
+		nextIV(iv[:])
+		if err := s.Seal(dst, iv[:], datas[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenMany decrypts raws[i] into dsts[i] for every i — the batched
+// companion of Open for bulk readers.
+func (s *Sealer) OpenMany(dsts, raws [][]byte) error {
+	if len(dsts) != len(raws) {
+		return fmt.Errorf("sealer: %d destinations for %d raw blocks", len(dsts), len(raws))
+	}
+	for i, dst := range dsts {
+		if err := s.Open(dst, raws[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResealMany re-encrypts every raw block in place under fresh IVs
+// drawn through nextIV, sharing one pooled scratch buffer across the
+// whole batch instead of allocating per block.
+func (s *Sealer) ResealMany(raws [][]byte, nextIV func(iv []byte)) error {
+	scratch := s.getScratch()
+	defer s.putScratch(scratch)
+	var iv [IVSize]byte
+	for _, raw := range raws {
+		nextIV(iv[:])
+		if err := s.Reseal(raw, iv[:], scratch); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Checksum computes an 8-byte integrity tag over data, keyed by the

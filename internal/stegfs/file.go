@@ -441,20 +441,37 @@ func (f *File) Resize(size uint64, policy UpdatePolicy) error {
 	cur := uint64(len(f.blocks))
 	switch {
 	case want > cur:
-		zero := make([]byte, ps)
+		// Acquire all new locations first, then materialize them with
+		// one batched sealed write; on any failure the growth is rolled
+		// back whole, so the map never records unwritten blocks.
+		newLocs := make([]uint64, 0, want-cur)
+		rollback := func() {
+			for _, loc := range newLocs {
+				f.source.Release(loc)
+			}
+		}
 		for i := cur; i < want; i++ {
 			loc, err := f.source.AcquireRandom()
 			if err != nil {
+				rollback()
 				return err
 			}
-			if err := f.vol.WriteSealed(loc, f.cseal, zero); err != nil {
-				f.source.Release(loc)
-				return err
+			newLocs = append(newLocs, loc)
+		}
+		zero := make([]byte, ps)
+		payloads := make([][]byte, len(newLocs))
+		for i := range payloads {
+			payloads[i] = zero
+		}
+		if err := f.vol.WriteSealedMany(newLocs, f.cseal, payloads); err != nil {
+			rollback()
+			return err
+		}
+		for _, loc := range newLocs {
+			if f.revIndex != nil {
+				f.revIndex[loc] = len(f.blocks)
 			}
 			f.blocks = append(f.blocks, loc)
-			if f.revIndex != nil {
-				f.revIndex[loc] = int(i)
-			}
 		}
 	case want < cur:
 		for _, loc := range f.blocks[want:] {
@@ -470,8 +487,14 @@ func (f *File) Resize(size uint64, policy UpdatePolicy) error {
 	return nil
 }
 
+// readAtBatch bounds how many blocks one ReadAt device batch gathers.
+const readAtBatch = 64
+
 // ReadAt reads len(p) bytes at byte offset off, returning the number
-// of bytes read; reads past EOF are truncated.
+// of bytes read; reads past EOF are truncated. The spanned blocks are
+// fetched in scattered device batches of up to readAtBatch blocks —
+// a sequential scan of a randomly-placed file costs one device call
+// per batch instead of one per block.
 func (f *File) ReadAt(p []byte, off uint64) (int, error) {
 	if off >= f.size {
 		return 0, nil
@@ -481,14 +504,30 @@ func (f *File) ReadAt(p []byte, off uint64) (int, error) {
 	}
 	ps := uint64(f.vol.PayloadSize())
 	read := 0
+	locs := make([]uint64, 0, readAtBatch)
 	for read < len(p) {
 		li := (off + uint64(read)) / ps
 		bo := (off + uint64(read)) % ps
-		payload, err := f.ReadBlockAt(li)
+		n := (bo + uint64(len(p)-read) + ps - 1) / ps
+		if n > readAtBatch {
+			n = readAtBatch
+		}
+		locs = locs[:0]
+		for i := uint64(0); i < n; i++ {
+			loc, err := f.BlockLoc(li + i)
+			if err != nil {
+				return read, err
+			}
+			locs = append(locs, loc)
+		}
+		payloads, err := f.vol.ReadSealedMany(locs, f.cseal)
 		if err != nil {
 			return read, err
 		}
-		read += copy(p[read:], payload[bo:])
+		for _, payload := range payloads {
+			read += copy(p[read:], payload[bo:])
+			bo = 0
+		}
 	}
 	return read, nil
 }

@@ -126,14 +126,19 @@ func Format(dev blockdev.Device, opts FormatOptions) (*Volume, error) {
 
 	// Random-fill the steg space. Fresh random bytes are
 	// indistinguishable from CBC ciphertext, so after this pass every
-	// block plausibly holds hidden data.
+	// block plausibly holds hidden data. The fill goes out in batched
+	// sequential passes; the PRNG is a byte stream, so the volume's
+	// contents are bit-identical to a block-at-a-time fill.
 	fill := rng.Child("fill")
-	buf := make([]byte, bs)
-	for i := uint64(1); i < v.nBlocks; i++ {
-		fill.Read(buf)
-		if err := dev.WriteBlock(i, buf); err != nil {
+	const fillBatch = 256
+	bufs := blockdev.AllocBlocks(fillBatch, bs)
+	for i := uint64(1); i < v.nBlocks; {
+		n := min(uint64(fillBatch), v.nBlocks-i)
+		fill.Read(bufs[0][: n*uint64(bs) : n*uint64(bs)])
+		if err := blockdev.WriteBlocks(dev, i, bufs[:n]); err != nil {
 			return nil, fmt.Errorf("stegfs: format fill: %w", err)
 		}
+		i += n
 	}
 	if err := v.writeSuper(); err != nil {
 		return nil, err
@@ -226,12 +231,16 @@ func (v *Volume) NewSealer(key sealer.Key) (*sealer.Sealer, error) {
 	return sealer.New(key, v.blockSize)
 }
 
-// nextIV draws a fresh IV from the volume's generator.
-func (v *Volume) nextIV(dst []byte) {
+// NextIV draws a fresh IV from the volume's generator; the hook the
+// hiding layers use when sealing blocks they batch themselves.
+func (v *Volume) NextIV(dst []byte) {
 	v.mu.Lock()
 	v.rng.Read(dst[:sealer.IVSize])
 	v.mu.Unlock()
 }
+
+// nextIV draws a fresh IV from the volume's generator.
+func (v *Volume) nextIV(dst []byte) { v.NextIV(dst) }
 
 // ReadSealed reads block loc and decrypts it with seal, returning the
 // payload in a fresh buffer.
@@ -284,4 +293,78 @@ func (v *Volume) RewriteRandom(loc uint64) error {
 	v.rng.Read(buf)
 	v.mu.Unlock()
 	return v.dev.WriteBlock(loc, buf)
+}
+
+// FillRandom fills buf from the volume's random stream — the in-memory
+// half of RewriteRandom, for callers that batch the device write.
+func (v *Volume) FillRandom(buf []byte) {
+	v.mu.Lock()
+	v.rng.Read(buf)
+	v.mu.Unlock()
+}
+
+// ReadSealedMany reads the blocks at locs in one scattered device
+// batch and decrypts each with seal, returning the payloads in fresh
+// buffers carved from a single allocation.
+func (v *Volume) ReadSealedMany(locs []uint64, seal *sealer.Sealer) ([][]byte, error) {
+	if len(locs) == 0 {
+		return nil, nil
+	}
+	raws := blockdev.AllocBlocks(len(locs), v.blockSize)
+	if err := blockdev.ReadBlocksAt(v.dev, locs, raws); err != nil {
+		return nil, err
+	}
+	out := blockdev.AllocBlocks(len(locs), v.payload)
+	if err := seal.OpenMany(out, raws); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteSealedMany seals payloads[i] under seal with fresh IVs and
+// writes them to locs[i], all in one scattered device batch.
+func (v *Volume) WriteSealedMany(locs []uint64, seal *sealer.Sealer, payloads [][]byte) error {
+	if len(locs) != len(payloads) {
+		return fmt.Errorf("stegfs: %d locations for %d payloads", len(locs), len(payloads))
+	}
+	if len(locs) == 0 {
+		return nil
+	}
+	raws := blockdev.AllocBlocks(len(locs), v.blockSize)
+	if err := seal.SealMany(raws, v.NextIV, payloads); err != nil {
+		return err
+	}
+	return blockdev.WriteBlocksAt(v.dev, locs, raws)
+}
+
+// UpdateMany is the batched read-modify-write primitive: it reads the
+// blocks at locs in one batch, lets apply rewrite each raw block in
+// memory (reseal, random refill, …), and writes them all back in one
+// batch. The observable stream is the same reads-then-writes a
+// per-block loop would emit, at a fraction of the device round trips.
+func (v *Volume) UpdateMany(locs []uint64, apply func(i int, raw []byte) error) error {
+	if len(locs) == 0 {
+		return nil
+	}
+	raws := blockdev.AllocBlocks(len(locs), v.blockSize)
+	if err := blockdev.ReadBlocksAt(v.dev, locs, raws); err != nil {
+		return err
+	}
+	for i, raw := range raws {
+		if err := apply(i, raw); err != nil {
+			return err
+		}
+	}
+	return blockdev.WriteBlocksAt(v.dev, locs, raws)
+}
+
+// ResealMany performs a dummy update on every block in locs (§4.1.3)
+// with two scattered device batches instead of 2·len(locs) single-block
+// calls — the bulk form the dummy-traffic daemon burns idle time with.
+func (v *Volume) ResealMany(locs []uint64, seal *sealer.Sealer) error {
+	var iv [sealer.IVSize]byte
+	return v.UpdateMany(locs, func(_ int, raw []byte) error {
+		v.NextIV(iv[:])
+		return seal.Reseal(raw, iv[:], nil)
+	})
 }

@@ -12,6 +12,13 @@ type DummySource interface {
 	DummyUpdate() error
 }
 
+// BurstDummySource is a DummySource that can emit a whole burst of
+// dummy updates through the batched I/O plane, reporting how many it
+// actually issued — both agent constructions implement it.
+type BurstDummySource interface {
+	DummyUpdateBurst(n int) (int, error)
+}
+
 // Daemon issues dummy updates on a fixed period, §4.1.3's "whenever
 // there is no user activity, the agent would issue dummy updates on
 // randomly selected blocks". Real updates are indistinguishable from
@@ -21,6 +28,7 @@ type DummySource interface {
 type Daemon struct {
 	src    DummySource
 	period time.Duration
+	burst  int
 
 	mu      sync.Mutex
 	stop    chan struct{}
@@ -35,7 +43,19 @@ func NewDaemon(src DummySource, period time.Duration) *Daemon {
 	if period <= 0 {
 		period = 250 * time.Millisecond
 	}
-	return &Daemon{src: src, period: period}
+	return &Daemon{src: src, period: period, burst: 1}
+}
+
+// WithBurst makes each tick issue n dummy updates instead of one,
+// routed through the source's batched path when it has one
+// (BurstDummySource) and a plain loop otherwise. Must be called
+// before Start. It returns the daemon for chaining.
+func (d *Daemon) WithBurst(n int) *Daemon {
+	if n < 1 {
+		n = 1
+	}
+	d.burst = n
+	return d
 }
 
 // Start launches the background loop. Starting a running daemon is a
@@ -60,11 +80,11 @@ func (d *Daemon) loop(stop, done chan struct{}) {
 		case <-stop:
 			return
 		case <-ticker.C:
-			err := d.src.DummyUpdate()
+			issued, err := d.tick()
 			d.mu.Lock()
+			d.issued += issued // partial bursts still count what went out
 			switch {
 			case err == nil:
-				d.issued++
 			case errors.Is(err, ErrNoDummySpace):
 				// Nothing disclosed yet — normal at boot; keep ticking.
 			default:
@@ -74,6 +94,28 @@ func (d *Daemon) loop(stop, done chan struct{}) {
 			d.mu.Unlock()
 		}
 	}
+}
+
+// tick emits one period's worth of dummy traffic, returning how many
+// updates actually went out (a burst can come up short when few
+// targets are eligible).
+func (d *Daemon) tick() (uint64, error) {
+	if d.burst > 1 {
+		if bs, ok := d.src.(BurstDummySource); ok {
+			n, err := bs.DummyUpdateBurst(d.burst)
+			return uint64(n), err
+		}
+		for i := 0; i < d.burst; i++ {
+			if err := d.src.DummyUpdate(); err != nil {
+				return uint64(i), err
+			}
+		}
+		return uint64(d.burst), nil
+	}
+	if err := d.src.DummyUpdate(); err != nil {
+		return 0, err
+	}
+	return 1, nil
 }
 
 // Stop halts the loop and waits for it to exit. Stopping a stopped

@@ -245,6 +245,33 @@ func (a *NonVolatileAgent) DummyUpdate() error {
 	return nil
 }
 
+// DummyUpdateBurst issues n idle-time dummy updates in one batched
+// read-reseal-write cycle: two scattered device batches instead of 2n
+// single-block calls. The observable stream — n reads then n writes
+// of uniformly random blocks — carries exactly the same distribution
+// as n sequential DummyUpdate calls. It returns how many updates were
+// issued (always n on success for this construction).
+func (a *NonVolatileAgent) DummyUpdateBurst(n int) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	first, nb := a.source.SpaceBounds()
+	span := nb - first
+	locs := make([]uint64, n)
+	for i := range locs {
+		locs[i] = first + a.rng.Uint64n(span)
+	}
+	if err := a.vol.ResealMany(locs, a.seal); err != nil {
+		return 0, err
+	}
+	a.stats.mu.Lock()
+	a.stats.s.DummyUpdates += uint64(n)
+	a.stats.mu.Unlock()
+	return n, nil
+}
+
 // State serializes the agent's persistent memory — the data/dummy
 // bitmap — for storage outside the raw volume (the "non-volatile
 // memory" of the construction). The caller is responsible for

@@ -615,3 +615,51 @@ func (a *VolatileAgent) DummyUpdate() error {
 	}
 	return fmt.Errorf("%w: only pending blocks visible", ErrNoDummySpace)
 }
+
+// DummyUpdateBurst issues up to n idle-time dummy updates over the
+// disclosed blocks in one batched read-modify-write cycle (two
+// scattered device batches instead of 2n single-block calls). Each
+// target is drawn exactly as DummyUpdate draws it, so the observable
+// stream keeps the same uniform-over-disclosed distribution. It
+// returns how many updates were issued — fewer than n when few
+// non-pending targets are visible.
+func (a *VolatileAgent) DummyUpdateBurst(n int) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.list) == 0 {
+		return 0, fmt.Errorf("%w: nothing disclosed", ErrNoDummySpace)
+	}
+	locs := make([]uint64, 0, n)
+	infos := make([]*ownerInfo, 0, n)
+	for try := 0; try < 64*n && len(locs) < n; try++ {
+		b3 := a.list[a.rng.Intn(len(a.list))]
+		info := a.known[b3]
+		if info.pending {
+			continue
+		}
+		locs = append(locs, b3)
+		infos = append(infos, info)
+	}
+	if len(locs) == 0 {
+		return 0, fmt.Errorf("%w: only pending blocks visible", ErrNoDummySpace)
+	}
+	var iv [sealer.IVSize]byte
+	if err := a.vol.UpdateMany(locs, func(i int, raw []byte) error {
+		if infos[i].dummy {
+			// Meaningless content: fresh random bytes are its reseal.
+			a.vol.FillRandom(raw)
+			return nil
+		}
+		a.vol.NextIV(iv[:])
+		return infos[i].seal.Reseal(raw, iv[:], nil)
+	}); err != nil {
+		return 0, err
+	}
+	a.stats.mu.Lock()
+	a.stats.s.DummyUpdates += uint64(len(locs))
+	a.stats.mu.Unlock()
+	return len(locs), nil
+}

@@ -35,6 +35,13 @@ const (
 	msgReadBlock  = 0x01
 	msgWriteBlock = 0x02
 	msgDevInfo    = 0x03
+	// Batched storage protocol: a whole block range (or index set) per
+	// round trip, so remote batch cost is one network latency instead
+	// of one per block.
+	msgReadBlocks    = 0x04
+	msgWriteBlocks   = 0x05
+	msgReadBlocksAt  = 0x06
+	msgWriteBlocksAt = 0x07
 	// Agent protocol.
 	msgLogin       = 0x10
 	msgLogout      = 0x11
@@ -271,6 +278,82 @@ func (s *StorageServer) serve(conn net.Conn, seq *uint64) {
 				s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpWrite, Block: idx})
 			}
 			resp = frame{Type: msgOK}
+		case msgReadBlocks:
+			d := &decoder{b: req.Body}
+			start, count := d.u64(), d.u64()
+			if d.err != nil {
+				resp = errFrame(d.err)
+				break
+			}
+			bufs, err := s.batchBufs(count)
+			if err != nil {
+				resp = errFrame(err)
+				break
+			}
+			if err := blockdev.ReadBlocks(s.dev, start, bufs); err != nil {
+				resp = errFrame(err)
+				break
+			}
+			if s.tap != nil {
+				s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpRead, Block: start, Count: count})
+			}
+			resp = frame{Type: msgOK, Body: slabOf(bufs)}
+		case msgWriteBlocks:
+			d := &decoder{b: req.Body}
+			start, count := d.u64(), d.u64()
+			data, err := s.splitBlocks(d, count)
+			if err != nil {
+				resp = errFrame(err)
+				break
+			}
+			if err := blockdev.WriteBlocks(s.dev, start, data); err != nil {
+				resp = errFrame(err)
+				break
+			}
+			if s.tap != nil {
+				s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpWrite, Block: start, Count: count})
+			}
+			resp = frame{Type: msgOK}
+		case msgReadBlocksAt:
+			d := &decoder{b: req.Body}
+			idx := decodeIndices(d)
+			if d.err != nil {
+				resp = errFrame(d.err)
+				break
+			}
+			bufs, err := s.batchBufs(uint64(len(idx)))
+			if err != nil {
+				resp = errFrame(err)
+				break
+			}
+			if err := blockdev.ReadBlocksAt(s.dev, idx, bufs); err != nil {
+				resp = errFrame(err)
+				break
+			}
+			if s.tap != nil {
+				for _, i := range idx {
+					s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpRead, Block: i})
+				}
+			}
+			resp = frame{Type: msgOK, Body: slabOf(bufs)}
+		case msgWriteBlocksAt:
+			d := &decoder{b: req.Body}
+			idx := decodeIndices(d)
+			data, err := s.splitBlocks(d, uint64(len(idx)))
+			if err != nil {
+				resp = errFrame(err)
+				break
+			}
+			if err := blockdev.WriteBlocksAt(s.dev, idx, data); err != nil {
+				resp = errFrame(err)
+				break
+			}
+			if s.tap != nil {
+				for _, i := range idx {
+					s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpWrite, Block: i})
+				}
+			}
+			resp = frame{Type: msgOK}
 		default:
 			resp = errFrame(fmt.Errorf("wire: unknown message type %#x", req.Type))
 		}
@@ -283,6 +366,63 @@ func (s *StorageServer) serve(conn net.Conn, seq *uint64) {
 func bump(seq *uint64) uint64 {
 	*seq++
 	return *seq
+}
+
+// batchBufs carves count block buffers out of one reply slab. The
+// count is bounded so the reply frame stays under maxBodySize.
+func (s *StorageServer) batchBufs(count uint64) ([][]byte, error) {
+	bs := s.dev.BlockSize()
+	if count == 0 || count > uint64(maxBodySize/bs) {
+		return nil, fmt.Errorf("wire: batch of %d blocks out of bounds", count)
+	}
+	return blockdev.AllocBlocks(int(count), bs), nil
+}
+
+// slabOf stitches buffers carved by AllocBlocks back into their
+// underlying slab without copying (bufs[0]'s capacity spans the slab).
+func slabOf(bufs [][]byte) []byte {
+	n := len(bufs) * len(bufs[0])
+	return bufs[0][:n:n]
+}
+
+// splitBlocks views the decoder's remaining body as count raw blocks.
+func (s *StorageServer) splitBlocks(d *decoder, count uint64) ([][]byte, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	bs := s.dev.BlockSize()
+	if count == 0 || count > uint64(maxBodySize/bs) {
+		return nil, fmt.Errorf("wire: batch of %d blocks out of bounds", count)
+	}
+	if uint64(len(d.b)) != count*uint64(bs) {
+		return nil, fmt.Errorf("wire: batch body %d bytes, want %d", len(d.b), count*uint64(bs))
+	}
+	data := make([][]byte, count)
+	for i := range data {
+		data[i] = d.b[i*bs : (i+1)*bs]
+	}
+	return data, nil
+}
+
+// decodeIndices parses a u64 count followed by that many u64 indices.
+func decodeIndices(d *decoder) []uint64 {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n == 0 || n > maxBodySize/8 {
+		d.err = fmt.Errorf("wire: index set of %d out of bounds", n)
+		return nil
+	}
+	if uint64(len(d.b)) < n*8 {
+		d.err = fmt.Errorf("wire: truncated body")
+		return nil
+	}
+	idx := make([]uint64, n)
+	for i := range idx {
+		idx[i] = d.u64()
+	}
+	return idx
 }
 
 func errFrame(err error) frame {
@@ -358,3 +498,130 @@ func (d *RemoteDevice) WriteBlock(i uint64, data []byte) error {
 
 // Close implements blockdev.Device.
 func (d *RemoteDevice) Close() error { return d.conn.Close() }
+
+// maxBatch is how many blocks fit one frame with headroom for the
+// index/count fields.
+func (d *RemoteDevice) maxBatch() int {
+	n := (maxBodySize - 4096) / (d.blockSize + 8)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// checkBufs validates a batch's buffer vector against the device
+// geometry before anything hits the wire.
+func (d *RemoteDevice) checkBufs(bufs [][]byte) error {
+	for _, b := range bufs {
+		if len(b) != d.blockSize {
+			return fmt.Errorf("%w: %d != %d", blockdev.ErrBufSize, len(b), d.blockSize)
+		}
+	}
+	return nil
+}
+
+// scatter copies a concatenated-blocks reply into the buffer vector.
+func (d *RemoteDevice) scatter(body []byte, bufs [][]byte) error {
+	if len(body) != len(bufs)*d.blockSize {
+		return fmt.Errorf("wire: batch reply %d bytes, want %d", len(body), len(bufs)*d.blockSize)
+	}
+	for i, b := range bufs {
+		copy(b, body[i*d.blockSize:])
+	}
+	return nil
+}
+
+// ReadBlocks implements blockdev.BatchDevice: each chunk of the range
+// costs one round trip instead of one per block.
+func (d *RemoteDevice) ReadBlocks(start uint64, bufs [][]byte) error {
+	if err := d.checkBufs(bufs); err != nil {
+		return err
+	}
+	chunk := d.maxBatch()
+	for off := 0; off < len(bufs); off += chunk {
+		hi := min(off+chunk, len(bufs))
+		e := &encoder{}
+		e.u64(start + uint64(off)).u64(uint64(hi - off))
+		resp, err := call(d.conn, &d.mu, frame{Type: msgReadBlocks, Body: e.b})
+		if err != nil {
+			return err
+		}
+		if err := d.scatter(resp.Body, bufs[off:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBlocks implements blockdev.BatchDevice.
+func (d *RemoteDevice) WriteBlocks(start uint64, data [][]byte) error {
+	if err := d.checkBufs(data); err != nil {
+		return err
+	}
+	chunk := d.maxBatch()
+	for off := 0; off < len(data); off += chunk {
+		hi := min(off+chunk, len(data))
+		e := &encoder{b: make([]byte, 0, 16+(hi-off)*d.blockSize)}
+		e.u64(start + uint64(off)).u64(uint64(hi - off))
+		for _, b := range data[off:hi] {
+			e.b = append(e.b, b...)
+		}
+		if _, err := call(d.conn, &d.mu, frame{Type: msgWriteBlocks, Body: e.b}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBlocksAt implements blockdev.BatchDevice.
+func (d *RemoteDevice) ReadBlocksAt(idx []uint64, bufs [][]byte) error {
+	if len(idx) != len(bufs) {
+		return fmt.Errorf("%w: %d != %d", blockdev.ErrBatchShape, len(idx), len(bufs))
+	}
+	if err := d.checkBufs(bufs); err != nil {
+		return err
+	}
+	chunk := d.maxBatch()
+	for off := 0; off < len(idx); off += chunk {
+		hi := min(off+chunk, len(idx))
+		e := &encoder{}
+		e.u64(uint64(hi - off))
+		for _, i := range idx[off:hi] {
+			e.u64(i)
+		}
+		resp, err := call(d.conn, &d.mu, frame{Type: msgReadBlocksAt, Body: e.b})
+		if err != nil {
+			return err
+		}
+		if err := d.scatter(resp.Body, bufs[off:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBlocksAt implements blockdev.BatchDevice.
+func (d *RemoteDevice) WriteBlocksAt(idx []uint64, data [][]byte) error {
+	if len(idx) != len(data) {
+		return fmt.Errorf("%w: %d != %d", blockdev.ErrBatchShape, len(idx), len(data))
+	}
+	if err := d.checkBufs(data); err != nil {
+		return err
+	}
+	chunk := d.maxBatch()
+	for off := 0; off < len(idx); off += chunk {
+		hi := min(off+chunk, len(idx))
+		e := &encoder{b: make([]byte, 0, 16+(hi-off)*(d.blockSize+8))}
+		e.u64(uint64(hi - off))
+		for _, i := range idx[off:hi] {
+			e.u64(i)
+		}
+		for _, b := range data[off:hi] {
+			e.b = append(e.b, b...)
+		}
+		if _, err := call(d.conn, &d.mu, frame{Type: msgWriteBlocksAt, Body: e.b}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -60,6 +60,41 @@ import (
 // CreateFileDevice/OpenFileDevice, NewSimDevice, DialStorage.
 type Device = blockdev.Device
 
+// BatchDevice is a Device with a native multi-block fast path. All
+// devices in this package implement it; use ReadBlocks/WriteBlocks to
+// get the fast path with a loop fallback on third-party devices.
+type BatchDevice = blockdev.BatchDevice
+
+// ReadBlocks fills bufs with the contiguous blocks starting at start,
+// using the device's batched fast path when it has one.
+func ReadBlocks(d Device, start uint64, bufs [][]byte) error {
+	return blockdev.ReadBlocks(d, start, bufs)
+}
+
+// WriteBlocks stores data as the contiguous blocks starting at start,
+// using the device's batched fast path when it has one.
+func WriteBlocks(d Device, start uint64, data [][]byte) error {
+	return blockdev.WriteBlocks(d, start, data)
+}
+
+// ReadBlocksAt fills bufs[i] with block idx[i], batched when possible.
+func ReadBlocksAt(d Device, idx []uint64, bufs [][]byte) error {
+	return blockdev.ReadBlocksAt(d, idx, bufs)
+}
+
+// WriteBlocksAt stores data[i] as block idx[i], batched when possible.
+func WriteBlocksAt(d Device, idx []uint64, data [][]byte) error {
+	return blockdev.WriteBlocksAt(d, idx, data)
+}
+
+// AllocBlocks carves n block buffers out of one allocation — the
+// cheap way to build batch buffer vectors.
+func AllocBlocks(n, blockSize int) [][]byte { return blockdev.AllocBlocks(n, blockSize) }
+
+// ExpandEvents flattens batched (ranged) trace events into one event
+// per block for per-address analysis.
+func ExpandEvents(events []Event) []Event { return blockdev.ExpandEvents(events) }
+
 // Tracer receives every access on a traced device; Collector retains
 // them — the attacker's observation stream.
 type (
