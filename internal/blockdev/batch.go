@@ -20,10 +20,13 @@ import (
 // on a malformed request). On sequential devices (Mem, File, Sub,
 // the loop fallback, FaultDevice) a device error mid-batch leaves a
 // well-defined prefix — every block before the failing one has been
-// transferred, none at or after it. Concurrent composites (Striped,
-// and anything built on it) fan sub-batches out in parallel, so a
-// failed batch there may have transferred an arbitrary subset; each
-// member's own sub-batch is still prefix-consistent.
+// transferred, none at or after it. Concurrent composites (Striped
+// over members with real I/O latency, and anything built on them) fan
+// sub-batches out in parallel, so a failed batch there may have
+// transferred an arbitrary subset; each member's own sub-batch is
+// still prefix-consistent. A Striped whose members are all
+// memory-speed runs its sub-batches inline (see fanOut), in member
+// order.
 
 // BatchDevice is implemented by devices with a native multi-block
 // fast path. ReadBlocks/WriteBlocks move the contiguous block range
@@ -474,8 +477,10 @@ func (s *Striped) splitScattered(idx []uint64, bufs [][]byte) []memberBatch {
 }
 
 // fanOut runs one function per member sub-batch, concurrently when
-// several members are involved, and returns the first error.
-func fanOut(parts []memberBatch, f func(memberBatch) error) error {
+// several members are involved, and returns the first error. Callers
+// have already routed all-memory stripes to the direct per-block
+// path, so every batch arriving here has real I/O latency to hide.
+func (s *Striped) fanOut(parts []memberBatch, f func(memberBatch) error) error {
 	if len(parts) == 1 {
 		return f(parts[0])
 	}
@@ -492,13 +497,57 @@ func fanOut(parts []memberBatch, f func(memberBatch) error) error {
 	return errors.Join(errs...)
 }
 
+// directContiguous moves a contiguous batch block by block without
+// building the per-member split — the cheap-member fast path, where
+// split allocation and goroutine fan-out both cost more than the
+// members' memcpy-speed I/O.
+func (s *Striped) directContiguous(start uint64, bufs [][]byte, write bool) error {
+	k := uint64(len(s.members))
+	for j := range bufs {
+		i := start + uint64(j)
+		m, local := int(i%k), i/k
+		var err error
+		if write {
+			err = s.members[m].WriteBlock(local, bufs[j])
+		} else {
+			err = s.members[m].ReadBlock(local, bufs[j])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// directScattered is directContiguous for an arbitrary index set.
+func (s *Striped) directScattered(idx []uint64, bufs [][]byte, write bool) error {
+	k := uint64(len(s.members))
+	for j, i := range idx {
+		m, local := int(i%k), i/k
+		var err error
+		if write {
+			err = s.members[m].WriteBlock(local, bufs[j])
+		} else {
+			err = s.members[m].ReadBlock(local, bufs[j])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ReadBlocks implements BatchDevice: the batch fans out to the
-// members concurrently, each receiving one contiguous sub-batch.
+// members concurrently, each receiving one contiguous sub-batch;
+// all-memory stripes skip the split and move blocks inline.
 func (s *Striped) ReadBlocks(start uint64, bufs [][]byte) error {
 	if err := checkBatch(s, start, bufs); err != nil {
 		return err
 	}
-	return fanOut(s.splitContiguous(start, bufs), func(mb memberBatch) error {
+	if s.allFast {
+		return s.directContiguous(start, bufs, false)
+	}
+	return s.fanOut(s.splitContiguous(start, bufs), func(mb memberBatch) error {
 		return ReadBlocks(s.members[mb.member], mb.start, mb.bufs)
 	})
 }
@@ -508,7 +557,10 @@ func (s *Striped) WriteBlocks(start uint64, data [][]byte) error {
 	if err := checkBatch(s, start, data); err != nil {
 		return err
 	}
-	return fanOut(s.splitContiguous(start, data), func(mb memberBatch) error {
+	if s.allFast {
+		return s.directContiguous(start, data, true)
+	}
+	return s.fanOut(s.splitContiguous(start, data), func(mb memberBatch) error {
 		return WriteBlocks(s.members[mb.member], mb.start, mb.bufs)
 	})
 }
@@ -521,7 +573,10 @@ func (s *Striped) ReadBlocksAt(idx []uint64, bufs [][]byte) error {
 	if len(idx) == 0 {
 		return nil
 	}
-	return fanOut(s.splitScattered(idx, bufs), func(mb memberBatch) error {
+	if s.allFast {
+		return s.directScattered(idx, bufs, false)
+	}
+	return s.fanOut(s.splitScattered(idx, bufs), func(mb memberBatch) error {
 		return ReadBlocksAt(s.members[mb.member], mb.idx, mb.bufs)
 	})
 }
@@ -534,12 +589,21 @@ func (s *Striped) WriteBlocksAt(idx []uint64, data [][]byte) error {
 	if len(idx) == 0 {
 		return nil
 	}
-	return fanOut(s.splitScattered(idx, data), func(mb memberBatch) error {
+	if s.allFast {
+		return s.directScattered(idx, data, true)
+	}
+	return s.fanOut(s.splitScattered(idx, data), func(mb memberBatch) error {
 		return WriteBlocksAt(s.members[mb.member], mb.idx, mb.bufs)
 	})
 }
 
 // --- Traced -------------------------------------------------------------
+
+// Batched trace events are recorded only when the inner batch
+// succeeds as a whole: a batch failing at block k transferred a
+// k-block prefix (on sequential devices) that the trace does not
+// show. Analyzers only consume traces from healthy runs, where the
+// recorded stream is exactly the per-block loop's.
 
 // ReadBlocks implements BatchDevice: the inner device's fast path
 // runs, then a single ranged event is recorded.

@@ -94,6 +94,48 @@ func BenchmarkBatchRead(b *testing.B) {
 	})
 }
 
+// benchDeviceReadAt measures the scattered-batch path (the shape dummy
+// bursts and oblivious probes use) against the per-block loop.
+func benchDeviceReadAt(b *testing.B, d Device, batched bool) {
+	b.Helper()
+	bufs := AllocBlocks(benchBatch, d.BlockSize())
+	idx := make([]uint64, benchBatch)
+	for i := range idx {
+		idx[i] = uint64(i*7) % d.NumBlocks() // scattered, deterministic
+	}
+	b.SetBytes(int64(benchBatch * d.BlockSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			if err := ReadBlocksAt(d, idx, bufs); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		for j, x := range idx {
+			if err := d.ReadBlock(x, bufs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStripedScattered pairs the scattered loop against the
+// batched path on all-memory members — the case where goroutine
+// fan-out used to cost more than it hid; the cheap-member heuristic
+// keeps these sub-batches inline.
+func BenchmarkStripedScattered(b *testing.B) {
+	newStriped := func(b *testing.B) *Striped {
+		s, err := NewStriped(NewMem(benchBS, 1<<9), NewMem(benchBS, 1<<9), NewMem(benchBS, 1<<9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("mem/loop", func(b *testing.B) { benchDeviceReadAt(b, newStriped(b), false) })
+	b.Run("mem/batched", func(b *testing.B) { benchDeviceReadAt(b, newStriped(b), true) })
+}
+
 func BenchmarkBatchWrite(b *testing.B) {
 	b.Run("mem/loop", func(b *testing.B) { benchDeviceWrite(b, NewMem(benchBS, 1<<10), false) })
 	b.Run("mem/batched", func(b *testing.B) { benchDeviceWrite(b, NewMem(benchBS, 1<<10), true) })

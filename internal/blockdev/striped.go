@@ -14,6 +14,10 @@ type Striped struct {
 	members   []Device
 	blockSize int
 	perMember uint64
+	// allFast records that every member completes I/O at memory speed,
+	// so batch fan-out runs the sub-batches inline instead of paying
+	// goroutine scheduling that costs more than the memcpys it hides.
+	allFast bool
 }
 
 // NewStriped combines the members. All must share a block size; the
@@ -24,6 +28,7 @@ func NewStriped(members ...Device) (*Striped, error) {
 	}
 	bs := members[0].BlockSize()
 	per := members[0].NumBlocks()
+	allFast := true
 	for i, m := range members {
 		if m.BlockSize() != bs {
 			return nil, fmt.Errorf("blockdev: member %d block size %d != %d", i, m.BlockSize(), bs)
@@ -31,11 +36,30 @@ func NewStriped(members ...Device) (*Striped, error) {
 		if m.NumBlocks() < per {
 			per = m.NumBlocks()
 		}
+		allFast = allFast && fastMember(m)
 	}
 	if per == 0 {
 		return nil, fmt.Errorf("blockdev: striped member with zero blocks")
 	}
-	return &Striped{members: members, blockSize: bs, perMember: per}, nil
+	return &Striped{members: members, blockSize: bs, perMember: per, allFast: allFast}, nil
+}
+
+// fastMember reports whether d serves batch I/O at memory speed — no
+// syscalls, no network, no simulated latency — so concurrent fan-out
+// over it would only add goroutine overhead. Devices with real I/O
+// latency (File, RemoteDevice, and anything unknown) report false and
+// keep the concurrent fan-out.
+func fastMember(d Device) bool {
+	switch v := d.(type) {
+	case *Mem:
+		return true
+	case *SubDevice:
+		return fastMember(v.parent)
+	case *Striped:
+		return v.allFast
+	default:
+		return false
+	}
 }
 
 // BlockSize implements Device.

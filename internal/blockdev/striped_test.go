@@ -105,3 +105,34 @@ func TestStripedWithVolumeStack(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFastMemberProbe(t *testing.T) {
+	mem := NewMem(128, 64)
+	sub, err := NewSub(mem, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastStripe, err := NewStriped(NewMem(128, 32), sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fastStripe.allFast {
+		t.Fatal("all-memory stripe not detected as fast")
+	}
+	if !fastMember(fastStripe) {
+		t.Fatal("nested fast stripe not detected as fast")
+	}
+	// A member with real I/O latency keeps the concurrent fan-out.
+	f, err := CreateFile(t.TempDir()+"/member", 128, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	slowStripe, err := NewStriped(NewMem(128, 32), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowStripe.allFast {
+		t.Fatal("file-backed member misclassified as memory-speed")
+	}
+}

@@ -1,0 +1,21 @@
+package microbench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkConcurrentClients is the go-test entry point for the
+// multi-client scaling suite benchrunner emits into
+// BENCH_results.json: aggregate update throughput at 1/4/16/64
+// concurrent sessions, locally and over TCP. One op = one Figure-6
+// data update, so aggregate throughput scaling shows directly as
+// ns/op shrinking while the session count grows.
+func BenchmarkConcurrentClients(b *testing.B) {
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("local-%d", n), func(b *testing.B) { concurrentLocal(b, n) })
+	}
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("wire-%d", n), func(b *testing.B) { concurrentWire(b, n) })
+	}
+}

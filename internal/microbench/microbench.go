@@ -2,8 +2,11 @@
 // cmd/benchrunner can run outside `go test` and emit as
 // machine-readable JSON (BENCH_results.json), giving successive PRs a
 // perf trajectory to compare against. The suite covers the hot paths
-// the batch I/O plane serves: raw device batches (local and remote),
-// the oblivious reshuffle, and a sequential hidden-file scan.
+// the batch I/O plane serves — raw device batches (local and remote),
+// the oblivious reshuffle, a sequential hidden-file scan — and the
+// multi-client scaling curve of the update scheduler
+// (concurrent-clients/local-N and /wire-N: aggregate Figure-6 update
+// throughput at 1/4/16/64 concurrent sessions).
 package microbench
 
 import (
@@ -43,7 +46,7 @@ const (
 )
 
 func suite() []bench {
-	return []bench{
+	s := []bench{
 		{"batch-read-mem/loop", func(b *testing.B) { devRead(b, blockdev.NewMem(benchBS, 1<<10), false) }},
 		{"batch-read-mem/batched", func(b *testing.B) { devRead(b, blockdev.NewMem(benchBS, 1<<10), true) }},
 		{"batch-read-wire/loop", func(b *testing.B) { remoteRead(b, false) }},
@@ -51,6 +54,7 @@ func suite() []bench {
 		{"oblivious-reshuffle", obliviousReshuffle},
 		{"stegfs-seq-scan", stegfsScan},
 	}
+	return append(s, ConcurrentClientSuite()...)
 }
 
 // Run executes the whole suite and returns the results.

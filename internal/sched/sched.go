@@ -1,0 +1,407 @@
+// Package sched is the per-volume update scheduler: the one component
+// that owns the observable block-update stream of the paper's §4
+// constructions when many sessions drive an agent concurrently.
+//
+// The security argument (Definition 1, §3.2.4) is a property of the
+// emitted stream — every write the attacker sees must land on a
+// uniformly random block — not of which client requested each element.
+// That is exactly what makes the stream mergeable: real-update intents
+// from any number of sessions and dummy-update intents from the idle
+// daemon all funnel into one Figure-6 draw loop, and the interleaving
+// chosen by the scheduler is invisible to the attacker because every
+// element of the stream is identically distributed by construction.
+//
+// Division of labour:
+//
+//   - The Space (construction-specific: the data/dummy bitmap of
+//     Construction 1, the disclosed-block registry of Construction 2)
+//     serializes the *decisions*: uniform draws, the data/dummy
+//     partition, and relocation bookkeeping. Space methods are atomic
+//     and memory-only, so the serialized section is tiny.
+//   - The Scheduler performs the *I/O*: reads, seals/reseals and
+//     writes run outside the Space's lock, guarded by sharded
+//     per-block locks (BlockLocks), so the expensive AES/SHA work of
+//     concurrent updates overlaps on different blocks.
+//
+// Two rules make the concurrency safe without a global mutex:
+//
+//  1. Relocation bookkeeping commits in two phases: the target leaves
+//     the dummy pool at draw time (so no concurrent draw can pick it),
+//     but the source block only becomes a dummy after the payload
+//     write succeeds. A failed write aborts back to the pre-draw
+//     partition.
+//  2. Dummy updates re-classify their target under the block's I/O
+//     lock (Space.Classify) immediately before acting, so a block that
+//     changed role between draw and execution is resealed under its
+//     current key — or skipped if it is mid-operation — never
+//     clobbered with stale assumptions.
+package sched
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/sealer"
+	"steghide/internal/stegfs"
+)
+
+// ErrNoTarget reports that repeated dummy draws found only blocks that
+// are mid-operation (pending classification) and therefore unusable.
+var ErrNoTarget = errors.New("sched: only mid-operation blocks visible to the dummy draw")
+
+// Kind classifies one draw of the Figure-6 loop.
+type Kind uint8
+
+const (
+	// Redraw marks an unusable draw (e.g. a mid-operation block); the
+	// iteration is counted and the loop draws again.
+	Redraw Kind = iota
+	// Self marks a draw that hit the updated block itself: update in
+	// place.
+	Self
+	// Relocate marks a draw that hit a relocatable dummy block: the
+	// data moves there. The Space has already withdrawn the target
+	// from the dummy pool; CommitRelocate/AbortRelocate finish or
+	// revert the swap.
+	Relocate
+	// Camouflage marks a draw that hit another occupied block: issue a
+	// dummy update on it and draw again.
+	Camouflage
+)
+
+// Action is what a dummy update on a block must do, decided by
+// Space.Classify under the block's I/O lock at execution time.
+type Action uint8
+
+const (
+	// ActSkip marks a block that cannot be dummy-updated right now
+	// (mid-operation); the scheduler does no I/O on it.
+	ActSkip Action = iota
+	// ActReseal re-encrypts the block under the sealer Classify
+	// returned: decrypt, fresh IV, re-encrypt, write back.
+	ActReseal
+	// ActRefill overwrites the block with fresh random bytes — the
+	// dummy update for blocks whose plaintext is meaningless (dummy
+	// file content).
+	ActRefill
+)
+
+// Target is one committed draw of the Figure-6 loop.
+type Target struct {
+	// Loc is the drawn block (meaningful unless Kind is Redraw).
+	Loc uint64
+	// Kind says how the scheduler must act on the draw.
+	Kind Kind
+}
+
+// Space is the construction-specific state the scheduler draws from:
+// the data/dummy partition and, for Construction 2, the ownership
+// registry. All methods must be atomic (implementations serialize
+// internally) and must not perform device I/O.
+type Space interface {
+	// DrawUpdate draws the next Figure-6 target for a data update of
+	// block loc. When the draw lands on a relocatable dummy block the
+	// Space atomically withdraws it from the dummy pool (first phase
+	// of the relocation commit) before returning Kind Relocate.
+	DrawUpdate(loc uint64) (Target, error)
+	// CommitRelocate finishes a relocation after the payload write
+	// succeeded: oldLoc joins the dummy pool, newLoc is recorded as
+	// the data block (sealed under seal).
+	CommitRelocate(oldLoc, newLoc uint64, seal *sealer.Sealer)
+	// AbortRelocate reverts a relocation whose payload write failed:
+	// newLoc returns to the dummy pool, oldLoc keeps the data.
+	AbortRelocate(oldLoc, newLoc uint64)
+	// DrawDummy draws one idle-time dummy-update target, uniform over
+	// the space.
+	DrawDummy() (uint64, error)
+	// DrawDummyBatch fills locs with up to len(locs) dummy-update
+	// targets, drawn exactly as DrawDummy draws them, and returns how
+	// many it produced.
+	DrawDummyBatch(locs []uint64) (int, error)
+	// Classify decides what a dummy update on loc must do right now.
+	// The scheduler calls it while holding loc's I/O lock, so the
+	// answer cannot go stale before the I/O lands.
+	Classify(loc uint64) (Action, *sealer.Sealer)
+}
+
+// Scheduler owns a volume's update stream. It is safe for concurrent
+// use by any number of sessions plus the dummy-traffic daemon.
+type Scheduler struct {
+	vol   *stegfs.Volume
+	dev   blockdev.Device
+	space Space
+	locks *BlockLocks
+
+	scratch *blockdev.BufPool // single-block scratch buffers
+
+	dataUpdates  atomic.Uint64
+	iterations   atomic.Uint64
+	relocations  atomic.Uint64
+	inPlace      atomic.Uint64
+	camouflage   atomic.Uint64
+	dummyUpdates atomic.Uint64
+}
+
+// Stats is a snapshot of the scheduler's counters; the field meanings
+// match steghide.UpdateStats.
+type Stats struct {
+	DataUpdates  uint64
+	Iterations   uint64
+	Relocations  uint64
+	InPlace      uint64
+	Camouflage   uint64
+	DummyUpdates uint64
+}
+
+// New builds a scheduler for vol over space and installs its lock map
+// as the volume's BlockLocker, so file-layer writes (growth, header
+// and pointer saves) serialize with the scheduler's own I/O per block.
+func New(vol *stegfs.Volume, space Space) *Scheduler {
+	s := &Scheduler{
+		vol:     vol,
+		dev:     vol.Device(),
+		space:   space,
+		locks:   NewBlockLocks(0),
+		scratch: blockdev.NewBufPool(vol.BlockSize()),
+	}
+	vol.SetBlockLocker(s.locks)
+	return s
+}
+
+// Locks exposes the scheduler's per-block lock map.
+func (s *Scheduler) Locks() *BlockLocks { return s.locks }
+
+// Stats returns a snapshot of the counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		DataUpdates:  s.dataUpdates.Load(),
+		Iterations:   s.iterations.Load(),
+		Relocations:  s.relocations.Load(),
+		InPlace:      s.inPlace.Load(),
+		Camouflage:   s.camouflage.Load(),
+		DummyUpdates: s.dummyUpdates.Load(),
+	}
+}
+
+// ResetStats zeroes the counters.
+func (s *Scheduler) ResetStats() {
+	s.dataUpdates.Store(0)
+	s.iterations.Store(0)
+	s.relocations.Store(0)
+	s.inPlace.Store(0)
+	s.camouflage.Store(0)
+	s.dummyUpdates.Store(0)
+}
+
+// DataSeq returns a monotonically increasing count of data updates —
+// the signal the adaptive daemon watches to fill only idle gaps.
+func (s *Scheduler) DataSeq() uint64 { return s.dataUpdates.Load() }
+
+func (s *Scheduler) getBuf() []byte  { return s.scratch.Get() }
+func (s *Scheduler) putBuf(b []byte) { s.scratch.Put(b) }
+
+// writeSealed seals payload under seal with a fresh IV and writes it
+// to block loc, reusing raw as scratch. The caller holds loc's lock.
+func (s *Scheduler) writeSealed(loc uint64, seal *sealer.Sealer, payload, raw []byte) error {
+	var iv [sealer.IVSize]byte
+	s.vol.NextIV(iv[:])
+	if err := seal.Seal(raw, iv[:], payload); err != nil {
+		return err
+	}
+	return s.dev.WriteBlock(loc, raw)
+}
+
+// Update runs the Figure-6 data-update algorithm for block loc: draw a
+// uniformly random block B2; if B2 is loc itself update in place; if
+// B2 is a dummy block relocate the data there; otherwise issue a
+// camouflage dummy update on B2 and redraw. It returns the block the
+// data finally landed on. Concurrent calls interleave safely: draws
+// and partition bookkeeping serialize inside the Space, while the
+// read/seal/write work of different blocks overlaps.
+func (s *Scheduler) Update(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
+	counted := false
+	for {
+		t, err := s.space.DrawUpdate(loc)
+		if err != nil {
+			return 0, err
+		}
+		// Count the update only once a draw succeeded: an update that
+		// fails outright (no dummy space) emits no I/O, and counting
+		// it would advance DataSeq and wrongly tell the adaptive
+		// daemon the stream is busy while it is in fact silent.
+		if !counted {
+			s.dataUpdates.Add(1)
+			counted = true
+		}
+		s.iterations.Add(1)
+		switch t.Kind {
+		case Redraw:
+			continue
+
+		case Self:
+			// Update in place: read in B1, re-encrypt with a new IV.
+			s.locks.LockBlock(loc)
+			raw := s.getBuf()
+			err := s.dev.ReadBlock(loc, raw)
+			if err == nil {
+				err = s.writeSealed(loc, seal, payload, raw)
+			}
+			s.putBuf(raw)
+			s.locks.UnlockBlock(loc)
+			if err != nil {
+				return 0, err
+			}
+			s.inPlace.Add(1)
+			return loc, nil
+
+		case Relocate:
+			// B2 is a dummy block: the data moves there; the old
+			// location joins the dummy pool once the write succeeded.
+			unlock := s.locks.Lock2(loc, t.Loc)
+			raw := s.getBuf()
+			err := s.dev.ReadBlock(loc, raw)
+			if err == nil {
+				err = s.writeSealed(t.Loc, seal, payload, raw)
+			}
+			if err != nil {
+				s.putBuf(raw)
+				unlock()
+				s.space.AbortRelocate(loc, t.Loc)
+				return 0, err
+			}
+			s.space.CommitRelocate(loc, t.Loc, seal)
+			s.putBuf(raw)
+			unlock()
+			s.relocations.Add(1)
+			return t.Loc, nil
+
+		case Camouflage:
+			// B2 holds something else: camouflage dummy update, redraw.
+			done, err := s.dummyOn(t.Loc)
+			if err != nil {
+				return 0, err
+			}
+			if done {
+				s.camouflage.Add(1)
+			}
+		}
+	}
+}
+
+// dummyOn performs one dummy update on loc under its I/O lock. The
+// target is re-classified at execution time, so role changes between
+// draw and execution (relocations, allocations) are honoured. It
+// reports whether any I/O was issued.
+func (s *Scheduler) dummyOn(loc uint64) (bool, error) {
+	s.locks.LockBlock(loc)
+	defer s.locks.UnlockBlock(loc)
+	act, seal := s.space.Classify(loc)
+	if act == ActSkip {
+		return false, nil
+	}
+	raw := s.getBuf()
+	defer s.putBuf(raw)
+	// Read first either way, so the observable I/O of a refill matches
+	// a reseal: one read, one write.
+	if err := s.dev.ReadBlock(loc, raw); err != nil {
+		return false, err
+	}
+	switch act {
+	case ActReseal:
+		var iv [sealer.IVSize]byte
+		s.vol.NextIV(iv[:])
+		if err := seal.Reseal(raw, iv[:], nil); err != nil {
+			return false, err
+		}
+	case ActRefill:
+		s.vol.FillRandom(raw)
+	}
+	if err := s.dev.WriteBlock(loc, raw); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// DummyUpdate issues one idle-time dummy update on a uniformly random
+// block of the space.
+func (s *Scheduler) DummyUpdate() error {
+	for try := 0; try < 64; try++ {
+		loc, err := s.space.DrawDummy()
+		if err != nil {
+			return err
+		}
+		done, err := s.dummyOn(loc)
+		if err != nil {
+			return err
+		}
+		if done {
+			s.dummyUpdates.Add(1)
+			return nil
+		}
+	}
+	return ErrNoTarget
+}
+
+// DummyUpdateBurst issues up to n dummy updates in one batched
+// read-modify-write cycle: two scattered device batches instead of 2n
+// single-block calls. Targets are drawn exactly as DummyUpdate draws
+// them, so the observable stream keeps the same distribution; blocks
+// whose classification went stale between draw and execution are
+// skipped. It returns how many updates were issued.
+func (s *Scheduler) DummyUpdateBurst(n int) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	locs := make([]uint64, n)
+	m, err := s.space.DrawDummyBatch(locs)
+	if err != nil {
+		return 0, err
+	}
+	if m == 0 {
+		return 0, ErrNoTarget
+	}
+	locs = locs[:m]
+
+	unlock := s.locks.LockBlocks(locs)
+	defer unlock()
+
+	// Classify every target under the locks, dropping stale ones.
+	elig := locs[:0]
+	seals := make([]*sealer.Sealer, 0, m)
+	for _, loc := range locs {
+		act, seal := s.space.Classify(loc)
+		if act == ActSkip {
+			continue
+		}
+		if act == ActRefill {
+			seal = nil
+		}
+		elig = append(elig, loc)
+		seals = append(seals, seal)
+	}
+	if len(elig) == 0 {
+		return 0, nil
+	}
+
+	raws := blockdev.AllocBlocks(len(elig), s.vol.BlockSize())
+	if err := blockdev.ReadBlocksAt(s.dev, elig, raws); err != nil {
+		return 0, err
+	}
+	var iv [sealer.IVSize]byte
+	for i, raw := range raws {
+		if seals[i] == nil {
+			s.vol.FillRandom(raw)
+			continue
+		}
+		s.vol.NextIV(iv[:])
+		if err := seals[i].Reseal(raw, iv[:], nil); err != nil {
+			return 0, err
+		}
+	}
+	if err := blockdev.WriteBlocksAt(s.dev, elig, raws); err != nil {
+		return 0, err
+	}
+	s.dummyUpdates.Add(uint64(len(elig)))
+	return len(elig), nil
+}

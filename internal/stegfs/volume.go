@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"steghide/internal/blockdev"
 	"steghide/internal/prng"
@@ -73,6 +74,12 @@ type FormatOptions struct {
 // Volume is an open steganographic volume. Its block-level primitives
 // (ReadSealed, WriteSealed, Reseal) are safe for concurrent use; the
 // File layer serializes itself per file.
+//
+// When a BlockLocker is installed (SetBlockLocker — the update
+// scheduler does this), every sealed read and every write primitive
+// additionally serializes per block through it, so file-layer I/O
+// (growth, header and pointer saves, reads) cannot interleave with a
+// concurrent read-modify-write on the same block.
 type Volume struct {
 	dev       blockdev.Device
 	blockSize int
@@ -83,6 +90,35 @@ type Volume struct {
 
 	mu  sync.Mutex
 	rng *prng.PRNG // IV / fill generator
+
+	locker atomic.Value // BlockLocker
+}
+
+// BlockLocker serializes block I/O per block number. internal/sched
+// implements it with a sharded lock map shared between the update
+// scheduler and the volume, so all writers of a block agree on one
+// lock regardless of which layer they sit in.
+type BlockLocker interface {
+	// LockBlock locks the given block for a read-modify-write cycle.
+	LockBlock(loc uint64)
+	// UnlockBlock releases a LockBlock acquisition.
+	UnlockBlock(loc uint64)
+	// LockBlocks locks every block in locs (deduplicated, deadlock-free
+	// ordering) and returns the matching unlock.
+	LockBlocks(locs []uint64) (unlock func())
+}
+
+// SetBlockLocker installs l as the volume's per-block serializer.
+// Install before concurrent use; a nil-to-set transition is safe at
+// any time, replacing a live locker concurrently with I/O is not.
+func (v *Volume) SetBlockLocker(l BlockLocker) { v.locker.Store(l) }
+
+// blockLocker returns the installed locker, or nil.
+func (v *Volume) blockLocker() BlockLocker {
+	if x := v.locker.Load(); x != nil {
+		return x.(BlockLocker)
+	}
+	return nil
 }
 
 // MinBlockSize is the smallest supported block size: the header's
@@ -246,7 +282,15 @@ func (v *Volume) nextIV(dst []byte) { v.NextIV(dst) }
 // payload in a fresh buffer.
 func (v *Volume) ReadSealed(loc uint64, seal *sealer.Sealer) ([]byte, error) {
 	raw := make([]byte, v.blockSize)
-	if err := v.dev.ReadBlock(loc, raw); err != nil {
+	l := v.blockLocker()
+	if l != nil {
+		l.LockBlock(loc)
+	}
+	err := v.dev.ReadBlock(loc, raw)
+	if l != nil {
+		l.UnlockBlock(loc)
+	}
+	if err != nil {
 		return nil, err
 	}
 	out := make([]byte, v.payload)
@@ -265,6 +309,11 @@ func (v *Volume) WriteSealed(loc uint64, seal *sealer.Sealer, payload []byte) er
 	if err := seal.Seal(raw, iv[:], payload); err != nil {
 		return err
 	}
+	l := v.blockLocker()
+	if l != nil {
+		l.LockBlock(loc)
+		defer l.UnlockBlock(loc)
+	}
 	return v.dev.WriteBlock(loc, raw)
 }
 
@@ -272,6 +321,11 @@ func (v *Volume) WriteSealed(loc uint64, seal *sealer.Sealer, payload []byte) er
 // fresh IV, re-encrypt, write back. Every byte of the stored block
 // changes while the plaintext is preserved.
 func (v *Volume) Reseal(loc uint64, seal *sealer.Sealer) error {
+	l := v.blockLocker()
+	if l != nil {
+		l.LockBlock(loc)
+		defer l.UnlockBlock(loc)
+	}
 	raw := make([]byte, v.blockSize)
 	if err := v.dev.ReadBlock(loc, raw); err != nil {
 		return err
@@ -292,6 +346,11 @@ func (v *Volume) RewriteRandom(loc uint64) error {
 	v.mu.Lock()
 	v.rng.Read(buf)
 	v.mu.Unlock()
+	l := v.blockLocker()
+	if l != nil {
+		l.LockBlock(loc)
+		defer l.UnlockBlock(loc)
+	}
 	return v.dev.WriteBlock(loc, buf)
 }
 
@@ -311,7 +370,15 @@ func (v *Volume) ReadSealedMany(locs []uint64, seal *sealer.Sealer) ([][]byte, e
 		return nil, nil
 	}
 	raws := blockdev.AllocBlocks(len(locs), v.blockSize)
-	if err := blockdev.ReadBlocksAt(v.dev, locs, raws); err != nil {
+	var err error
+	if l := v.blockLocker(); l != nil {
+		unlock := l.LockBlocks(locs)
+		err = blockdev.ReadBlocksAt(v.dev, locs, raws)
+		unlock()
+	} else {
+		err = blockdev.ReadBlocksAt(v.dev, locs, raws)
+	}
+	if err != nil {
 		return nil, err
 	}
 	out := blockdev.AllocBlocks(len(locs), v.payload)
@@ -334,6 +401,9 @@ func (v *Volume) WriteSealedMany(locs []uint64, seal *sealer.Sealer, payloads []
 	if err := seal.SealMany(raws, v.NextIV, payloads); err != nil {
 		return err
 	}
+	if l := v.blockLocker(); l != nil {
+		defer l.LockBlocks(locs)()
+	}
 	return blockdev.WriteBlocksAt(v.dev, locs, raws)
 }
 
@@ -345,6 +415,9 @@ func (v *Volume) WriteSealedMany(locs []uint64, seal *sealer.Sealer, payloads []
 func (v *Volume) UpdateMany(locs []uint64, apply func(i int, raw []byte) error) error {
 	if len(locs) == 0 {
 		return nil
+	}
+	if l := v.blockLocker(); l != nil {
+		defer l.LockBlocks(locs)()
 	}
 	raws := blockdev.AllocBlocks(len(locs), v.blockSize)
 	if err := blockdev.ReadBlocksAt(v.dev, locs, raws); err != nil {

@@ -19,31 +19,60 @@ type BurstDummySource interface {
 	DummyUpdateBurst(n int) (int, error)
 }
 
-// Daemon issues dummy updates on a fixed period, §4.1.3's "whenever
-// there is no user activity, the agent would issue dummy updates on
-// randomly selected blocks". Real updates are indistinguishable from
-// the daemon's traffic, so the period is a bandwidth/latency knob,
-// not a security one — the stream must simply never be silent while
-// the system is up.
+// ActivitySource reports a monotonically increasing count of real
+// (data) updates on the stream — both agent constructions implement
+// it by exposing the scheduler's data-update counter.
+type ActivitySource interface {
+	DataSeq() uint64
+}
+
+// Daemon issues dummy updates, §4.1.3's "whenever there is no user
+// activity, the agent would issue dummy updates on randomly selected
+// blocks". Real updates are indistinguishable from the daemon's
+// traffic, so the period is a bandwidth/latency knob, not a security
+// one — the stream must simply never be silent while the system is
+// up.
+//
+// When the source also reports activity (ActivitySource — both agents
+// do), the daemon is adaptive: a tick that finds real updates have
+// flowed since the previous tick emits nothing, because the stream
+// was demonstrably not silent; only genuinely idle gaps are filled.
+// Skipping is invisible to the attacker — every stream element is
+// identically distributed whether a session or the daemon produced it
+// — and stops the daemon from competing with real traffic for
+// bandwidth. WithAdaptive(false) restores unconditional ticking.
+//
+// A Daemon is restartable: Stop followed by Start begins a fresh run
+// (counters accumulate across runs).
 type Daemon struct {
-	src    DummySource
-	period time.Duration
-	burst  int
+	src      DummySource
+	period   time.Duration
+	burst    int
+	activity ActivitySource
+	adaptive bool
 
 	mu      sync.Mutex
 	stop    chan struct{}
 	done    chan struct{}
+	lastSeq uint64
 	issued  uint64
+	skipped uint64
 	errs    uint64
 	lastErr error
 }
 
 // NewDaemon prepares (but does not start) a dummy-traffic daemon.
+// Sources that report activity get the adaptive behaviour by default.
 func NewDaemon(src DummySource, period time.Duration) *Daemon {
 	if period <= 0 {
 		period = 250 * time.Millisecond
 	}
-	return &Daemon{src: src, period: period, burst: 1}
+	d := &Daemon{src: src, period: period, burst: 1}
+	if as, ok := src.(ActivitySource); ok {
+		d.activity = as
+		d.adaptive = true
+	}
+	return d
 }
 
 // WithBurst makes each tick issue n dummy updates instead of one,
@@ -58,13 +87,26 @@ func (d *Daemon) WithBurst(n int) *Daemon {
 	return d
 }
 
+// WithAdaptive enables or disables idle-gap detection. Must be called
+// before Start. It returns the daemon for chaining.
+func (d *Daemon) WithAdaptive(on bool) *Daemon {
+	d.adaptive = on && d.activity != nil
+	return d
+}
+
 // Start launches the background loop. Starting a running daemon is a
-// no-op.
+// no-op; starting after Stop begins a fresh run.
 func (d *Daemon) Start() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.stop != nil {
 		return
+	}
+	// Re-baseline the activity watermark so updates that flowed while
+	// the daemon was stopped do not suppress the first tick of a
+	// restarted run.
+	if d.activity != nil {
+		d.lastSeq = d.activity.DataSeq()
 	}
 	d.stop = make(chan struct{})
 	d.done = make(chan struct{})
@@ -80,9 +122,12 @@ func (d *Daemon) loop(stop, done chan struct{}) {
 		case <-stop:
 			return
 		case <-ticker.C:
-			issued, err := d.tick()
+			issued, skipped, err := d.tick()
 			d.mu.Lock()
 			d.issued += issued // partial bursts still count what went out
+			if skipped {
+				d.skipped++
+			}
 			switch {
 			case err == nil:
 			case errors.Is(err, ErrNoDummySpace):
@@ -98,24 +143,35 @@ func (d *Daemon) loop(stop, done chan struct{}) {
 
 // tick emits one period's worth of dummy traffic, returning how many
 // updates actually went out (a burst can come up short when few
-// targets are eligible).
-func (d *Daemon) tick() (uint64, error) {
+// targets are eligible) and whether the tick was skipped because real
+// traffic already kept the stream busy.
+func (d *Daemon) tick() (uint64, bool, error) {
+	if d.adaptive {
+		seq := d.activity.DataSeq()
+		d.mu.Lock()
+		busy := seq != d.lastSeq
+		d.lastSeq = seq
+		d.mu.Unlock()
+		if busy {
+			return 0, true, nil
+		}
+	}
 	if d.burst > 1 {
 		if bs, ok := d.src.(BurstDummySource); ok {
 			n, err := bs.DummyUpdateBurst(d.burst)
-			return uint64(n), err
+			return uint64(n), false, err
 		}
 		for i := 0; i < d.burst; i++ {
 			if err := d.src.DummyUpdate(); err != nil {
-				return uint64(i), err
+				return uint64(i), false, err
 			}
 		}
-		return uint64(d.burst), nil
+		return uint64(d.burst), false, nil
 	}
 	if err := d.src.DummyUpdate(); err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	return 1, nil
+	return 1, false, nil
 }
 
 // Stop halts the loop and waits for it to exit. Stopping a stopped
@@ -137,6 +193,14 @@ func (d *Daemon) Issued() uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.issued
+}
+
+// Skipped returns how many ticks the adaptive daemon suppressed
+// because real updates already kept the stream busy.
+func (d *Daemon) Skipped() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.skipped
 }
 
 // Errors returns the failure count and the most recent error.

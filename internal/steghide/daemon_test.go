@@ -3,6 +3,7 @@ package steghide
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -81,6 +82,77 @@ func TestDaemonRecordsRealErrors(t *testing.T) {
 	n, last := d.Errors()
 	if n == 0 || !errors.Is(last, boom) {
 		t.Fatalf("errors not recorded: n=%d last=%v", n, last)
+	}
+}
+
+func TestDaemonRestart(t *testing.T) {
+	src := &countingSource{}
+	d := NewDaemon(src, time.Millisecond)
+	for round := 0; round < 3; round++ {
+		before := d.Issued()
+		d.Start()
+		deadline := time.Now().Add(2 * time.Second)
+		for d.Issued() < before+3 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		d.Stop()
+		if d.Issued() < before+3 {
+			t.Fatalf("round %d: daemon issued %d (had %d) after restart", round, d.Issued(), before)
+		}
+		after := src.count()
+		time.Sleep(10 * time.Millisecond)
+		if src.count() != after {
+			t.Fatalf("round %d: daemon kept running after Stop", round)
+		}
+	}
+}
+
+// seqSource is a DummySource whose activity counter tests can drive.
+type seqSource struct {
+	countingSource
+	seq atomic.Uint64
+}
+
+func (s *seqSource) DataSeq() uint64 { return s.seq.Load() }
+
+func TestDaemonAdaptiveFillsOnlyIdleGaps(t *testing.T) {
+	src := &seqSource{}
+	d := NewDaemon(src, time.Millisecond)
+	d.Start()
+
+	// Busy phase: real updates flow between ticks, so the daemon must
+	// suppress its own traffic.
+	stopBusy := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopBusy:
+				return
+			default:
+				src.seq.Add(1)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Skipped() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	busyIssued := d.Issued()
+	close(stopBusy)
+	if d.Skipped() < 5 {
+		t.Fatalf("adaptive daemon skipped only %d busy ticks", d.Skipped())
+	}
+
+	// Idle phase: the stream would fall silent, so the daemon must
+	// resume filling it.
+	deadline = time.Now().Add(2 * time.Second)
+	for d.Issued() < busyIssued+5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	d.Stop()
+	if d.Issued() < busyIssued+5 {
+		t.Fatalf("adaptive daemon did not fill the idle gap (issued %d, was %d)", d.Issued(), busyIssued)
 	}
 }
 

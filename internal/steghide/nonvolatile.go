@@ -1,10 +1,12 @@
 package steghide
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"steghide/internal/prng"
+	"steghide/internal/sched"
 	"steghide/internal/sealer"
 	"steghide/internal/stegfs"
 )
@@ -16,15 +18,51 @@ import (
 // contribute only the locator secret that derives their headers'
 // positions; all sealing uses the agent's key, so the agent can issue
 // dummy updates on any block of the volume.
+//
+// Concurrency: the Figure-6 draw loop and all update I/O live in the
+// per-volume scheduler (internal/sched), whose sharded block locks
+// let any number of callers update different files — and the daemon
+// emit dummy traffic — concurrently. The agent itself only serializes
+// per open file (block maps are single-writer) and around its file
+// table; there is no agent-wide mutex on the data path.
 type NonVolatileAgent struct {
-	mu     sync.Mutex
 	vol    *stegfs.Volume
 	source *stegfs.BitmapSource
 	seal   *sealer.Sealer
 	key    sealer.Key
-	rng    *prng.PRNG
-	stats  statsBox
-	files  map[string]*stegfs.File
+	sched  *sched.Scheduler
+
+	mu    sync.Mutex
+	files map[string]*fileHandle
+
+	// opMu fences the persistent-memory snapshot against in-flight
+	// Figure-6 work: updates and dummy traffic hold it shared, while
+	// State/LoadState hold it exclusively, so a snapshot never
+	// captures a relocation between its acquire and release halves.
+	opMu sync.RWMutex
+}
+
+// fileHandle serializes operations on one open file: stegfs.File is
+// not safe for concurrent use, while different files may proceed in
+// parallel. closed (guarded by mu) fences the lookup-then-lock gap:
+// an operation that fetched the handle just before a concurrent Close
+// finds the flag set and fails with "not open" instead of mutating a
+// file the agent already saved and forgot.
+type fileHandle struct {
+	mu     sync.Mutex
+	f      *stegfs.File
+	closed bool
+}
+
+// lock acquires the handle for path, failing if it was closed between
+// lookup and acquisition.
+func (h *fileHandle) lock(path string) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return fmt.Errorf("steghide: %q not open", path)
+	}
+	return nil
 }
 
 // NewNonVolatile creates the agent for a freshly formatted volume.
@@ -36,14 +74,16 @@ func NewNonVolatile(vol *stegfs.Volume, secret []byte, rng *prng.PRNG) (*NonVola
 	if err != nil {
 		return nil, err
 	}
-	return &NonVolatileAgent{
+	source := stegfs.NewBitmapSource(vol.FirstDataBlock(), vol.NumBlocks(), rng.Child("alloc"))
+	a := &NonVolatileAgent{
 		vol:    vol,
-		source: stegfs.NewBitmapSource(vol.FirstDataBlock(), vol.NumBlocks(), rng.Child("alloc")),
+		source: source,
 		seal:   seal,
 		key:    key,
-		rng:    rng.Child("figure6"),
-		files:  map[string]*stegfs.File{},
-	}, nil
+		files:  map[string]*fileHandle{},
+	}
+	a.sched = sched.New(vol, sched.NewBitmapSpace(source, seal, rng.Child("figure6")))
+	return a, nil
 }
 
 // Vol returns the underlying volume.
@@ -53,10 +93,14 @@ func (a *NonVolatileAgent) Vol() *stegfs.Volume { return a.vol }
 func (a *NonVolatileAgent) Source() *stegfs.BitmapSource { return a.source }
 
 // Stats returns a snapshot of the agent's counters.
-func (a *NonVolatileAgent) Stats() UpdateStats { return a.stats.snapshot() }
+func (a *NonVolatileAgent) Stats() UpdateStats { return statsFromSched(a.sched.Stats()) }
 
 // ResetStats zeroes the counters.
-func (a *NonVolatileAgent) ResetStats() { a.stats.reset() }
+func (a *NonVolatileAgent) ResetStats() { a.sched.ResetStats() }
+
+// DataSeq reports the monotonically increasing data-update count —
+// the activity signal the adaptive dummy-traffic daemon watches.
+func (a *NonVolatileAgent) DataSeq() uint64 { return a.sched.DataSeq() }
 
 // fileFAK builds the FAK for Construction 1: the locator comes from
 // the user's secret (so only the user can find the header), while the
@@ -82,7 +126,7 @@ func (a *NonVolatileAgent) Create(locatorSecret, path string) (*stegfs.File, err
 	if err != nil {
 		return nil, err
 	}
-	a.files[path] = f
+	a.files[path] = &fileHandle{f: f}
 	return f, nil
 }
 
@@ -90,64 +134,87 @@ func (a *NonVolatileAgent) Create(locatorSecret, path string) (*stegfs.File, err
 func (a *NonVolatileAgent) Open(locatorSecret, path string) (*stegfs.File, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if f, open := a.files[path]; open {
-		return f, nil
+	if h, open := a.files[path]; open {
+		return h.f, nil
 	}
 	f, err := stegfs.OpenFile(a.vol, a.fileFAK(locatorSecret, path), path, a.source)
 	if err != nil {
 		return nil, err
 	}
-	a.files[path] = f
+	a.files[path] = &fileHandle{f: f}
 	return f, nil
+}
+
+// handle looks up an open file's handle.
+func (a *NonVolatileAgent) handle(path string) (*fileHandle, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h, open := a.files[path]
+	if !open {
+		return nil, fmt.Errorf("steghide: %q not open", path)
+	}
+	return h, nil
 }
 
 // Close saves and forgets an open file.
 func (a *NonVolatileAgent) Close(path string) error {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	f, open := a.files[path]
+	h, open := a.files[path]
+	if open {
+		delete(a.files, path)
+	}
+	a.mu.Unlock()
 	if !open {
 		return fmt.Errorf("steghide: %q not open", path)
 	}
-	delete(a.files, path)
-	return f.Close()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	return h.f.Close()
 }
 
 // Write writes data at offset off of an open file through the
 // Figure 6 update policy. The block map stays cached; per §4.1.5 the
 // header is flushed only when the file is saved (Sync or Close), so
 // header writes do not add a fixed hot block to every update.
+// Writes to different files proceed concurrently.
 func (a *NonVolatileAgent) Write(path string, data []byte, off uint64) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	f, open := a.files[path]
-	if !open {
-		return fmt.Errorf("steghide: %q not open", path)
+	h, err := a.handle(path)
+	if err != nil {
+		return err
 	}
-	_, err := f.WriteAt(data, off, policyFunc(a.update))
+	if err := h.lock(path); err != nil {
+		return err
+	}
+	defer h.mu.Unlock()
+	_, err = h.f.WriteAt(data, off, a.Policy())
 	return err
 }
 
 // Sync flushes an open file's cached block map to the volume.
 func (a *NonVolatileAgent) Sync(path string) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	f, open := a.files[path]
-	if !open {
-		return fmt.Errorf("steghide: %q not open", path)
+	h, err := a.handle(path)
+	if err != nil {
+		return err
 	}
-	return f.Save()
+	if err := h.lock(path); err != nil {
+		return err
+	}
+	defer h.mu.Unlock()
+	return h.f.Save()
 }
 
 // Read reads len(p) bytes at offset off of an open file.
 func (a *NonVolatileAgent) Read(path string, p []byte, off uint64) (int, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	f, open := a.files[path]
-	if !open {
-		return 0, fmt.Errorf("steghide: %q not open", path)
+	h, err := a.handle(path)
+	if err != nil {
+		return 0, err
 	}
-	return f.ReadAt(p, off)
+	if err := h.lock(path); err != nil {
+		return 0, err
+	}
+	defer h.mu.Unlock()
+	return h.f.ReadAt(p, off)
 }
 
 // Policy exposes the Figure-6 update policy, for callers that manage
@@ -162,87 +229,24 @@ func (p policyFunc) Update(loc uint64, seal *sealer.Sealer, payload []byte) (uin
 	return p(loc, seal, payload)
 }
 
-// update is the Figure 6 data-update algorithm for Construction 1.
-// Every draw is uniform over the whole steg space; each iteration
-// costs one read and one write, matching the paper's E = N/D
-// analysis.
+// update delegates the Figure-6 data update to the scheduler,
+// translating scheduler sentinels into the agent's error vocabulary.
 func (a *NonVolatileAgent) update(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
-	if a.source.FreeCount() == 0 {
+	a.opMu.RLock()
+	defer a.opMu.RUnlock()
+	newLoc, err := a.sched.Update(loc, seal, payload)
+	if errors.Is(err, sched.ErrNoFreeSpace) {
 		return 0, fmt.Errorf("%w: volume at 100%% utilization", ErrNoDummySpace)
 	}
-	first, n := a.source.SpaceBounds()
-	span := n - first
-	scratch := make([]byte, a.vol.BlockSize())
-
-	a.stats.mu.Lock()
-	a.stats.s.DataUpdates++
-	a.stats.mu.Unlock()
-
-	for {
-		a.stats.mu.Lock()
-		a.stats.s.Iterations++
-		a.stats.mu.Unlock()
-
-		b2 := first + a.rng.Uint64n(span)
-		switch {
-		case b2 == loc:
-			// Update in place: read in B1, re-encrypt with new IV.
-			if err := a.vol.Device().ReadBlock(loc, scratch); err != nil {
-				return 0, err
-			}
-			if err := a.vol.WriteSealed(loc, seal, payload); err != nil {
-				return 0, err
-			}
-			a.stats.mu.Lock()
-			a.stats.s.InPlace++
-			a.stats.mu.Unlock()
-			return loc, nil
-
-		case a.source.IsFree(b2):
-			// B2 is a dummy block: the data moves there and the old
-			// location joins the dummy set.
-			if err := a.vol.Device().ReadBlock(loc, scratch); err != nil {
-				return 0, err
-			}
-			if !a.source.Acquire(b2) {
-				continue // raced with another update; redraw
-			}
-			if err := a.vol.WriteSealed(b2, seal, payload); err != nil {
-				a.source.Release(b2)
-				return 0, err
-			}
-			a.source.Release(loc)
-			a.stats.mu.Lock()
-			a.stats.s.Relocations++
-			a.stats.mu.Unlock()
-			return b2, nil
-
-		default:
-			// B2 holds data: camouflage dummy update, then redraw.
-			if err := a.vol.Reseal(b2, a.seal); err != nil {
-				return 0, err
-			}
-			a.stats.mu.Lock()
-			a.stats.s.Camouflage++
-			a.stats.mu.Unlock()
-		}
-	}
+	return newLoc, err
 }
 
 // DummyUpdate issues one idle-time dummy update on a uniformly random
 // block of the steg space (Figure 6, else-branch).
 func (a *NonVolatileAgent) DummyUpdate() error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	first, n := a.source.SpaceBounds()
-	b3 := first + a.rng.Uint64n(n-first)
-	if err := a.vol.Reseal(b3, a.seal); err != nil {
-		return err
-	}
-	a.stats.mu.Lock()
-	a.stats.s.DummyUpdates++
-	a.stats.mu.Unlock()
-	return nil
+	a.opMu.RLock()
+	defer a.opMu.RUnlock()
+	return a.sched.DummyUpdate()
 }
 
 // DummyUpdateBurst issues n idle-time dummy updates in one batched
@@ -252,40 +256,31 @@ func (a *NonVolatileAgent) DummyUpdate() error {
 // as n sequential DummyUpdate calls. It returns how many updates were
 // issued (always n on success for this construction).
 func (a *NonVolatileAgent) DummyUpdateBurst(n int) (int, error) {
-	if n <= 0 {
-		return 0, nil
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	first, nb := a.source.SpaceBounds()
-	span := nb - first
-	locs := make([]uint64, n)
-	for i := range locs {
-		locs[i] = first + a.rng.Uint64n(span)
-	}
-	if err := a.vol.ResealMany(locs, a.seal); err != nil {
-		return 0, err
-	}
-	a.stats.mu.Lock()
-	a.stats.s.DummyUpdates += uint64(n)
-	a.stats.mu.Unlock()
-	return n, nil
+	a.opMu.RLock()
+	defer a.opMu.RUnlock()
+	return a.sched.DummyUpdateBurst(n)
 }
 
 // State serializes the agent's persistent memory — the data/dummy
 // bitmap — for storage outside the raw volume (the "non-volatile
 // memory" of the construction). The caller is responsible for
 // protecting it; pairing it with the agent secret is what coercion of
-// the administrator would expose.
+// the administrator would expose. The snapshot waits for in-flight
+// updates and dummy traffic to drain, so it never captures a
+// half-finished relocation; a snapshot taken mid-Write still records
+// freshly acquired growth blocks whose headers are unsaved — a
+// conservative leak on restore, so quiesce writers for an exact image.
 func (a *NonVolatileAgent) State() ([]byte, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
 	return a.source.MarshalBinary()
 }
 
-// LoadState restores persistent memory saved by State.
+// LoadState restores persistent memory saved by State. It waits for
+// in-flight updates to drain; callers must not have files open, since
+// their cached maps are not rewritten.
 func (a *NonVolatileAgent) LoadState(data []byte) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
 	return a.source.UnmarshalBinary(data)
 }

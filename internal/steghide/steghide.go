@@ -39,7 +39,8 @@ package steghide
 
 import (
 	"errors"
-	"sync"
+
+	"steghide/internal/sched"
 )
 
 // Sentinel errors.
@@ -84,20 +85,15 @@ func (s UpdateStats) ExpectedOverhead() float64 {
 	return float64(s.Iterations) / float64(s.DataUpdates)
 }
 
-// statsBox guards shared stats for an agent.
-type statsBox struct {
-	mu sync.Mutex
-	s  UpdateStats
-}
-
-func (b *statsBox) snapshot() UpdateStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.s
-}
-
-func (b *statsBox) reset() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.s = UpdateStats{}
+// statsFromSched converts the scheduler's counter snapshot into the
+// agent-facing UpdateStats.
+func statsFromSched(s sched.Stats) UpdateStats {
+	return UpdateStats{
+		DataUpdates:  s.DataUpdates,
+		Iterations:   s.Iterations,
+		Relocations:  s.Relocations,
+		InPlace:      s.InPlace,
+		Camouflage:   s.Camouflage,
+		DummyUpdates: s.DummyUpdates,
+	}
 }

@@ -1,10 +1,12 @@
 package steghide
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"steghide/internal/prng"
+	"steghide/internal/sched"
 	"steghide/internal/sealer"
 	"steghide/internal/stegfs"
 )
@@ -18,25 +20,35 @@ import (
 // keys) or dummy files (whose blocks are meaningless random bytes it
 // may overwrite freely and, crucially, relocate data into).
 //
-// All operations are serialized by one agent-wide mutex: the agent of
-// the system model is a single trusted process in front of the
-// storage, and the Figure 6 algorithm's bookkeeping (ownership swaps
-// between files) must be atomic with respect to dummy traffic.
+// Concurrency model (see also DESIGN.md):
+//
+//   - The Figure-6 draw loop and all update I/O live in the per-volume
+//     scheduler; its sharded block locks let sessions and the dummy
+//     daemon overlap their crypto and device work on different blocks.
+//   - mu guards the disclosed-block registry (known/list/pos,
+//     dummyData), the session table, and the in-memory block maps of
+//     dummy files — the state every relocation and allocation touches.
+//     Critical sections are memory-only and tiny.
+//   - Each Session serializes its own file operations (stegfs.File is
+//     single-writer); different sessions run concurrently.
+//   - structMu divides operations into a data plane (Write, Read,
+//     dummy traffic — shared lock) and a control plane (Login, Logout,
+//     Create, CreateDummy, Disclose, Save, Delete — exclusive lock),
+//     so structural changes to disclosure never interleave with
+//     in-flight updates.
 type VolatileAgent struct {
-	mu  sync.Mutex
-	vol *stegfs.Volume
-	rng *prng.PRNG
+	structMu sync.RWMutex
 
-	// known maps every disclosed block to its owner. list/pos give
-	// O(1) uniform sampling and membership maintenance.
-	known map[uint64]*ownerInfo
-	list  []uint64
-	pos   map[uint64]int
-
+	mu        sync.Mutex
+	vol       *stegfs.Volume
+	rng       *prng.PRNG // guarded by mu
+	known     map[uint64]*ownerInfo
+	list      []uint64
+	pos       map[uint64]int
 	dummyData uint64 // count of relocatable dummy-data blocks
+	sessions  map[string]*Session
 
-	sessions map[string]*Session
-	stats    statsBox
+	sched *sched.Scheduler
 }
 
 // ownerInfo records what the agent may do with a disclosed block.
@@ -53,27 +65,37 @@ type ownerInfo struct {
 	// pending marks a block acquired mid-operation whose final role
 	// is not yet classified; it is skipped as a camouflage target.
 	pending bool
+	// reloc remembers the dummy file a pending relocation target was
+	// withdrawn from, so the swap can complete (the vacated block
+	// joins that file) or abort (the target returns to it).
+	reloc *stegfs.File
 }
 
 // NewVolatile creates an empty volatile agent over a volume.
 func NewVolatile(vol *stegfs.Volume, rng *prng.PRNG) *VolatileAgent {
-	return &VolatileAgent{
+	a := &VolatileAgent{
 		vol:      vol,
 		rng:      rng.Child("figure6-volatile"),
 		known:    map[uint64]*ownerInfo{},
 		pos:      map[uint64]int{},
 		sessions: map[string]*Session{},
 	}
+	a.sched = sched.New(vol, &volatileSpace{a: a})
+	return a
 }
 
 // Vol returns the underlying volume.
 func (a *VolatileAgent) Vol() *stegfs.Volume { return a.vol }
 
 // Stats returns a snapshot of the agent's counters.
-func (a *VolatileAgent) Stats() UpdateStats { return a.stats.snapshot() }
+func (a *VolatileAgent) Stats() UpdateStats { return statsFromSched(a.sched.Stats()) }
 
 // ResetStats zeroes the counters.
-func (a *VolatileAgent) ResetStats() { a.stats.reset() }
+func (a *VolatileAgent) ResetStats() { a.sched.ResetStats() }
+
+// DataSeq reports the monotonically increasing data-update count —
+// the activity signal the adaptive dummy-traffic daemon watches.
+func (a *VolatileAgent) DataSeq() uint64 { return a.sched.DataSeq() }
 
 // KnownBlocks returns how many blocks the agent currently knows.
 func (a *VolatileAgent) KnownBlocks() int {
@@ -91,6 +113,7 @@ func (a *VolatileAgent) DummyBlocks() uint64 {
 
 // --- block registry -------------------------------------------------
 
+// register records loc's ownership; the caller holds a.mu.
 func (a *VolatileAgent) register(loc uint64, info *ownerInfo) {
 	if old, ok := a.known[loc]; ok {
 		if old.dummy {
@@ -107,6 +130,7 @@ func (a *VolatileAgent) register(loc uint64, info *ownerInfo) {
 	}
 }
 
+// unregister forgets loc; the caller holds a.mu.
 func (a *VolatileAgent) unregister(loc uint64) {
 	info, ok := a.known[loc]
 	if !ok {
@@ -131,6 +155,8 @@ func (a *VolatileAgent) unregister(loc uint64) {
 func (a *VolatileAgent) registerFile(user string, f *stegfs.File) {
 	hseal := f.HeaderSealer()
 	cseal := f.ContentSealer()
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.register(f.HeaderLoc(), &ownerInfo{file: f, user: user, seal: hseal})
 	for _, loc := range f.BlockLocs() {
 		if f.IsDummy() {
@@ -146,6 +172,8 @@ func (a *VolatileAgent) registerFile(user string, f *stegfs.File) {
 
 // forgetFile removes every registration pointing at f.
 func (a *VolatileAgent) forgetFile(f *stegfs.File) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var gone []uint64
 	for loc, info := range a.known {
 		if info.file == f {
@@ -162,7 +190,8 @@ func (a *VolatileAgent) forgetFile(f *stegfs.File) {
 // volatileSource adapts the agent's disclosed-block registry to
 // stegfs.BlockSource. Allocation draws from disclosed dummy blocks
 // (withdrawing them from their dummy file); release donates blocks to
-// a disclosed dummy file of the same user when one exists.
+// a disclosed dummy file of the same user when one exists. Methods
+// serialize on the agent's registry mutex internally.
 type volatileSource struct {
 	a    *VolatileAgent
 	user string
@@ -178,11 +207,14 @@ func (s *volatileSource) SpaceBounds() (uint64, uint64) {
 }
 
 // FreeCount implements stegfs.BlockSource.
-func (s *volatileSource) FreeCount() uint64 { return s.a.dummyData }
+func (s *volatileSource) FreeCount() uint64 { return s.a.DummyBlocks() }
 
 // IsFree implements stegfs.BlockSource.
 func (s *volatileSource) IsFree(loc uint64) bool {
-	info, ok := s.a.known[loc]
+	a := s.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	info, ok := a.known[loc]
 	return ok && info.dummy
 }
 
@@ -196,6 +228,8 @@ func (s *volatileSource) Acquire(loc uint64) bool {
 	if loc < a.vol.FirstDataBlock() || loc >= a.vol.NumBlocks() {
 		return false
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	info, ok := a.known[loc]
 	if !ok {
 		a.register(loc, &ownerInfo{user: s.user, pending: true})
@@ -220,6 +254,8 @@ func (s *volatileSource) Acquire(loc uint64) bool {
 // (§4.2.2).
 func (s *volatileSource) AcquireRandom() (uint64, error) {
 	a := s.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if s.allowUnknown {
 		first, n := a.vol.FirstDataBlock(), a.vol.NumBlocks()
 		for try := 0; try < 4096; try++ {
@@ -255,6 +291,8 @@ func (s *volatileSource) AcquireRandom() (uint64, error) {
 // unknown again (forgotten, unreachable until redisclosed).
 func (s *volatileSource) Release(loc uint64) {
 	a := s.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	sess := a.sessions[s.user]
 	if sess != nil {
 		for _, df := range sess.dummyFiles {
@@ -270,12 +308,17 @@ func (s *volatileSource) Release(loc uint64) {
 // --- sessions ---------------------------------------------------------
 
 // Session is one user's login: the set of FAKs they disclosed and the
-// open file handles. All methods funnel through the agent's mutex.
+// open file handles. Structural operations (Create, CreateDummy,
+// Disclose, Save, Delete) take the agent's control-plane lock; Write
+// and Read run on the shared data plane, serialized per session only,
+// so many sessions update concurrently through the scheduler.
 type Session struct {
-	agent      *VolatileAgent
-	user       string
-	master     sealer.Key
-	source     *volatileSource
+	agent  *VolatileAgent
+	user   string
+	master sealer.Key
+	source *volatileSource
+
+	mu         sync.Mutex // serializes this session's file operations
 	files      map[string]*stegfs.File
 	dummyFiles map[string]*stegfs.File
 }
@@ -283,6 +326,8 @@ type Session struct {
 // Login opens a session for user; master is the stretched passphrase
 // key from which the user's per-file FAKs derive.
 func (a *VolatileAgent) Login(user string, master sealer.Key) (*Session, error) {
+	a.structMu.Lock()
+	defer a.structMu.Unlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if _, dup := a.sessions[user]; dup {
@@ -309,11 +354,13 @@ func (a *VolatileAgent) LoginWithPassphrase(user, passphrase string) (*Session, 
 
 // Logout flushes all of the user's files and erases the agent's
 // knowledge of them — the volatility that protects the administrator
-// from coercion.
+// from coercion. It waits for the user's in-flight updates to drain.
 func (a *VolatileAgent) Logout(user string) error {
+	a.structMu.Lock()
+	defer a.structMu.Unlock()
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	s, ok := a.sessions[user]
+	a.mu.Unlock()
 	if !ok {
 		return ErrUnknownUser
 	}
@@ -332,7 +379,9 @@ func (a *VolatileAgent) Logout(user string) error {
 	}
 	closeAll(s.files)
 	closeAll(s.dummyFiles)
+	a.mu.Lock()
 	delete(a.sessions, user)
+	a.mu.Unlock()
 	s.master = sealer.Key{} // best-effort erasure
 	return firstErr
 }
@@ -345,8 +394,8 @@ func (s *Session) fak(path string) stegfs.FAK {
 // Create creates and disclosed-registers a hidden file.
 func (s *Session) Create(path string) (*stegfs.File, error) {
 	a := s.agent
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.structMu.Lock()
+	defer a.structMu.Unlock()
 	if _, dup := s.files[path]; dup {
 		return nil, fmt.Errorf("steghide: %q already open", path)
 	}
@@ -365,8 +414,8 @@ func (s *Session) Create(path string) (*stegfs.File, error) {
 // (undisclosed) blocks — that is how cover is bootstrapped.
 func (s *Session) CreateDummy(path string, nBlocks uint64) (*stegfs.File, error) {
 	a := s.agent
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.structMu.Lock()
+	defer a.structMu.Unlock()
 	if _, dup := s.dummyFiles[path]; dup {
 		return nil, fmt.Errorf("steghide: dummy %q already open", path)
 	}
@@ -384,8 +433,8 @@ func (s *Session) CreateDummy(path string, nBlocks uint64) (*stegfs.File, error)
 // which) and registers its blocks with the agent.
 func (s *Session) Disclose(path string) (*stegfs.File, error) {
 	a := s.agent
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.structMu.Lock()
+	defer a.structMu.Unlock()
 	if f, dup := s.files[path]; dup {
 		return f, nil
 	}
@@ -408,11 +457,15 @@ func (s *Session) Disclose(path string) (*stegfs.File, error) {
 // Write writes data at offset off of a disclosed file via Figure 6,
 // then re-registers any blocks whose roles changed (growth). The
 // block map stays cached; per §4.1.5 the header is flushed only when
-// the file is saved (Save, or implicitly at Logout).
+// the file is saved (Save, or implicitly at Logout). Writes of
+// different sessions proceed concurrently; the scheduler merges their
+// update intents into one uniformly random stream.
 func (s *Session) Write(path string, data []byte, off uint64) error {
 	a := s.agent
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.structMu.RLock()
+	defer a.structMu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	f, ok := s.files[path]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotDisclosed, path)
@@ -429,8 +482,8 @@ func (s *Session) Write(path string, data []byte, off uint64) error {
 // pointer blocks.
 func (s *Session) Save(path string) error {
 	a := s.agent
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.structMu.Lock()
+	defer a.structMu.Unlock()
 	f, ok := s.files[path]
 	if !ok {
 		if df, isDummy := s.dummyFiles[path]; isDummy {
@@ -452,8 +505,10 @@ func (s *Session) Save(path string) error {
 // Read reads len(p) bytes at offset off of a disclosed file.
 func (s *Session) Read(path string, p []byte, off uint64) (int, error) {
 	a := s.agent
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.structMu.RLock()
+	defer a.structMu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	f, ok := s.files[path]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNotDisclosed, path)
@@ -465,8 +520,8 @@ func (s *Session) Read(path string, p []byte, off uint64) (int, error) {
 // dummy files.
 func (s *Session) Delete(path string) error {
 	a := s.agent
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.structMu.Lock()
+	defer a.structMu.Unlock()
 	f, ok := s.files[path]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotDisclosed, path)
@@ -482,8 +537,10 @@ func (s *Session) Delete(path string) error {
 // Files lists the session's disclosed real-file paths.
 func (s *Session) Files() []string {
 	a := s.agent
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.structMu.RLock()
+	defer a.structMu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.files))
 	for p := range s.files {
 		out = append(out, p)
@@ -493,76 +550,176 @@ func (s *Session) Files() []string {
 
 // --- Figure 6 over disclosed blocks -----------------------------------
 
-// update is the Figure 6 data-update algorithm for Construction 2:
-// identical in shape to Construction 1, but every draw is uniform
-// over the blocks disclosed in the current sessions (§4.2.2 — the
+// update delegates a data update to the scheduler; the draw loop runs
+// there, against this agent's disclosed-block space (§4.2.2 — the
 // agent can only update files users have disclosed, so an attacker
 // sees only part of the storage being touched, which discloses
 // nothing since updated blocks need not contain useful data).
 func (a *VolatileAgent) update(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
-	if a.dummyData == 0 {
-		return 0, fmt.Errorf("%w: disclose a dummy file first", ErrNoDummySpace)
+	return a.sched.Update(loc, seal, payload)
+}
+
+// DummyUpdate issues one idle-time dummy update on a uniformly random
+// disclosed block.
+func (a *VolatileAgent) DummyUpdate() error {
+	a.structMu.RLock()
+	defer a.structMu.RUnlock()
+	err := a.sched.DummyUpdate()
+	if errors.Is(err, sched.ErrNoTarget) {
+		return fmt.Errorf("%w: only pending blocks visible", ErrNoDummySpace)
 	}
-	scratch := make([]byte, a.vol.BlockSize())
+	return err
+}
 
-	a.stats.mu.Lock()
-	a.stats.s.DataUpdates++
-	a.stats.mu.Unlock()
+// DummyUpdateBurst issues up to n idle-time dummy updates over the
+// disclosed blocks in one batched read-modify-write cycle (two
+// scattered device batches instead of 2n single-block calls). Each
+// target is drawn exactly as DummyUpdate draws it, so the observable
+// stream keeps the same uniform-over-disclosed distribution. It
+// returns how many updates were issued — fewer than n when few
+// non-pending targets are visible.
+func (a *VolatileAgent) DummyUpdateBurst(n int) (int, error) {
+	a.structMu.RLock()
+	defer a.structMu.RUnlock()
+	issued, err := a.sched.DummyUpdateBurst(n)
+	if errors.Is(err, sched.ErrNoTarget) {
+		return issued, fmt.Errorf("%w: only pending blocks visible", ErrNoDummySpace)
+	}
+	return issued, err
+}
 
-	for {
-		a.stats.mu.Lock()
-		a.stats.s.Iterations++
-		a.stats.mu.Unlock()
+// --- scheduler space over the disclosed registry ----------------------
 
-		b2 := a.list[a.rng.Intn(len(a.list))]
-		info := a.known[b2]
-		switch {
-		case b2 == loc:
-			if err := a.vol.Device().ReadBlock(loc, scratch); err != nil {
-				return 0, err
-			}
-			if err := a.vol.WriteSealed(loc, seal, payload); err != nil {
-				return 0, err
-			}
-			a.stats.mu.Lock()
-			a.stats.s.InPlace++
-			a.stats.mu.Unlock()
-			return loc, nil
+// volatileSpace adapts the disclosed-block registry to sched.Space.
+// All methods serialize on the agent's registry mutex; none perform
+// I/O.
+type volatileSpace struct {
+	a *VolatileAgent
+}
 
-		case info.dummy:
-			// Swap: the data moves to the dummy slot; the old location
-			// joins the donating dummy file.
-			if err := a.vol.Device().ReadBlock(loc, scratch); err != nil {
-				return 0, err
-			}
-			dv := info.file
-			if err := dv.ReplaceBlockLoc(b2, loc); err != nil {
-				return 0, err
-			}
-			if err := a.vol.WriteSealed(b2, seal, payload); err != nil {
-				return 0, err
-			}
-			old := a.known[loc]
-			a.register(b2, &ownerInfo{file: ownedFile(old), user: ownedUser(old), seal: seal})
-			a.register(loc, &ownerInfo{file: dv, user: info.user, dummy: true})
-			a.stats.mu.Lock()
-			a.stats.s.Relocations++
-			a.stats.mu.Unlock()
-			return b2, nil
-
-		case info.pending:
-			// Mid-operation block with an unclassified role: not a
-			// safe camouflage target; redraw.
-			continue
-
-		default:
-			if err := a.vol.Reseal(b2, info.seal); err != nil {
-				return 0, err
-			}
-			a.stats.mu.Lock()
-			a.stats.s.Camouflage++
-			a.stats.mu.Unlock()
+// DrawUpdate implements sched.Space: one uniform draw over the
+// disclosed blocks. A draw that lands on a relocatable dummy block
+// atomically withdraws it from its dummy file (first phase of the
+// swap) so no concurrent draw — relocation or allocation — can claim
+// it twice.
+func (sp *volatileSpace) DrawUpdate(loc uint64) (sched.Target, error) {
+	a := sp.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.dummyData == 0 {
+		return sched.Target{}, fmt.Errorf("%w: disclose a dummy file first", ErrNoDummySpace)
+	}
+	b2 := a.list[a.rng.Intn(len(a.list))]
+	info := a.known[b2]
+	switch {
+	case b2 == loc:
+		return sched.Target{Loc: loc, Kind: sched.Self}, nil
+	case info.dummy:
+		if err := info.file.RemoveBlockLoc(b2); err != nil {
+			return sched.Target{}, err
 		}
+		a.register(b2, &ownerInfo{user: info.user, pending: true, reloc: info.file})
+		return sched.Target{Loc: b2, Kind: sched.Relocate}, nil
+	case info.pending:
+		// Mid-operation block with an unclassified role: not a safe
+		// camouflage target; redraw.
+		return sched.Target{Kind: sched.Redraw}, nil
+	default:
+		return sched.Target{Loc: b2, Kind: sched.Camouflage}, nil
+	}
+}
+
+// CommitRelocate implements sched.Space: the payload landed on newLoc,
+// so it takes over oldLoc's ownership, and oldLoc joins the dummy
+// file that donated newLoc.
+func (sp *volatileSpace) CommitRelocate(oldLoc, newLoc uint64, seal *sealer.Sealer) {
+	a := sp.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pend := a.known[newLoc]
+	old := a.known[oldLoc]
+	a.register(newLoc, &ownerInfo{file: ownedFile(old), user: ownedUser(old), seal: seal})
+	if pend != nil && pend.reloc != nil {
+		if err := pend.reloc.AppendBlockLoc(oldLoc); err == nil {
+			a.register(oldLoc, &ownerInfo{file: pend.reloc, user: pend.user, dummy: true})
+			return
+		}
+	}
+	// No donor to give the vacated block to (should not happen for a
+	// committed relocation): forget it rather than corrupt a map.
+	a.unregister(oldLoc)
+}
+
+// AbortRelocate implements sched.Space: the payload write failed, so
+// the withdrawn target returns to its dummy file and the data stays
+// where it was.
+func (sp *volatileSpace) AbortRelocate(_, newLoc uint64) {
+	a := sp.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pend := a.known[newLoc]
+	if pend == nil {
+		return
+	}
+	if pend.reloc != nil {
+		if err := pend.reloc.AppendBlockLoc(newLoc); err == nil {
+			a.register(newLoc, &ownerInfo{file: pend.reloc, user: pend.user, dummy: true})
+			return
+		}
+	}
+	a.unregister(newLoc)
+}
+
+// DrawDummy implements sched.Space: a uniform draw over the disclosed
+// blocks; eligibility is decided at execution time by Classify.
+func (sp *volatileSpace) DrawDummy() (uint64, error) {
+	a := sp.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.list) == 0 {
+		return 0, fmt.Errorf("%w: nothing disclosed", ErrNoDummySpace)
+	}
+	return a.list[a.rng.Intn(len(a.list))], nil
+}
+
+// DrawDummyBatch implements sched.Space, drawing each target exactly
+// as DrawDummy does and pre-filtering mid-operation blocks.
+func (sp *volatileSpace) DrawDummyBatch(locs []uint64) (int, error) {
+	a := sp.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.list) == 0 {
+		return 0, fmt.Errorf("%w: nothing disclosed", ErrNoDummySpace)
+	}
+	n := 0
+	for try := 0; try < 64*len(locs) && n < len(locs); try++ {
+		b3 := a.list[a.rng.Intn(len(a.list))]
+		if a.known[b3].pending {
+			continue
+		}
+		locs[n] = b3
+		n++
+	}
+	return n, nil
+}
+
+// Classify implements sched.Space: decided under the block's I/O lock,
+// so a role change between draw and execution reseals under the
+// current key — or skips a mid-operation block — never acts on stale
+// state.
+func (sp *volatileSpace) Classify(loc uint64) (sched.Action, *sealer.Sealer) {
+	a := sp.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	info, ok := a.known[loc]
+	switch {
+	case !ok || info.pending:
+		return sched.ActSkip, nil
+	case info.dummy:
+		// Meaningless content: fresh random bytes are its reseal.
+		return sched.ActRefill, nil
+	default:
+		return sched.ActReseal, info.seal
 	}
 }
 
@@ -578,88 +735,4 @@ func ownedUser(o *ownerInfo) string {
 		return ""
 	}
 	return o.user
-}
-
-// DummyUpdate issues one idle-time dummy update on a uniformly random
-// disclosed block.
-func (a *VolatileAgent) DummyUpdate() error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if len(a.list) == 0 {
-		return fmt.Errorf("%w: nothing disclosed", ErrNoDummySpace)
-	}
-	scratch := make([]byte, a.vol.BlockSize())
-	for try := 0; try < 64; try++ {
-		b3 := a.list[a.rng.Intn(len(a.list))]
-		info := a.known[b3]
-		if info.pending {
-			continue
-		}
-		var err error
-		if info.dummy {
-			// Meaningless content: fresh random bytes are its reseal.
-			// Read first so the observable I/O matches a reseal.
-			if err = a.vol.Device().ReadBlock(b3, scratch); err == nil {
-				err = a.vol.RewriteRandom(b3)
-			}
-		} else {
-			err = a.vol.Reseal(b3, info.seal)
-		}
-		if err != nil {
-			return err
-		}
-		a.stats.mu.Lock()
-		a.stats.s.DummyUpdates++
-		a.stats.mu.Unlock()
-		return nil
-	}
-	return fmt.Errorf("%w: only pending blocks visible", ErrNoDummySpace)
-}
-
-// DummyUpdateBurst issues up to n idle-time dummy updates over the
-// disclosed blocks in one batched read-modify-write cycle (two
-// scattered device batches instead of 2n single-block calls). Each
-// target is drawn exactly as DummyUpdate draws it, so the observable
-// stream keeps the same uniform-over-disclosed distribution. It
-// returns how many updates were issued — fewer than n when few
-// non-pending targets are visible.
-func (a *VolatileAgent) DummyUpdateBurst(n int) (int, error) {
-	if n <= 0 {
-		return 0, nil
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if len(a.list) == 0 {
-		return 0, fmt.Errorf("%w: nothing disclosed", ErrNoDummySpace)
-	}
-	locs := make([]uint64, 0, n)
-	infos := make([]*ownerInfo, 0, n)
-	for try := 0; try < 64*n && len(locs) < n; try++ {
-		b3 := a.list[a.rng.Intn(len(a.list))]
-		info := a.known[b3]
-		if info.pending {
-			continue
-		}
-		locs = append(locs, b3)
-		infos = append(infos, info)
-	}
-	if len(locs) == 0 {
-		return 0, fmt.Errorf("%w: only pending blocks visible", ErrNoDummySpace)
-	}
-	var iv [sealer.IVSize]byte
-	if err := a.vol.UpdateMany(locs, func(i int, raw []byte) error {
-		if infos[i].dummy {
-			// Meaningless content: fresh random bytes are its reseal.
-			a.vol.FillRandom(raw)
-			return nil
-		}
-		a.vol.NextIV(iv[:])
-		return infos[i].seal.Reseal(raw, iv[:], nil)
-	}); err != nil {
-		return 0, err
-	}
-	a.stats.mu.Lock()
-	a.stats.s.DummyUpdates += uint64(len(locs))
-	a.stats.mu.Unlock()
-	return len(locs), nil
 }

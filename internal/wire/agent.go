@@ -12,6 +12,14 @@ import (
 // over TCP. Each connection is one user's channel; the login state is
 // connection-scoped, and dropping the connection logs the user out —
 // the volatility property, enforced by transport lifetime.
+//
+// Connections are served concurrently, and since the agent's update
+// path is itself concurrent (the per-volume scheduler in
+// internal/sched merges all sessions' intents into one uniformly
+// random stream), simultaneous requests from different users overlap
+// their crypto and storage I/O instead of lock-stepping through an
+// agent-wide mutex. Requests on a single connection are processed in
+// order — one user's operations keep their sequential semantics.
 type AgentServer struct {
 	agent *steghide.VolatileAgent
 	ln    net.Listener

@@ -15,7 +15,11 @@
 //     process whether or not real work happens. Two constructions:
 //     NonVolatileAgent (one persistent agent key; "StegHide*") and
 //     VolatileAgent (per-user keys disclosed at login, forgotten at
-//     logout, with deniable dummy files; "StegHide").
+//     logout, with deniable dummy files; "StegHide"). Both are safe
+//     for concurrent use: a per-volume scheduler merges all sessions'
+//     update intents into one uniformly random stream, so many users
+//     (locally or via AgentServer) overlap their crypto and I/O
+//     without weakening the §3.2.4 indistinguishability argument.
 //   - Read hiding (§5): an ObliviousStore — a hierarchy of levels à
 //     la hierarchical ORAM, reshuffled by external merge sort — used
 //     as a cache in front of the StegFS partition so read patterns
