@@ -40,6 +40,7 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "override the scale's random seed (0 = default)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		benchJSON = flag.String("benchjson", "", "run the micro-benchmark suite and write JSON results to this file (e.g. BENCH_results.json)")
+		journaled = flag.Bool("journal", false, "run the steg systems with the sealed intent journal enabled")
 	)
 	flag.Parse()
 
@@ -76,6 +77,7 @@ func main() {
 	if *seed != 0 {
 		scale.Seed = *seed
 	}
+	scale.Journal = *journaled
 
 	var selected []experiments.Experiment
 	if *runIDs == "all" {

@@ -81,10 +81,11 @@ func cmdFsck(args []string) error {
 	img := fs.String("img", "steghide.img", "volume image path")
 	bs := fs.Int("bs", 4096, "block size in bytes")
 	pass := fs.String("pass", "", "passphrase whose files to verify")
+	journalPass := fs.String("journal-pass", "", "administrator journal passphrase: verify the intent ring and report unreplayed intents")
 	fs.Parse(args)
 	paths := fs.Args()
-	if *pass == "" || len(paths) == 0 {
-		return fmt.Errorf("fsck needs -pass and at least one path")
+	if *pass == "" && *journalPass == "" {
+		return fmt.Errorf("fsck needs -pass (with paths) and/or -journal-pass")
 	}
 	dev, err := steghide.OpenFileDevice(*img, *bs)
 	if err != nil {
@@ -95,18 +96,40 @@ func cmdFsck(args []string) error {
 	if err != nil {
 		return err
 	}
-	report, err := steghide.CheckVolume(vol, map[string][]string{*pass: paths})
-	if err != nil {
-		return err
+	dirty := false
+	if *pass != "" {
+		if len(paths) == 0 {
+			return fmt.Errorf("fsck -pass needs at least one path")
+		}
+		report, err := steghide.CheckVolume(vol, map[string][]string{*pass: paths})
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+		for path, cerr := range report.Corrupt {
+			fmt.Printf("  corrupt: %s: %v\n", path, cerr)
+		}
+		for _, m := range report.Missing {
+			fmt.Printf("  missing: %s (or wrong key — indistinguishable by design)\n", m)
+		}
+		dirty = dirty || !report.Ok()
 	}
-	fmt.Println(report)
-	for path, cerr := range report.Corrupt {
-		fmt.Printf("  corrupt: %s: %v\n", path, cerr)
+	if *journalPass != "" {
+		jrep, err := steghide.JournalFsck(vol, steghide.JournalKey(vol, *journalPass))
+		if err != nil {
+			return err
+		}
+		fmt.Println(jrep)
+		for _, rec := range jrep.Pending {
+			fmt.Printf("  unreplayed intent: seq %d %s file@%d old=%d new=%d locs=%v\n",
+				rec.Seq, rec.Op, rec.FileH, rec.OldLoc, rec.NewLoc, rec.Locs)
+		}
+		if !jrep.Ok() {
+			fmt.Println("  volume is dirty: run recovery (agent Recover) before serving traffic")
+		}
+		dirty = dirty || !jrep.Ok()
 	}
-	for _, m := range report.Missing {
-		fmt.Printf("  missing: %s (or wrong key — indistinguishable by design)\n", m)
-	}
-	if !report.Ok() {
+	if dirty {
 		return fmt.Errorf("volume has problems")
 	}
 	return nil
@@ -117,6 +140,7 @@ func cmdFormat(args []string) error {
 	img := fs.String("img", "steghide.img", "volume image path")
 	blocks := fs.Uint64("blocks", 1<<15, "number of blocks")
 	bs := fs.Int("bs", 4096, "block size in bytes")
+	ring := fs.Uint64("journal", 0, "reserve a sealed intent-journal ring of this many blocks (0 disables)")
 	fs.Parse(args)
 
 	dev, err := steghide.CreateFileDevice(*img, *bs, *blocks)
@@ -128,14 +152,18 @@ func cmdFormat(args []string) error {
 	if _, err := readEntropy(entropy); err != nil {
 		return err
 	}
-	if _, err := steghide.Format(dev, steghide.FormatOptions{FillSeed: entropy}); err != nil {
+	if _, err := steghide.Format(dev, steghide.FormatOptions{FillSeed: entropy, JournalBlocks: *ring}); err != nil {
 		return err
 	}
 	if err := dev.Sync(); err != nil {
 		return err
 	}
-	fmt.Printf("formatted %s: %d blocks x %d bytes (%.1f MiB)\n",
+	fmt.Printf("formatted %s: %d blocks x %d bytes (%.1f MiB)",
 		*img, *blocks, *bs, float64(*blocks)*float64(*bs)/(1<<20))
+	if *ring > 0 {
+		fmt.Printf(", journal ring %d slots", *ring)
+	}
+	fmt.Println()
 	return nil
 }
 
@@ -197,6 +225,8 @@ func cmdAgent(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7071", "listen address for clients")
 	dummyInterval := fs.Duration("dummy-interval", 250*time.Millisecond,
 		"idle dummy-update period (0 disables)")
+	journalPass := fs.String("journal-pass", "",
+		"administrator journal passphrase: journal every update intent and recover the ring at boot (needs a volume formatted with -journal)")
 	fs.Parse(args)
 
 	dev, err := steghide.DialStorage(*storageAddr)
@@ -213,6 +243,16 @@ func cmdAgent(args []string) error {
 		return err
 	}
 	agent := steghide.NewVolatileAgent(vol, steghide.NewPRNG(entropy))
+	if *journalPass != "" {
+		if err := agent.EnableJournal(steghide.JournalKey(vol, *journalPass)); err != nil {
+			return err
+		}
+		rep, err := agent.Recover()
+		if err != nil {
+			return err
+		}
+		fmt.Println("agent:", rep)
+	}
 	srv, err := steghide.NewAgentServer(*addr, agent)
 	if err != nil {
 		return err

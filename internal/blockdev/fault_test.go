@@ -49,3 +49,114 @@ func TestFaultDeviceCountdown(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPowerCutAfterWrites(t *testing.T) {
+	mem := NewMem(64, 8)
+	fd := NewFault(mem)
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = 0x11
+	}
+
+	fd.PowerCutAfterWrites(2)
+	if err := fd.WriteBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.WriteBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := fd.Writes(); got != 2 {
+		t.Fatalf("Writes() = %d, want 2", got)
+	}
+	// The third write dies, and nothing lands.
+	if err := fd.WriteBlock(2, buf); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("fatal write: %v", err)
+	}
+	// The host is down: reads fail too, and so do later writes.
+	if err := fd.ReadBlock(0, buf); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("read after cut: %v", err)
+	}
+	if err := fd.WriteBlock(3, buf); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write after cut: %v", err)
+	}
+
+	// Reboot: the medium holds exactly the pre-cut prefix.
+	fd.Heal()
+	got := make([]byte, 64)
+	if err := fd.ReadBlock(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x11 {
+		t.Fatal("write before the cut did not survive")
+	}
+	if err := fd.ReadBlock(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("write at the cut index leaked through")
+	}
+}
+
+func TestPowerCutMidBatchPrefix(t *testing.T) {
+	mem := NewMem(64, 8)
+	fd := NewFault(mem)
+	data := AllocBlocks(6, 64)
+	for i := range data {
+		for k := range data[i] {
+			data[i][k] = byte(i + 1)
+		}
+	}
+	fd.PowerCutAfterWrites(3)
+	if err := WriteBlocks(fd, 0, data); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("batched write across the cut: %v", err)
+	}
+	fd.Heal()
+	buf := make([]byte, 64)
+	for i := uint64(0); i < 6; i++ {
+		if err := fd.ReadBlock(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		want := byte(0)
+		if i < 3 {
+			want = byte(i + 1)
+		}
+		if buf[0] != want {
+			t.Fatalf("block %d holds %#x after mid-batch cut, want %#x", i, buf[0], want)
+		}
+	}
+}
+
+func TestPowerCutTornFinalWrite(t *testing.T) {
+	mem := NewMem(64, 8)
+	fd := NewFault(mem)
+	old := make([]byte, 64)
+	for i := range old {
+		old[i] = 0xAA
+	}
+	if err := fd.WriteBlock(0, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := make([]byte, 64)
+	for i := range fresh {
+		fresh[i] = 0xBB
+	}
+	fd.PowerCutTorn(0, 0.5)
+	if err := fd.WriteBlock(0, fresh); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("torn write: %v", err)
+	}
+	fd.Heal()
+	got := make([]byte, 64)
+	if err := fd.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if got[i] != 0xBB {
+			t.Fatalf("byte %d = %#x, want torn-in new data", i, got[i])
+		}
+	}
+	for i := 32; i < 64; i++ {
+		if got[i] != 0xAA {
+			t.Fatalf("byte %d = %#x, want surviving old data", i, got[i])
+		}
+	}
+}

@@ -57,8 +57,8 @@ func TestTablePrint(t *testing.T) {
 }
 
 func TestLookupAndAll(t *testing.T) {
-	if len(All()) != 10 {
-		t.Fatalf("expected 10 experiments, have %d", len(All()))
+	if len(All()) != 11 {
+		t.Fatalf("expected 11 experiments, have %d", len(All()))
 	}
 	seen := map[string]bool{}
 	for _, e := range All() {

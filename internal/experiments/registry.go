@@ -28,6 +28,7 @@ func All() []Experiment {
 		{"fig12b", "sorting < 30% of access time despite its I/O count", Fig12b},
 		{"eq1", "measured update overhead matches E = N/D", Eq1},
 		{"security", "Definition 1: workload indistinguishable from dummy traffic", SecurityDef1},
+		{"journal", "intent journal: ≤25% update overhead, stream still indistinguishable", JournalOverhead},
 	}
 }
 

@@ -52,6 +52,11 @@ type Scale struct {
 	// SecurityOps is the number of update ops per stream in the
 	// Definition-1 experiment.
 	SecurityOps int
+	// Journal, when set (benchrunner -journal), runs the steg systems
+	// with the sealed intent journal enabled: every volume reserves a
+	// ring of VolumeBlocks/32 slots and the agents log every stream
+	// element. Off by default, keeping historical outputs bit-identical.
+	Journal bool
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -119,4 +124,13 @@ func (s Scale) Validate() error {
 // FileMB renders a block count as megabytes at timing scale.
 func (s Scale) FileMB(blocks uint64) float64 {
 	return float64(blocks) * float64(s.TimingBlockSize) / (1 << 20)
+}
+
+// journalRing returns the ring size layout volumes reserve when the
+// journal toggle is on (0 otherwise).
+func (s Scale) journalRing() uint64 {
+	if !s.Journal {
+		return 0
+	}
+	return s.VolumeBlocks / 32
 }

@@ -56,7 +56,8 @@ func NewSystem(name string, s Scale, seed uint64) (System, *blockdev.Collector, 
 	case nameFragDisk:
 		return &fragSys{dev: dev, store: baseline.NewFragDisk(dev, rng.Child("frag"))}, col, nil
 	case nameStegFS, nameStegHideStar:
-		vol, err := stegfs.Format(dev, stegfs.FormatOptions{KDFIterations: 4, FillSeed: rng.Bytes(16)})
+		vol, err := stegfs.Format(dev, stegfs.FormatOptions{
+			KDFIterations: 4, FillSeed: rng.Bytes(16), JournalBlocks: s.journalRing()})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -72,15 +73,27 @@ func NewSystem(name string, s Scale, seed uint64) (System, *blockdev.Collector, 
 		if err != nil {
 			return nil, nil, err
 		}
+		if s.Journal {
+			if err := agent.EnableJournal(); err != nil {
+				return nil, nil, err
+			}
+		}
 		return &c1Sys{dev: dev, agent: agent}, col, nil
 	case nameStegHide:
-		vol, err := stegfs.Format(dev, stegfs.FormatOptions{KDFIterations: 4, FillSeed: rng.Bytes(16)})
+		vol, err := stegfs.Format(dev, stegfs.FormatOptions{
+			KDFIterations: 4, FillSeed: rng.Bytes(16), JournalBlocks: s.journalRing()})
 		if err != nil {
 			return nil, nil, err
 		}
+		agent := steghide.NewVolatile(vol, rng.Child("agent"))
+		if s.Journal {
+			if err := agent.EnableJournal(steghide.JournalKey(vol, "benchrunner-admin")); err != nil {
+				return nil, nil, err
+			}
+		}
 		return &c2Sys{
 			dev:      dev,
-			agent:    steghide.NewVolatile(vol, rng.Child("agent")),
+			agent:    agent,
 			sessions: map[string]*steghide.Session{},
 		}, col, nil
 	default:

@@ -1,0 +1,390 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/sealer"
+	"steghide/internal/stegfs"
+)
+
+func newVol(t *testing.T, blockSize int, nBlocks, journal uint64) (*stegfs.Volume, *blockdev.Mem) {
+	t.Helper()
+	dev := blockdev.NewMem(blockSize, nBlocks)
+	vol, err := stegfs.Format(dev, stegfs.FormatOptions{
+		KDFIterations: 4,
+		FillSeed:      []byte("journal-test"),
+		JournalBlocks: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vol, dev
+}
+
+func testKey() sealer.Key { return sealer.DeriveKey([]byte("secret"), "journal-test-key") }
+
+func TestOpenRequiresRegion(t *testing.T) {
+	vol, _ := newVol(t, 512, 64, 0)
+	if _, err := Open(vol, testKey()); !errors.Is(err, ErrNoJournal) {
+		t.Fatalf("Open on journalless volume: %v", err)
+	}
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	vol, _ := newVol(t, 512, 128, 16)
+	j, err := Open(vol, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := j.Scan(); len(recs) != 0 {
+		t.Fatalf("fresh ring has %d records", len(recs))
+	}
+	if err := j.AppendReloc(40, 41, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendAlloc(40, []uint64{50, 51, 52}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendDummy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendFree(40, []uint64{50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSave(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := j.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Op{OpReloc, OpAlloc, OpDummy, OpFree, OpSave, OpCheckpoint}
+	if len(recs) != len(wantOps) {
+		t.Fatalf("scan returned %d records, want %d", len(recs), len(wantOps))
+	}
+	for i, rec := range recs {
+		if rec.Op != wantOps[i] {
+			t.Fatalf("record %d op %v, want %v", i, rec.Op, wantOps[i])
+		}
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq %d", i, rec.Seq)
+		}
+	}
+	if recs[0].OldLoc != 41 || recs[0].NewLoc != 42 || recs[0].FileH != 40 {
+		t.Fatalf("reloc decoded as %+v", recs[0])
+	}
+	if len(recs[1].Locs) != 3 || recs[1].Locs[2] != 52 {
+		t.Fatalf("alloc decoded as %+v", recs[1])
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	vol, _ := newVol(t, 512, 128, 16)
+	key := testKey()
+	j, err := Open(vol, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.AppendDummy(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j2, err := Open(vol, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Seq(); got != 6 {
+		t.Fatalf("reopened journal resumes at seq %d, want 6", got)
+	}
+	if err := j2.AppendSave(7); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := j2.Scan()
+	if len(recs) != 6 || recs[5].Op != OpSave || recs[5].Seq != 6 {
+		t.Fatalf("append after reopen: %+v", recs)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	vol, _ := newVol(t, 512, 128, 8)
+	j, err := Open(vol, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if err := j.AppendAlloc(100+i, []uint64{200 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := j.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("wrapped ring holds %d records, want 8", len(recs))
+	}
+	if recs[0].Seq != 13 || recs[7].Seq != 20 {
+		t.Fatalf("wrapped ring seq range [%d,%d], want [13,20]", recs[0].Seq, recs[7].Seq)
+	}
+}
+
+func TestAppendDummiesBatchesAndWraps(t *testing.T) {
+	vol, _ := newVol(t, 512, 128, 8)
+	j, err := Open(vol, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSave(99); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendDummies(11); err != nil { // wraps past slot 8
+		t.Fatal(err)
+	}
+	recs, err := j.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("ring holds %d records", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Op != OpDummy {
+			t.Fatalf("unexpected %v after dummy burst", rec.Op)
+		}
+	}
+	if recs[7].Seq != 12 {
+		t.Fatalf("last seq %d, want 12", recs[7].Seq)
+	}
+}
+
+func TestTornSlotIsIgnored(t *testing.T) {
+	vol, dev := newVol(t, 512, 128, 8)
+	j, err := Open(vol, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.AppendReloc(10, 11, 12); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the middle record: overwrite half its slot (ring block 1 =
+	// volume block 2) as a power cut mid-write would.
+	raw := make([]byte, 512)
+	if err := dev.ReadBlock(2, raw); err != nil {
+		t.Fatal(err)
+	}
+	copy(raw[256:], bytes.Repeat([]byte{0xAB}, 256))
+	if err := dev.WriteBlock(2, raw); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := j.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("scan after torn slot returned %d records, want 2", len(recs))
+	}
+	if recs[0].Seq != 1 || recs[1].Seq != 3 {
+		t.Fatalf("surviving seqs %d,%d", recs[0].Seq, recs[1].Seq)
+	}
+}
+
+func TestWrongKeySeesNothing(t *testing.T) {
+	vol, _ := newVol(t, 512, 128, 8)
+	j, err := Open(vol, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.AppendReloc(1, 2, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	other, err := Open(vol, sealer.DeriveKey([]byte("intruder"), "journal-test-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := other.Scan(); len(recs) != 0 {
+		t.Fatalf("foreign key decoded %d records", len(recs))
+	}
+	if other.Seq() != 1 {
+		t.Fatalf("foreign key sees seq horizon %d", other.Seq())
+	}
+}
+
+func TestSlotWritesChangeFixedPrefixOnly(t *testing.T) {
+	// Every append must touch the same prefix of its slot and leave
+	// the static tail alone, whatever the record carries — that is the
+	// "one slot overwrite looks like any other" property.
+	vol, dev := newVol(t, 4096, 64, 8)
+	j, err := Open(vol, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := sealer.IVSize + maxArea
+	before := make([]byte, 4096)
+	after := make([]byte, 4096)
+	appends := []func() error{
+		func() error { return j.AppendDummy() },
+		func() error { return j.AppendReloc(9, 10, 11) },
+		func() error { return j.AppendAlloc(9, []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}) },
+		func() error { return j.AppendSave(9) },
+	}
+	for i, ap := range appends {
+		slot := uint64(i) + 1 // ring slot i = volume block 1+i
+		if err := dev.ReadBlock(slot, before); err != nil {
+			t.Fatal(err)
+		}
+		if err := ap(); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.ReadBlock(slot, after); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(before[:prefix], after[:prefix]) {
+			t.Fatalf("append %d left the sealed prefix unchanged", i)
+		}
+		if !bytes.Equal(before[prefix:], after[prefix:]) {
+			t.Fatalf("append %d disturbed the static tail", i)
+		}
+	}
+}
+
+func TestResolveNewestFirstWins(t *testing.T) {
+	// Location 70 appears in two files' intents; the newer file's
+	// header decides it.
+	refs := map[uint64]map[uint64]bool{
+		10: nil,                  // file 10: never saved
+		20: {20: true, 70: true}, // file 20 owns 70
+		30: {30: true, 31: true}, // file 30: reloc rolled back
+	}
+	resolve := func(fileH uint64) (map[uint64]bool, error) {
+		r, ok := refs[fileH]
+		if !ok || r == nil {
+			return nil, stegfs.ErrNotFound
+		}
+		return r, nil
+	}
+	recs := []Record{
+		{Seq: 1, Op: OpAlloc, FileH: 10, Locs: []uint64{70}},
+		{Seq: 2, Op: OpAlloc, FileH: 20, Locs: []uint64{70}},
+		{Seq: 3, Op: OpReloc, FileH: 30, OldLoc: 31, NewLoc: 32},
+		{Seq: 4, Op: OpAlloc, FileH: 99, Locs: []uint64{80}},
+	}
+	res, err := Resolve(recs, func(fileH uint64) (map[uint64]bool, error) {
+		if fileH == 99 {
+			return nil, ErrNoKey
+		}
+		return resolve(fileH)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := map[uint64]Verdict{}
+	for _, v := range res.Verdicts {
+		verdicts[v.Loc] = v
+	}
+	if v := verdicts[70]; !v.Used || v.Seq != 2 {
+		t.Fatalf("loc 70 verdict %+v, want used by seq 2", v)
+	}
+	if v := verdicts[31]; !v.Used {
+		t.Fatalf("rolled-back reloc old loc should stay used: %+v", v)
+	}
+	if v := verdicts[32]; v.Used {
+		t.Fatalf("rolled-back reloc new loc should be free: %+v", v)
+	}
+	if res.Committed[3] {
+		t.Fatal("reloc 3 reported committed; header references oldLoc")
+	}
+	if len(res.Unresolved) != 1 || res.Unresolved[0].FileH != 99 {
+		t.Fatalf("unresolved %+v", res.Unresolved)
+	}
+}
+
+func TestFsckReportsPending(t *testing.T) {
+	vol, _ := newVol(t, 512, 128, 16)
+	key := testKey()
+	j, err := Open(vol, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendAlloc(40, []uint64{50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSave(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendReloc(40, 50, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendReloc(41, 51, 61); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSave(41); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(vol, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid != 5 {
+		t.Fatalf("fsck valid %d", rep.Valid)
+	}
+	if len(rep.Pending) != 1 || rep.Pending[0].Seq != 3 {
+		t.Fatalf("pending %+v, want the uncovered reloc (seq 3)", rep.Pending)
+	}
+	if rep.Ok() {
+		t.Fatal("dirty ring reported Ok")
+	}
+}
+
+func TestReopenAfterTornAppendDoesNotReuseIV(t *testing.T) {
+	// A torn append leaves its IV on disk while the resume sequence
+	// stays put; the reopened journal must not replay that IV onto the
+	// same slot (an unchanged-IV overwrite would prove the slot holds
+	// keyed structure).
+	vol, dev := newVol(t, 512, 128, 8)
+	key := testKey()
+	j, err := Open(vol, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendReloc(10, 11, 12); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the slot (ring slot 0 = volume block 1): the IV survives,
+	// the record body does not, so a rescan resumes at seq 1.
+	raw := make([]byte, 512)
+	if err := dev.ReadBlock(1, raw); err != nil {
+		t.Fatal(err)
+	}
+	tornIV := append([]byte(nil), raw[:sealer.IVSize]...)
+	copy(raw[sealer.IVSize+32:], bytes.Repeat([]byte{0xEE}, 64))
+	if err := dev.WriteBlock(1, raw); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(vol, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Seq() != 1 {
+		t.Fatalf("resume seq %d, want 1 (torn record dropped)", j2.Seq())
+	}
+	if err := j2.AppendSave(99); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ReadBlock(1, raw); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(raw[:sealer.IVSize], tornIV) {
+		t.Fatal("re-append after a torn write reused the on-disk IV")
+	}
+}

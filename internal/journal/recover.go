@@ -1,0 +1,138 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+
+	"steghide/internal/stegfs"
+)
+
+// Resolver reads the disk truth for one file: the set of block
+// locations the durable header rooted at fileH references (see
+// stegfs.ReferencedAt). It returns stegfs.ErrNotFound when no header
+// decodes there — every location the intents attributed to that file
+// is then free — and ErrNoKey when the caller cannot decode the
+// header at all (Construction 2 before the file is disclosed).
+type Resolver func(fileH uint64) (map[uint64]bool, error)
+
+// ErrNoKey is the Resolver's "cannot decide yet": the record stays
+// unresolved instead of producing a verdict.
+var ErrNoKey = errors.New("journal: no key for this file's header")
+
+// Verdict is the recovered truth for one block location.
+type Verdict struct {
+	// Loc is the block the verdict concerns.
+	Loc uint64
+	// Used reports whether the durable state holds live data at Loc.
+	Used bool
+	// Seq is the record that decided the verdict — the newest one
+	// touching Loc, because later intents supersede earlier ones.
+	Seq uint64
+}
+
+// Resolution is the outcome of resolving a ring scan against disk.
+type Resolution struct {
+	// Verdicts holds one entry per distinct location the ring makes
+	// claims about, decided newest-intent-first.
+	Verdicts []Verdict
+	// Committed maps each OpReloc sequence number to whether the
+	// relocation's file durably references NewLoc (true: the data
+	// lives at NewLoc; false: the save never landed and the data is
+	// still at OldLoc).
+	Committed map[uint64]bool
+	// Unresolved lists intents whose file the resolver had no key for,
+	// newest first. Their locations received no verdict and must stay
+	// quarantined until the key appears.
+	Unresolved []Record
+	// Broken lists file headers whose chain failed structurally
+	// (stegfs.ErrCorrupt): their intents resolve to "free", but the
+	// condition is worth surfacing.
+	Broken []uint64
+}
+
+// Resolve decides every intent in recs against the disk truth the
+// resolver reads. Records are processed newest first and the first
+// verdict for a location wins: a location reused by a later file is
+// decided by that later file's header, exactly as the disk would
+// answer. Dummy, save, and checkpoint records carry no claims and are
+// skipped.
+func Resolve(recs []Record, resolve Resolver) (*Resolution, error) {
+	res := &Resolution{Committed: map[uint64]bool{}}
+	refsOf := map[uint64]map[uint64]bool{} // fileH → referenced set (nil: no file)
+	noKey := map[uint64]bool{}
+	lookup := func(fileH uint64) (map[uint64]bool, bool, error) {
+		if noKey[fileH] {
+			return nil, false, nil
+		}
+		refs, seen := refsOf[fileH]
+		if seen {
+			return refs, true, nil
+		}
+		refs, err := resolve(fileH)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrNoKey):
+			noKey[fileH] = true
+			return nil, false, nil
+		case errors.Is(err, stegfs.ErrNotFound):
+			refs = nil // no such file: nothing referenced
+		case errors.Is(err, stegfs.ErrCorrupt):
+			refs = nil
+			res.Broken = append(res.Broken, fileH)
+		default:
+			return nil, false, err
+		}
+		refsOf[fileH] = refs
+		return refs, true, nil
+	}
+
+	claimed := map[uint64]bool{}
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := &recs[i]
+		locs := rec.touches()
+		if len(locs) == 0 {
+			continue
+		}
+		refs, ok, err := lookup(rec.FileH)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			res.Unresolved = append(res.Unresolved, *rec)
+			continue
+		}
+		if rec.Op == OpReloc {
+			res.Committed[rec.Seq] = refs[rec.NewLoc]
+		}
+		for _, loc := range locs {
+			if claimed[loc] {
+				continue
+			}
+			claimed[loc] = true
+			res.Verdicts = append(res.Verdicts, Verdict{Loc: loc, Used: refs[loc], Seq: rec.Seq})
+		}
+	}
+	return res, nil
+}
+
+// Report summarizes a recovery run for logs and fsck output.
+type Report struct {
+	// Records is how many valid records the ring scan returned.
+	Records int
+	// RelocsCommitted and RelocsRolledBack split the resolved
+	// relocation intents by outcome.
+	RelocsCommitted, RelocsRolledBack int
+	// MarkedUsed and MarkedFree count the partition corrections
+	// applied.
+	MarkedUsed, MarkedFree int
+	// Unresolved counts intents awaiting a key (Construction 2).
+	Unresolved int
+	// BrokenFiles counts headers whose pointer chain failed.
+	BrokenFiles int
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("journal recovery: %d records, %d relocs committed, %d rolled back, %d→used %d→free, %d unresolved, %d broken files",
+		r.Records, r.RelocsCommitted, r.RelocsRolledBack, r.MarkedUsed, r.MarkedFree, r.Unresolved, r.BrokenFiles)
+}

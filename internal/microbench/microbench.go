@@ -17,10 +17,12 @@ import (
 	"testing"
 
 	"steghide/internal/blockdev"
+	"steghide/internal/journal"
 	"steghide/internal/oblivious"
 	"steghide/internal/prng"
 	"steghide/internal/sealer"
 	"steghide/internal/stegfs"
+	"steghide/internal/steghide"
 	"steghide/internal/wire"
 )
 
@@ -53,6 +55,8 @@ func suite() []bench {
 		{"batch-read-wire/batched", func(b *testing.B) { remoteRead(b, true) }},
 		{"oblivious-reshuffle", obliviousReshuffle},
 		{"stegfs-seq-scan", stegfsScan},
+		{"journal/append", journalAppend},
+		{"journal/recover", journalRecover},
 	}
 	return append(s, ConcurrentClientSuite()...)
 }
@@ -145,6 +149,70 @@ func obliviousReshuffle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		binary.BigEndian.PutUint64(val, uint64(i))
 		if err := s.Put(oblivious.BlockID{File: 1, Index: uint64(i % s.Capacity())}, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// journalAppend measures the per-element cost of the durability plane:
+// one sealed intent slot write, the price every stream element pays
+// when journaling is on.
+func journalAppend(b *testing.B) {
+	vol, err := stegfs.Format(blockdev.NewMem(benchBS, 1<<10),
+		stegfs.FormatOptions{KDFIterations: 4, FillSeed: []byte("jb"), JournalBlocks: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := journal.Open(vol, sealer.DeriveKey([]byte("bench"), "journal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(benchBS))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.AppendReloc(uint64(300+i%32), uint64(400+i%64), uint64(500+i%64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// journalRecover measures mount-time recovery: scan a populated ring
+// and resolve every intent against the on-disk headers.
+func journalRecover(b *testing.B) {
+	vol, err := stegfs.Format(blockdev.NewMem(benchBS, 1<<11),
+		stegfs.FormatOptions{KDFIterations: 4, FillSeed: []byte("jr"), JournalBlocks: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent, err := steghide.NewNonVolatile(vol, []byte("bench-secret"), prng.NewFromUint64(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := agent.EnableJournal(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := agent.Create("u", "/f"); err != nil {
+		b.Fatal(err)
+	}
+	content := make([]byte, 32*vol.PayloadSize())
+	if err := agent.Write("/f", content, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := agent.Sync("/f"); err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([]byte, vol.PayloadSize())
+	for i := 0; i < 200; i++ {
+		if err := agent.Write("/f", chunk, uint64(i%32)*uint64(vol.PayloadSize())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := agent.Sync("/f"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.Recover(); err != nil {
 			b.Fatal(err)
 		}
 	}

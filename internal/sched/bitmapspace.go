@@ -22,6 +22,14 @@ type BitmapSpace struct {
 	source *stegfs.BitmapSource
 	seal   *sealer.Sealer
 
+	// vacate, when set (journaled agents), intercepts the release of a
+	// relocation's vacated block: the block stays out of the dummy pool
+	// — in "limbo", still marked used — until the owning file's header
+	// save commits the move, because until then the on-disk header
+	// still references it and a refill or reallocation would destroy
+	// committed data the moment a crash rolls the relocation back.
+	vacate func(oldLoc, newLoc uint64)
+
 	mu    sync.Mutex // guards rng
 	rng   *prng.PRNG
 	first uint64
@@ -64,8 +72,19 @@ func (b *BitmapSpace) DrawUpdate(loc uint64) (Target, error) {
 	}
 }
 
-// CommitRelocate implements Space: the vacated block becomes a dummy.
-func (b *BitmapSpace) CommitRelocate(oldLoc, _ uint64, _ *sealer.Sealer) {
+// SetVacateHook diverts vacated blocks into the journal adapter's
+// limbo instead of releasing them immediately. Install before
+// concurrent use.
+func (b *BitmapSpace) SetVacateHook(fn func(oldLoc, newLoc uint64)) { b.vacate = fn }
+
+// CommitRelocate implements Space: the vacated block becomes a dummy —
+// immediately in the memory-only protocol, or after the owning file's
+// next durable save when a journal holds it in limbo.
+func (b *BitmapSpace) CommitRelocate(oldLoc, newLoc uint64, _ *sealer.Sealer) {
+	if b.vacate != nil {
+		b.vacate(oldLoc, newLoc)
+		return
+	}
 	b.source.Release(oldLoc)
 }
 

@@ -125,13 +125,29 @@ type Space interface {
 	Classify(loc uint64) (Action, *sealer.Sealer)
 }
 
+// IntentLog is the durability plane's hook into the update stream,
+// implemented by the journal adapters in internal/steghide. The
+// contract that keeps the stream deniable: the scheduler calls exactly
+// one of these per emitted stream element — BeginReloc before a
+// relocation's payload write, DummyIntent for everything else — so
+// ring traffic is one slot write per element whatever the element is.
+type IntentLog interface {
+	// BeginReloc durably records the relocation intent before the
+	// payload write lands on newLoc.
+	BeginReloc(oldLoc, newLoc uint64) error
+	// DummyIntent durably emits n filler records, one per in-place,
+	// camouflage or dummy update about to be issued.
+	DummyIntent(n int) error
+}
+
 // Scheduler owns a volume's update stream. It is safe for concurrent
 // use by any number of sessions plus the dummy-traffic daemon.
 type Scheduler struct {
-	vol   *stegfs.Volume
-	dev   blockdev.Device
-	space Space
-	locks *BlockLocks
+	vol     *stegfs.Volume
+	dev     blockdev.Device
+	space   Space
+	locks   *BlockLocks
+	intents IntentLog // nil when the volume is not journaled
 
 	scratch *blockdev.BufPool // single-block scratch buffers
 
@@ -171,6 +187,10 @@ func New(vol *stegfs.Volume, space Space) *Scheduler {
 
 // Locks exposes the scheduler's per-block lock map.
 func (s *Scheduler) Locks() *BlockLocks { return s.locks }
+
+// SetIntentLog installs the journal hooks. Install before concurrent
+// use; a nil log (the default) emits no ring traffic.
+func (s *Scheduler) SetIntentLog(il IntentLog) { s.intents = il }
 
 // Stats returns a snapshot of the counters.
 func (s *Scheduler) Stats() Stats {
@@ -241,6 +261,15 @@ func (s *Scheduler) Update(loc uint64, seal *sealer.Sealer, payload []byte) (uin
 
 		case Self:
 			// Update in place: read in B1, re-encrypt with a new IV.
+			// In-place rewrites commit atomically with the block write
+			// itself (the header keeps pointing at loc), so the ring
+			// element is a filler — emitted all the same, to keep one
+			// slot write per stream element.
+			if s.intents != nil {
+				if err := s.intents.DummyIntent(1); err != nil {
+					return 0, err
+				}
+			}
 			s.locks.LockBlock(loc)
 			raw := s.getBuf()
 			err := s.dev.ReadBlock(loc, raw)
@@ -258,6 +287,14 @@ func (s *Scheduler) Update(loc uint64, seal *sealer.Sealer, payload []byte) (uin
 		case Relocate:
 			// B2 is a dummy block: the data moves there; the old
 			// location joins the dummy pool once the write succeeded.
+			// The intent record must be durable before the payload
+			// write, so recovery can find both endpoints.
+			if s.intents != nil {
+				if err := s.intents.BeginReloc(loc, t.Loc); err != nil {
+					s.space.AbortRelocate(loc, t.Loc)
+					return 0, err
+				}
+			}
 			unlock := s.locks.Lock2(loc, t.Loc)
 			raw := s.getBuf()
 			err := s.dev.ReadBlock(loc, raw)
@@ -299,6 +336,11 @@ func (s *Scheduler) dummyOn(loc uint64) (bool, error) {
 	act, seal := s.space.Classify(loc)
 	if act == ActSkip {
 		return false, nil
+	}
+	if s.intents != nil {
+		if err := s.intents.DummyIntent(1); err != nil {
+			return false, err
+		}
 	}
 	raw := s.getBuf()
 	defer s.putBuf(raw)
@@ -382,6 +424,11 @@ func (s *Scheduler) DummyUpdateBurst(n int) (int, error) {
 	}
 	if len(elig) == 0 {
 		return 0, nil
+	}
+	if s.intents != nil {
+		if err := s.intents.DummyIntent(len(elig)); err != nil {
+			return 0, err
+		}
 	}
 
 	raws := blockdev.AllocBlocks(len(elig), s.vol.BlockSize())

@@ -253,3 +253,68 @@ func TestBlockLocksOrdering(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// countingIntents records IntentLog traffic for the one-slot-per-
+// element invariant.
+type countingIntents struct {
+	mu      sync.Mutex
+	relocs  int
+	dummies int
+}
+
+func (c *countingIntents) BeginReloc(oldLoc, newLoc uint64) error {
+	c.mu.Lock()
+	c.relocs++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *countingIntents) DummyIntent(n int) error {
+	c.mu.Lock()
+	c.dummies += n
+	c.mu.Unlock()
+	return nil
+}
+
+// TestIntentPerStreamElement asserts the journal contract: every
+// element of the emitted update stream — in-place, relocation,
+// camouflage, idle dummy — carries exactly one intent, so ring
+// traffic reveals only the stream's cadence.
+func TestIntentPerStreamElement(t *testing.T) {
+	s, vol, source := newBitmapRig(t, 512, 0.5)
+	ci := &countingIntents{}
+	s.SetIntentLog(ci)
+	seal, err := vol.NewSealer([32]byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := source.AcquireRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := prng.NewFromUint64(2).Bytes(vol.PayloadSize())
+	cur := loc
+	for i := 0; i < 40; i++ {
+		next, err := s.Update(cur, seal, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	for i := 0; i < 25; i++ {
+		if err := s.DummyUpdate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.DummyUpdateBurst(16); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	elements := st.Iterations + st.DummyUpdates
+	if got := uint64(ci.relocs + ci.dummies); got != elements {
+		t.Fatalf("%d intents for %d stream elements", got, elements)
+	}
+	if uint64(ci.relocs) != st.Relocations {
+		t.Fatalf("%d reloc intents for %d relocations", ci.relocs, st.Relocations)
+	}
+}

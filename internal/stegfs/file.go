@@ -36,6 +36,12 @@ type File struct {
 
 	revIndex map[uint64]int // lazy physical→logical index
 	dirty    bool
+
+	// pendingFree holds blocks a shrink gave up while the volume has
+	// an intent log: their release is deferred until the save that no
+	// longer references them is durable, so a crash before that save
+	// cannot find them reallocated out from under the old header.
+	pendingFree []uint64
 }
 
 // CreateFile creates an empty hidden file for fak at path. The header
@@ -76,6 +82,12 @@ func CreateDummyFile(vol *Volume, fak FAK, path string, source BlockSource, nBlo
 		f.blocks = append(f.blocks, loc)
 	}
 	f.size = nBlocks * uint64(vol.PayloadSize())
+	if il := vol.IntentHooks(); il != nil && nBlocks > 0 {
+		if err := il.LogAlloc(f.headerLoc, f.blocks); err != nil {
+			f.releaseAll()
+			return nil, err
+		}
+	}
 	if err := f.Save(); err != nil {
 		f.releaseAll()
 		return nil, err
@@ -105,6 +117,12 @@ func newFile(vol *Volume, fak FAK, path string, source BlockSource, flags uint32
 	}
 	if !found {
 		return nil, fmt.Errorf("stegfs: create %q: all header candidates occupied: %w", path, ErrVolumeFull)
+	}
+	if il := vol.IntentHooks(); il != nil {
+		if err := il.LogAlloc(headerLoc, []uint64{headerLoc}); err != nil {
+			source.Release(headerLoc)
+			return nil, err
+		}
 	}
 	return &File{
 		vol:       vol,
@@ -418,6 +436,11 @@ func (f *File) WriteBlockAt(li uint64, payload []byte, policy UpdatePolicy) erro
 	if err != nil {
 		return err
 	}
+	if il := f.vol.IntentHooks(); il != nil {
+		// A relocation intent for loc must be able to name this file's
+		// header, so recovery knows which on-disk map decides it.
+		il.NoteOwner(loc, f.headerLoc)
+	}
 	newLoc, err := policy.Update(loc, f.cseal, payload)
 	if err != nil {
 		return err
@@ -458,6 +481,12 @@ func (f *File) Resize(size uint64, policy UpdatePolicy) error {
 			}
 			newLocs = append(newLocs, loc)
 		}
+		if il := f.vol.IntentHooks(); il != nil {
+			if err := il.LogAlloc(f.headerLoc, newLocs); err != nil {
+				rollback()
+				return err
+			}
+		}
 		zero := make([]byte, ps)
 		payloads := make([][]byte, len(newLocs))
 		for i := range payloads {
@@ -474,11 +503,25 @@ func (f *File) Resize(size uint64, policy UpdatePolicy) error {
 			f.blocks = append(f.blocks, loc)
 		}
 	case want < cur:
-		for _, loc := range f.blocks[want:] {
+		cut := f.blocks[want:]
+		il := f.vol.IntentHooks()
+		if il != nil {
+			if err := il.LogFree(f.headerLoc, cut); err != nil {
+				return err
+			}
+		}
+		for _, loc := range cut {
 			if f.revIndex != nil {
 				delete(f.revIndex, loc)
 			}
-			f.source.Release(loc)
+			if il != nil {
+				// Defer the release: the on-disk header still references
+				// loc until the next save lands, so it must not be
+				// reallocated or refilled before then.
+				f.pendingFree = append(f.pendingFree, loc)
+			} else {
+				f.source.Release(loc)
+			}
 		}
 		f.blocks = f.blocks[:want]
 	}
@@ -596,6 +639,7 @@ func (f *File) Save() error {
 	// stable. Each acquisition may shrink f.blocks (self-donating
 	// dummy files), which can only reduce the requirement, so the
 	// loop terminates.
+	var acquired []uint64
 	for {
 		n := len(f.blocks)
 		needSingle := n > d
@@ -613,23 +657,32 @@ func (f *File) Save() error {
 				return err
 			}
 			f.single = loc
+			acquired = append(acquired, loc)
 		case nInner > len(f.outerPtrs):
 			loc, err := f.source.AcquireRandom()
 			if err != nil {
 				return err
 			}
 			f.outerPtrs = append(f.outerPtrs, loc)
+			acquired = append(acquired, loc)
 		case (nInner > 0 || len(f.outerPtrs) > 0) && f.double == 0:
 			loc, err := f.source.AcquireRandom()
 			if err != nil {
 				return err
 			}
 			f.double = loc
+			acquired = append(acquired, loc)
 		default:
 			goto stable
 		}
 	}
 stable:
+	il := f.vol.IntentHooks()
+	if il != nil && len(acquired) > 0 {
+		if err := il.LogAlloc(f.headerLoc, acquired); err != nil {
+			return err
+		}
+	}
 
 	// Phase 2: the map is now stable; write pointer blocks and header
 	// from it.
@@ -669,6 +722,18 @@ stable:
 			return err
 		}
 	}
+	if il != nil {
+		// The header write above is this file's commit point: record it
+		// and only then let go of blocks the saved map no longer
+		// references.
+		if err := il.LogSave(f.headerLoc); err != nil {
+			return err
+		}
+		for _, loc := range f.pendingFree {
+			f.source.Release(loc)
+		}
+		f.pendingFree = nil
+	}
 	f.dirty = false
 	return nil
 }
@@ -702,10 +767,21 @@ func (f *File) Close() error { return f.Save() }
 // random bytes so it can never decode again. To an observer this is
 // one more update in the stream.
 func (f *File) Delete() error {
+	if il := f.vol.IntentHooks(); il != nil {
+		gone := append(f.BlockLocs(), f.IndirectLocs()...)
+		gone = append(gone, f.headerLoc)
+		if err := il.LogFree(f.headerLoc, gone); err != nil {
+			return err
+		}
+	}
 	if err := f.vol.RewriteRandom(f.headerLoc); err != nil {
 		return err
 	}
 	f.releaseAll()
+	for _, loc := range f.pendingFree {
+		f.source.Release(loc)
+	}
+	f.pendingFree = nil
 	f.blocks = nil
 	f.revIndex = nil
 	f.size = 0

@@ -85,6 +85,20 @@ func (v *Volume) encodeHeader(h *header, key sealer.Key) []byte {
 // probing candidates) and only returns other errors for structural
 // impossibilities.
 func (v *Volume) decodeHeader(payload []byte, key sealer.Key, wantPath [32]byte) (*header, error) {
+	h, err := v.decodeHeaderAny(payload, key)
+	if err != nil {
+		return nil, err
+	}
+	if h.pathHash != wantPath {
+		return nil, ErrNotFound
+	}
+	return h, nil
+}
+
+// decodeHeaderAny parses a decrypted payload without binding it to a
+// path name — the keyed checksum alone authenticates it. Journal
+// recovery uses it: intent records name header locations, not paths.
+func (v *Volume) decodeHeaderAny(payload []byte, key sealer.Key) (*header, error) {
 	if len(payload) != v.payload {
 		return nil, fmt.Errorf("%w: header payload %d bytes", ErrCorrupt, len(payload))
 	}
@@ -105,9 +119,6 @@ func (v *Volume) decodeHeader(payload []byte, key sealer.Key, wantPath [32]byte)
 		direct:     make([]uint64, v.directSlots()),
 	}
 	copy(h.pathHash[:], payload[40:72])
-	if h.pathHash != wantPath {
-		return nil, ErrNotFound
-	}
 	for i := range h.direct {
 		h.direct[i] = binary.BigEndian.Uint64(payload[headerFixedSize+8*i:])
 	}

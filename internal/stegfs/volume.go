@@ -43,7 +43,7 @@ const (
 	superMagic   = "STEGVOL1"
 	superBlock   = 0 // block index of the superblock
 	saltSize     = 32
-	currentVer   = 1
+	currentVer   = 2 // v2 added the journal-region length
 	defaultIters = 4096
 )
 
@@ -69,6 +69,11 @@ type FormatOptions struct {
 	// an arbitrary fixed seed; callers wanting irreproducible volumes
 	// should pass entropy.
 	FillSeed []byte
+	// JournalBlocks reserves a ring of blocks right after the
+	// superblock for the sealed intent journal (internal/journal).
+	// Zero — the default — reserves nothing; the steg space then
+	// starts at block 1, exactly as before v2.
+	JournalBlocks uint64
 }
 
 // Volume is an open steganographic volume. Its block-level primitives
@@ -87,11 +92,13 @@ type Volume struct {
 	nBlocks   uint64
 	salt      [saltSize]byte
 	kdfIters  int
+	journal   uint64 // blocks reserved for the intent journal ring
 
 	mu  sync.Mutex
 	rng *prng.PRNG // IV / fill generator
 
 	locker atomic.Value // BlockLocker
+	intent atomic.Value // IntentLog
 }
 
 // BlockLocker serializes block I/O per block number. internal/sched
@@ -121,6 +128,43 @@ func (v *Volume) blockLocker() BlockLocker {
 	return nil
 }
 
+// IntentLog is the durability plane's view of the file layer: the
+// journaled agents (internal/steghide over internal/journal) install
+// one so that every block-map mutation leaves a sealed intent record
+// before the blocks it concerns are referenced by a durable header.
+// All methods must be safe for concurrent use. A volume with no
+// intent log installed behaves exactly as before — the file layer
+// only consults the hooks, it never requires them.
+type IntentLog interface {
+	// NoteOwner records that data block loc currently belongs to the
+	// file whose header sits at headerLoc, so a subsequent relocation
+	// intent for loc can name the header recovery must inspect.
+	NoteOwner(loc, headerLoc uint64)
+	// LogAlloc durably records that the file at headerLoc acquired
+	// locs (growth, indirect blocks, creation), before any of them is
+	// written or referenced.
+	LogAlloc(headerLoc uint64, locs []uint64) error
+	// LogFree durably records that the file at headerLoc is giving up
+	// locs (shrink, delete), before they are released.
+	LogFree(headerLoc uint64, locs []uint64) error
+	// LogSave marks the file's header save as durable: every earlier
+	// intent of this file is now decided by the on-disk header, and
+	// blocks the save vacated may rejoin the dummy pool.
+	LogSave(headerLoc uint64) error
+}
+
+// SetIntentLog installs il as the volume's durability hooks; nil-to-set
+// before concurrent use, like SetBlockLocker.
+func (v *Volume) SetIntentLog(il IntentLog) { v.intent.Store(il) }
+
+// IntentHooks returns the installed intent log, or nil.
+func (v *Volume) IntentHooks() IntentLog {
+	if x := v.intent.Load(); x != nil {
+		return x.(IntentLog)
+	}
+	return nil
+}
+
 // MinBlockSize is the smallest supported block size: the header's
 // fixed fields plus at least one direct pointer must fit the payload.
 const MinBlockSize = 128
@@ -140,6 +184,10 @@ func Format(dev blockdev.Device, opts FormatOptions) (*Volume, error) {
 	if dev.NumBlocks() < 8 {
 		return nil, fmt.Errorf("stegfs: volume of %d blocks too small", dev.NumBlocks())
 	}
+	if opts.JournalBlocks > 0 && dev.NumBlocks() < opts.JournalBlocks+9 {
+		return nil, fmt.Errorf("stegfs: %d-block journal leaves no steg space on a %d-block volume",
+			opts.JournalBlocks, dev.NumBlocks())
+	}
 	iters := opts.KDFIterations
 	if iters <= 0 {
 		iters = defaultIters
@@ -156,6 +204,7 @@ func Format(dev blockdev.Device, opts FormatOptions) (*Volume, error) {
 		payload:   bs - sealer.IVSize,
 		nBlocks:   dev.NumBlocks(),
 		kdfIters:  iters,
+		journal:   opts.JournalBlocks,
 		rng:       rng.Child("volume-iv"),
 	}
 	rng.Read(v.salt[:])
@@ -193,7 +242,7 @@ func Open(dev blockdev.Device) (*Volume, error) {
 		return nil, fmt.Errorf("%w: bad superblock magic", ErrCorrupt)
 	}
 	ver := binary.BigEndian.Uint32(buf[8:])
-	if ver != currentVer {
+	if ver != 1 && ver != currentVer {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
 	}
 	gotBS := int(binary.BigEndian.Uint32(buf[12:]))
@@ -212,9 +261,19 @@ func Open(dev blockdev.Device) (*Volume, error) {
 		nBlocks:   n,
 		kdfIters:  iters,
 	}
-	copy(v.salt[:], buf[28:28+saltSize])
-	sum := sha256.Sum256(buf[:28+saltSize])
-	if !bytes.Equal(buf[28+saltSize:28+saltSize+8], sum[:8]) {
+	// v1 had no journal field: the salt starts at 28. v2 inserts the
+	// journal-ring length before the salt.
+	saltOff := 28
+	if ver == currentVer {
+		v.journal = binary.BigEndian.Uint64(buf[28:])
+		saltOff = 36
+	}
+	if v.journal >= n {
+		return nil, fmt.Errorf("%w: journal of %d blocks exceeds volume", ErrCorrupt, v.journal)
+	}
+	copy(v.salt[:], buf[saltOff:saltOff+saltSize])
+	sum := sha256.Sum256(buf[:saltOff+saltSize])
+	if !bytes.Equal(buf[saltOff+saltSize:saltOff+saltSize+8], sum[:8]) {
 		return nil, fmt.Errorf("%w: superblock checksum mismatch", ErrCorrupt)
 	}
 	// Per-volume IV stream; seeded from the salt so it differs between
@@ -232,9 +291,10 @@ func (v *Volume) writeSuper() error {
 	binary.BigEndian.PutUint32(buf[12:], uint32(v.blockSize))
 	binary.BigEndian.PutUint64(buf[16:], v.nBlocks)
 	binary.BigEndian.PutUint32(buf[24:], uint32(v.kdfIters))
-	copy(buf[28:], v.salt[:])
-	sum := sha256.Sum256(buf[:28+saltSize])
-	copy(buf[28+saltSize:], sum[:8])
+	binary.BigEndian.PutUint64(buf[28:], v.journal)
+	copy(buf[36:], v.salt[:])
+	sum := sha256.Sum256(buf[:36+saltSize])
+	copy(buf[36+saltSize:], sum[:8])
 	if err := v.dev.WriteBlock(superBlock, buf); err != nil {
 		return fmt.Errorf("stegfs: write superblock: %w", err)
 	}
@@ -253,8 +313,23 @@ func (v *Volume) PayloadSize() int { return v.payload }
 // NumBlocks returns the number of blocks including the superblock.
 func (v *Volume) NumBlocks() uint64 { return v.nBlocks }
 
-// FirstDataBlock returns the first block of the steg space.
-func (v *Volume) FirstDataBlock() uint64 { return superBlock + 1 }
+// FirstDataBlock returns the first block of the steg space: the block
+// after the superblock and, when present, the journal ring.
+func (v *Volume) FirstDataBlock() uint64 { return superBlock + 1 + v.journal }
+
+// JournalBlocks returns the size of the reserved journal ring (0 when
+// the volume was formatted without one).
+func (v *Volume) JournalBlocks() uint64 { return v.journal }
+
+// JournalRegion returns the journal ring as a device of its own — the
+// fixed window [1, 1+JournalBlocks) of the volume. It fails on
+// volumes formatted without a journal.
+func (v *Volume) JournalRegion() (*blockdev.SubDevice, error) {
+	if v.journal == 0 {
+		return nil, errors.New("stegfs: volume has no journal region")
+	}
+	return blockdev.NewSub(v.dev, superBlock+1, v.journal)
+}
 
 // Salt returns the volume's key-derivation salt.
 func (v *Volume) Salt() []byte { return append([]byte(nil), v.salt[:]...) }

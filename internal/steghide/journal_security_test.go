@@ -1,0 +1,221 @@
+package steghide
+
+import (
+	"testing"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/prng"
+	"steghide/internal/stats"
+	"steghide/internal/stegfs"
+)
+
+// The journal must not buy durability with secrecy: with journaling
+// enabled, (1) the update stream over the steg space keeps the exact
+// uniform distribution Definition 1 requires, (2) the full observable
+// stream — ring writes included — is indistinguishable between idle
+// and active periods, because every stream element carries exactly
+// one ring write whatever it is.
+
+func newJournaledC1(t *testing.T, nBlocks, ringBlocks uint64) (*NonVolatileAgent, *blockdev.Collector) {
+	t.Helper()
+	col := &blockdev.Collector{}
+	dev := blockdev.NewTraced(blockdev.NewMem(128, nBlocks), col)
+	vol, err := stegfs.Format(dev, stegfs.FormatOptions{
+		KDFIterations: 4, FillSeed: []byte("sh-j"), JournalBlocks: ringBlocks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewNonVolatile(vol, []byte("agent-secret"), prng.NewFromUint64(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EnableJournal(); err != nil {
+		t.Fatal(err)
+	}
+	col.Reset()
+	return a, col
+}
+
+// splitWrites separates a traced event stream into steg-space and
+// ring writes.
+func splitWrites(vol *stegfs.Volume, events []blockdev.Event) (steg, ring []uint64) {
+	first := vol.FirstDataBlock()
+	for _, e := range blockdev.ExpandEvents(events) {
+		if e.Op != blockdev.OpWrite {
+			continue
+		}
+		switch {
+		case e.Block >= first:
+			steg = append(steg, e.Block)
+		case e.Block >= 1:
+			ring = append(ring, e.Block)
+		}
+	}
+	return steg, ring
+}
+
+func TestJournaledC1Definition1(t *testing.T) {
+	a, col := newJournaledC1(t, 2048+256, 256)
+	vol := a.Vol()
+	if _, err := a.Create("alice", "/w"); err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 64*vol.PayloadSize())
+	if err := a.Write("/w", content, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle period: dummy traffic only.
+	col.Reset()
+	for i := 0; i < 4000; i++ {
+		if err := a.DummyUpdate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idleSteg, idleRing := splitWrites(vol, col.Events())
+
+	// Active period: the most regular workload imaginable. Save-free,
+	// and sized under the dummy pool — limbo parks one block per
+	// relocation until the next save.
+	col.Reset()
+	chunk := make([]byte, vol.PayloadSize())
+	for i := 0; i < 1500; i++ {
+		if err := a.Write("/w", chunk, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	activeSteg, activeRing := splitWrites(vol, col.Events())
+
+	// (1) Steg-space uniformity under load, journaling on.
+	span := vol.NumBlocks() - vol.FirstDataBlock()
+	rel := make([]uint64, len(activeSteg))
+	for i, b := range activeSteg {
+		rel[i] = b - vol.FirstDataBlock()
+	}
+	hist := stats.Histogram(rel, span, 16)
+	if _, p, err := stats.ChiSquareUniform(hist); err != nil || p < 0.001 {
+		t.Fatalf("journaled update stream not uniform: p=%v err=%v", p, err)
+	}
+
+	// (2) Definition 1 over the whole device, ring included.
+	n := vol.NumBlocks()
+	h1 := stats.Histogram(append(append([]uint64{}, idleSteg...), idleRing...), n, 16)
+	h2 := stats.Histogram(append(append([]uint64{}, activeSteg...), activeRing...), n, 16)
+	if _, p, err := stats.ChiSquareTwoSample(h1, h2); err != nil || p < 0.001 {
+		t.Fatalf("journaled workload distinguishable from idle: p=%v err=%v", p, err)
+	}
+
+	// (3) The ring cadence itself carries no signal: exactly one slot
+	// write per stream element in both periods.
+	if len(idleRing) != len(idleSteg) {
+		t.Fatalf("idle: %d ring writes for %d stream elements", len(idleRing), len(idleSteg))
+	}
+	if len(activeRing) != len(activeSteg) {
+		t.Fatalf("active: %d ring writes for %d stream elements", len(activeRing), len(activeSteg))
+	}
+}
+
+func TestJournaledC2Definition1(t *testing.T) {
+	col := &blockdev.Collector{}
+	dev := blockdev.NewTraced(blockdev.NewMem(256, 2048+128), col)
+	vol, err := stegfs.Format(dev, stegfs.FormatOptions{
+		KDFIterations: 4, FillSeed: []byte("sh-j2"), JournalBlocks: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewVolatile(vol, prng.NewFromUint64(5))
+	if err := a.EnableJournal(JournalKey(vol, "admin")); err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.LoginWithPassphrase("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDummy("/d", 700); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("/w"); err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 40*vol.PayloadSize())
+	if err := s.Write("/w", content, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("/w"); err != nil {
+		t.Fatal(err)
+	}
+
+	col.Reset()
+	for i := 0; i < 3000; i++ {
+		if err := a.DummyUpdate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idleSteg, idleRing := splitWrites(vol, col.Events())
+
+	// Save-free and under the disclosed dummy pool (limbo parks one
+	// block per relocation until the next save).
+	col.Reset()
+	chunk := make([]byte, vol.PayloadSize())
+	for i := 0; i < 600; i++ {
+		if err := s.Write("/w", chunk, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	activeSteg, activeRing := splitWrites(vol, col.Events())
+
+	n := vol.NumBlocks()
+	h1 := stats.Histogram(append(append([]uint64{}, idleSteg...), idleRing...), n, 12)
+	h2 := stats.Histogram(append(append([]uint64{}, activeSteg...), activeRing...), n, 12)
+	if _, p, err := stats.ChiSquareTwoSample(h1, h2); err != nil || p < 0.001 {
+		t.Fatalf("journaled C2 workload distinguishable from idle: p=%v err=%v", p, err)
+	}
+	if len(idleRing) != len(idleSteg) || len(activeRing) != len(activeSteg) {
+		t.Fatalf("ring cadence broke 1:1: idle %d/%d active %d/%d",
+			len(idleRing), len(idleSteg), len(activeRing), len(activeSteg))
+	}
+}
+
+// TestJournaledC1LimboHoldsVacatedBlocks pins the runtime half of the
+// protocol: a relocation's vacated block stays out of the dummy pool
+// until the owning file's save commits the move.
+func TestJournaledC1LimboHoldsVacatedBlocks(t *testing.T) {
+	a, _ := newJournaledC1(t, 512+64, 64)
+	vol := a.Vol()
+	if _, err := a.Create("alice", "/f"); err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 8*vol.PayloadSize())
+	if err := a.Write("/f", content, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sync("/f"); err != nil {
+		t.Fatal(err)
+	}
+	free0 := a.Source().FreeCount()
+	a.ResetStats()
+
+	// Every relocation from here on must park one block in limbo.
+	chunk := make([]byte, vol.PayloadSize())
+	for i := 0; i < 16; i++ {
+		if err := a.Write("/f", chunk, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	relocs := a.Stats().Relocations
+	if relocs == 0 {
+		t.Skip("no relocation in 16 updates (astronomically unlikely)")
+	}
+	if got := a.Source().FreeCount(); got != free0-relocs {
+		t.Fatalf("free count %d after %d relocations, want %d (vacated blocks must sit in limbo)",
+			got, relocs, free0-relocs)
+	}
+	if err := a.Sync("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Source().FreeCount(); got != free0 {
+		t.Fatalf("free count %d after save, want %d (limbo must drain)", got, free0)
+	}
+}

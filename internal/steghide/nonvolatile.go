@@ -30,7 +30,12 @@ type NonVolatileAgent struct {
 	source *stegfs.BitmapSource
 	seal   *sealer.Sealer
 	key    sealer.Key
+	jkey   sealer.Key // journal key (derived; used when EnableJournal runs)
 	sched  *sched.Scheduler
+	space  *sched.BitmapSpace
+
+	// intents is the journal adapter, nil until EnableJournal.
+	intents *c1Intents
 
 	mu    sync.Mutex
 	files map[string]*fileHandle
@@ -80,9 +85,11 @@ func NewNonVolatile(vol *stegfs.Volume, secret []byte, rng *prng.PRNG) (*NonVola
 		source: source,
 		seal:   seal,
 		key:    key,
+		jkey:   JournalKeyFromSecret(secret, "c1"),
 		files:  map[string]*fileHandle{},
 	}
-	a.sched = sched.New(vol, sched.NewBitmapSpace(source, seal, rng.Child("figure6")))
+	a.space = sched.NewBitmapSpace(source, seal, rng.Child("figure6"))
+	a.sched = sched.New(vol, a.space)
 	return a, nil
 }
 
@@ -273,7 +280,17 @@ func (a *NonVolatileAgent) DummyUpdateBurst(n int) (int, error) {
 func (a *NonVolatileAgent) State() ([]byte, error) {
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
-	return a.source.MarshalBinary()
+	blob, err := a.source.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	if a.intents != nil {
+		// Mark the snapshot in the ring so fsck can bound "dirty since".
+		if err := a.intents.j.AppendCheckpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return blob, nil
 }
 
 // LoadState restores persistent memory saved by State. It waits for

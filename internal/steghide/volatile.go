@@ -49,6 +49,12 @@ type VolatileAgent struct {
 	sessions  map[string]*Session
 
 	sched *sched.Scheduler
+
+	// jc2 is the journal adapter (nil without EnableJournal); recov is
+	// the armed post-crash resolution state (nil after a clean boot or
+	// once fully consumed). Both guarded by mu.
+	jc2   *c2Intents
+	recov *c2Recovery
 }
 
 // ownerInfo records what the agent may do with a disclosed block.
@@ -151,7 +157,10 @@ func (a *VolatileAgent) unregister(loc uint64) {
 	delete(a.pos, loc)
 }
 
-// registerFile (re)classifies every block of a disclosed file.
+// registerFile (re)classifies every block of a disclosed file. A
+// dummy file's blocks pass the quarantine gate first: its on-disk map
+// may be stale after a crash, claiming blocks that now hold (or may
+// hold) another file's live data.
 func (a *VolatileAgent) registerFile(user string, f *stegfs.File) {
 	hseal := f.HeaderSealer()
 	cseal := f.ContentSealer()
@@ -160,6 +169,9 @@ func (a *VolatileAgent) registerFile(user string, f *stegfs.File) {
 	a.register(f.HeaderLoc(), &ownerInfo{file: f, user: user, seal: hseal})
 	for _, loc := range f.BlockLocs() {
 		if f.IsDummy() {
+			if a.quarantineDummyLocked(f, user, loc) {
+				continue
+			}
 			a.register(loc, &ownerInfo{file: f, user: user, dummy: true})
 		} else {
 			a.register(loc, &ownerInfo{file: f, user: user, seal: cseal})
@@ -261,6 +273,11 @@ func (s *volatileSource) AcquireRandom() (uint64, error) {
 		for try := 0; try < 4096; try++ {
 			loc := first + a.rng.Uint64n(n-first)
 			if _, ok := a.known[loc]; ok {
+				continue
+			}
+			// After a crash the ring may prove (or leave open) that an
+			// abandoned-looking block holds live data: never claim it.
+			if a.recov.protects(loc) {
 				continue
 			}
 			a.register(loc, &ownerInfo{user: s.user, pending: true})
@@ -405,6 +422,7 @@ func (s *Session) Create(path string) (*stegfs.File, error) {
 	}
 	s.files[path] = f
 	a.registerFile(s.user, f)
+	a.applyRecovery(f)
 	return f, nil
 }
 
@@ -426,6 +444,7 @@ func (s *Session) CreateDummy(path string, nBlocks uint64) (*stegfs.File, error)
 	}
 	s.dummyFiles[path] = f
 	a.registerFile(s.user, f)
+	a.applyRecovery(f)
 	return f, nil
 }
 
@@ -451,6 +470,9 @@ func (s *Session) Disclose(path string) (*stegfs.File, error) {
 		s.files[path] = f
 	}
 	a.registerFile(s.user, f)
+	// The freshly loaded map is the disk truth for this file: decide
+	// any crash-time intents that were waiting for it.
+	a.applyRecovery(f)
 	return f, nil
 }
 
@@ -639,6 +661,21 @@ func (sp *volatileSpace) CommitRelocate(oldLoc, newLoc uint64, seal *sealer.Seal
 	pend := a.known[newLoc]
 	old := a.known[oldLoc]
 	a.register(newLoc, &ownerInfo{file: ownedFile(old), user: ownedUser(old), seal: seal})
+	if a.jc2 != nil {
+		// Journaled: the vacated block stays in limbo — pending, owed
+		// to the donor — until the owning file's header save makes the
+		// move durable; until then the on-disk header still references
+		// oldLoc, so no refill or reallocation may touch it.
+		var donor *stegfs.File
+		user := ownedUser(old)
+		if pend != nil && pend.reloc != nil {
+			donor = pend.reloc
+			user = pend.user
+		}
+		a.jc2.vacatedLocked(oldLoc, newLoc, donor, user)
+		a.register(oldLoc, &ownerInfo{user: user, pending: true})
+		return
+	}
 	if pend != nil && pend.reloc != nil {
 		if err := pend.reloc.AppendBlockLoc(oldLoc); err == nil {
 			a.register(oldLoc, &ownerInfo{file: pend.reloc, user: pend.user, dummy: true})

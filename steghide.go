@@ -51,6 +51,7 @@ import (
 	"steghide/internal/attack"
 	"steghide/internal/blockdev"
 	"steghide/internal/diskmodel"
+	"steghide/internal/journal"
 	"steghide/internal/oblivious"
 	"steghide/internal/prng"
 	"steghide/internal/sealer"
@@ -115,6 +116,17 @@ type MemDevice = blockdev.Mem
 func NewMemDevice(blockSize int, n uint64) *MemDevice {
 	return blockdev.NewMem(blockSize, n)
 }
+
+// FaultDevice wraps a device with failure injection, including the
+// power-cut mode the crash-recovery walkthrough and tests use.
+type FaultDevice = blockdev.FaultDevice
+
+// NewFaultDevice wraps base with no faults armed.
+func NewFaultDevice(base Device) *FaultDevice { return blockdev.NewFault(base) }
+
+// ErrPowerCut is what every operation returns after a power-cut fault
+// fires, until FaultDevice.Heal simulates the reboot.
+var ErrPowerCut = blockdev.ErrPowerCut
 
 // CreateFileDevice creates (or truncates) a file-backed device.
 func CreateFileDevice(path string, blockSize int, n uint64) (*blockdev.File, error) {
@@ -238,6 +250,39 @@ func OpenHiddenDir(vol *Volume, fak FAK, path string, src BlockSource) (*Dir, er
 // pointer chains, data-block readability, no cross-owned blocks.
 func CheckVolume(vol *Volume, creds map[string][]string) (*CheckReport, error) {
 	return stegfs.Check(vol, creds)
+}
+
+// Journal types re-exported for the durability plane
+// (internal/journal): the sealed intent ring and its reports.
+type (
+	Journal           = journal.Journal
+	JournalRecord     = journal.Record
+	JournalReport     = journal.Report
+	JournalFsckReport = journal.FsckReport
+)
+
+// JournalKey derives a Construction-2 journal key from an
+// administrator passphrase and the volume salt.
+func JournalKey(vol *Volume, passphrase string) Key {
+	return steghide.JournalKey(vol, passphrase)
+}
+
+// JournalKeyFromSecret derives the journal key from an agent secret
+// the way the agents do (construction "c1" for the non-volatile
+// agent), for external tooling such as fsck.
+func JournalKeyFromSecret(secret []byte, construction string) Key {
+	return steghide.JournalKeyFromSecret(secret, construction)
+}
+
+// OpenJournal attaches to the intent ring of a volume formatted with
+// FormatOptions.JournalBlocks > 0.
+func OpenJournal(vol *Volume, key Key) (*Journal, error) { return journal.Open(vol, key) }
+
+// JournalFsck verifies the journal region — slot seal/tag integrity,
+// sequence continuity — and reports intents no completed save covers,
+// so a dirty volume is named instead of silently passing.
+func JournalFsck(vol *Volume, key Key) (*JournalFsckReport, error) {
+	return journal.Fsck(vol, key)
 }
 
 // DummyDaemon emits idle-time dummy updates on a period (§4.1.3).
