@@ -16,17 +16,19 @@
 //	    Run a volatile agent against remote storage, issuing dummy
 //	    updates whenever idle.
 //
-//	steghide client  -agent 127.0.0.1:7071 -user alice -pass pw <op> ...
-//	    One-shot client operations:
+//	steghide client  -agent 127.0.0.1:7071 -user alice -pass pw [-timeout 5s] <op> ...
+//	    One-shot client operations over the unified steghide.FS:
 //	      mkdummy <path> <blocks>     create+disclose a dummy file
 //	      create  <path>              create a hidden file
 //	      put     <path>              write stdin to the file
 //	      get     <path>              write the file to stdout
+//	      ls                          list the session's files
+//	      rm      <path>              delete a file (blocks stay as cover)
 //	      probe   <path>              report existence/size (deniably)
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -75,7 +77,8 @@ run "steghide <subcommand> -h" for flags`)
 
 // cmdFsck verifies everything reachable with one credential set:
 // header decode, checksummed pointer chains, every data block
-// readable, no block owned twice.
+// readable, no block owned twice. The stack comes up through Mount —
+// the same assembly the agent daemon uses.
 func cmdFsck(args []string) error {
 	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 	img := fs.String("img", "steghide.img", "volume image path")
@@ -87,24 +90,30 @@ func cmdFsck(args []string) error {
 	if *pass == "" && *journalPass == "" {
 		return fmt.Errorf("fsck needs -pass (with paths) and/or -journal-pass")
 	}
+	if *pass != "" && len(paths) == 0 {
+		return fmt.Errorf("fsck -pass needs at least one path")
+	}
 	dev, err := steghide.OpenFileDevice(*img, *bs)
 	if err != nil {
 		return err
 	}
-	defer dev.Close()
-	vol, err := steghide.OpenVolume(dev)
+	var opts []steghide.Option
+	if *journalPass != "" {
+		opts = append(opts, steghide.WithJournal(*journalPass))
+	}
+	stack, err := steghide.Mount(dev, opts...)
 	if err != nil {
+		dev.Close()
 		return err
 	}
-	dirty := false
+	defer stack.Close()
+	creds := map[string][]string{}
 	if *pass != "" {
-		if len(paths) == 0 {
-			return fmt.Errorf("fsck -pass needs at least one path")
-		}
-		report, err := steghide.CheckVolume(vol, map[string][]string{*pass: paths})
-		if err != nil {
-			return err
-		}
+		creds[*pass] = paths
+	}
+	report, jrep, ferr := stack.Fsck(creds)
+	dirty := false
+	if report != nil {
 		fmt.Println(report)
 		for path, cerr := range report.Corrupt {
 			fmt.Printf("  corrupt: %s: %v\n", path, cerr)
@@ -114,11 +123,7 @@ func cmdFsck(args []string) error {
 		}
 		dirty = dirty || !report.Ok()
 	}
-	if *journalPass != "" {
-		jrep, err := steghide.JournalFsck(vol, steghide.JournalKey(vol, *journalPass))
-		if err != nil {
-			return err
-		}
+	if jrep != nil {
 		fmt.Println(jrep)
 		for _, rec := range jrep.Pending {
 			fmt.Printf("  unreplayed intent: seq %d %s file@%d old=%d new=%d locs=%v\n",
@@ -128,6 +133,11 @@ func cmdFsck(args []string) error {
 			fmt.Println("  volume is dirty: run recovery (agent Recover) before serving traffic")
 		}
 		dirty = dirty || !jrep.Ok()
+	}
+	// A journal-check failure must not swallow the path report printed
+	// above — the operator still needs the corruption listing.
+	if ferr != nil {
+		return ferr
 	}
 	if dirty {
 		return fmt.Errorf("volume has problems")
@@ -233,55 +243,66 @@ func cmdAgent(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer dev.Close()
-	vol, err := steghide.OpenVolume(dev)
-	if err != nil {
-		return err
-	}
 	entropy := make([]byte, 32)
 	if _, err := readEntropy(entropy); err != nil {
+		dev.Close()
 		return err
 	}
-	agent := steghide.NewVolatileAgent(vol, steghide.NewPRNG(entropy))
+	// Mount replaces the old hand-wired assembly: open the remote
+	// volume, stand up the volatile agent, recover the journal ring,
+	// start the adaptive dummy-traffic daemon; Close unwinds it all.
+	opts := []steghide.Option{steghide.WithSeed(entropy)}
 	if *journalPass != "" {
-		if err := agent.EnableJournal(steghide.JournalKey(vol, *journalPass)); err != nil {
-			return err
-		}
-		rep, err := agent.Recover()
-		if err != nil {
-			return err
-		}
+		opts = append(opts, steghide.WithJournal(*journalPass))
+	}
+	if *dummyInterval > 0 {
+		opts = append(opts, steghide.WithDaemon(*dummyInterval))
+	}
+	stack, err := steghide.Mount(dev, opts...)
+	if err != nil {
+		dev.Close()
+		return err
+	}
+	defer stack.Close()
+	if rep := stack.BootRecovery(); rep != nil {
 		fmt.Println("agent:", rep)
 	}
-	srv, err := steghide.NewAgentServer(*addr, agent)
+	srv, err := steghide.NewAgentServer(*addr, stack.Agent2())
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("agent: storage=%s clients=%s\n", *storageAddr, srv.Addr())
 
-	stop := make(chan struct{})
-	if *dummyInterval > 0 {
+	// Surface daemon failures as they happen, not only at exit: the
+	// daemon swallows ErrNoDummySpace (normal at boot) but anything
+	// else means the cover traffic stopped flowing.
+	stopMon := make(chan struct{})
+	if d := stack.Daemon(); d != nil {
 		go func() {
-			ticker := time.NewTicker(*dummyInterval)
+			var seen uint64
+			ticker := time.NewTicker(5 * time.Second)
 			defer ticker.Stop()
 			for {
 				select {
-				case <-stop:
+				case <-stopMon:
 					return
 				case <-ticker.C:
-					// No disclosed blocks yet → nothing to camouflage;
-					// that state is fine and expected at boot.
-					if err := agent.DummyUpdate(); err != nil &&
-						!errors.Is(err, steghide.ErrNoDummySpace) {
-						fmt.Fprintln(os.Stderr, "dummy update:", err)
+					if n, lastErr := d.Errors(); n > seen {
+						fmt.Fprintf(os.Stderr, "dummy daemon: %d errors so far, last: %v\n", n, lastErr)
+						seen = n
 					}
 				}
 			}
 		}()
 	}
 	waitForInterrupt()
-	close(stop)
+	close(stopMon)
+	if d := stack.Daemon(); d != nil {
+		if n, lastErr := d.Errors(); n > 0 {
+			fmt.Fprintf(os.Stderr, "dummy daemon: %d errors, last: %v\n", n, lastErr)
+		}
+	}
 	return nil
 }
 
@@ -290,23 +311,42 @@ func cmdClient(args []string) error {
 	agentAddr := fs.String("agent", "127.0.0.1:7071", "agent server address")
 	user := fs.String("user", "", "user name")
 	pass := fs.String("pass", "", "passphrase")
+	timeout := fs.Duration("timeout", 0, "per-invocation deadline (0 = none)")
 	fs.Parse(args)
 	rest := fs.Args()
-	if *user == "" || *pass == "" || len(rest) < 2 {
+	if *user == "" || *pass == "" || len(rest) < 1 {
 		return fmt.Errorf("client needs -user, -pass and an operation (see -h)")
 	}
 
-	cli, err := steghide.DialAgent(*agentAddr)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// The remote session is the same steghide.FS a local login gets;
+	// the wire round-trips the error taxonomy underneath.
+	vault, err := steghide.DialFS(ctx, *agentAddr, *user, *pass)
 	if err != nil {
 		return err
 	}
-	defer cli.Close()
-	if err := cli.Login(*user, *pass); err != nil {
-		return err
-	}
-	defer cli.Logout() //nolint:errcheck // best-effort
+	defer vault.Close()
 
-	op, path := rest[0], rest[1]
+	op := rest[0]
+	if op == "ls" {
+		paths, err := vault.List(ctx)
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+		return nil
+	}
+	if len(rest) < 2 {
+		return fmt.Errorf("%s needs a path", op)
+	}
+	path := rest[1]
 	switch op {
 	case "mkdummy":
 		if len(rest) < 3 {
@@ -316,12 +356,12 @@ func cmdClient(args []string) error {
 		if err != nil {
 			return fmt.Errorf("mkdummy: %w", err)
 		}
-		if err := cli.CreateDummy(path, blocks); err != nil {
+		if err := vault.CreateDummy(ctx, path, blocks); err != nil {
 			return err
 		}
 		fmt.Printf("dummy %s: %d blocks of deniable cover\n", path, blocks)
 	case "create":
-		if err := cli.Create(path); err != nil {
+		if err := vault.Create(ctx, path); err != nil {
 			return err
 		}
 		fmt.Printf("created hidden file %s\n", path)
@@ -330,42 +370,34 @@ func cmdClient(args []string) error {
 		if err != nil {
 			return err
 		}
-		if _, _, err := cli.Disclose(path); err != nil {
-			if err := cli.Create(path); err != nil {
-				return err
-			}
-		}
-		if err := cli.Write(path, data, 0); err != nil {
-			return err
-		}
-		if err := cli.Save(path); err != nil {
+		if err := steghide.WriteFile(ctx, vault, path, data); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(data), path)
 	case "get":
-		_, size, err := cli.Disclose(path)
+		data, err := steghide.ReadFile(ctx, vault, path)
 		if err != nil {
 			return err
 		}
-		buf := make([]byte, size)
-		n, err := cli.Read(path, buf, 0)
-		if err != nil {
+		if _, err := os.Stdout.Write(data); err != nil {
 			return err
 		}
-		if _, err := os.Stdout.Write(buf[:n]); err != nil {
+	case "rm":
+		if err := vault.Delete(ctx, path); err != nil {
 			return err
 		}
+		fmt.Printf("deleted %s (its blocks remain as plausible cover)\n", path)
 	case "probe":
-		isDummy, size, err := cli.Disclose(path)
+		info, err := vault.Disclose(ctx, path)
 		if err != nil {
 			fmt.Printf("%s: no such file (or wrong key) — exactly what a dummy looks like\n", path)
 			return nil
 		}
 		kind := "hidden file"
-		if isDummy {
+		if info.Dummy {
 			kind = "dummy file"
 		}
-		fmt.Printf("%s: %s, %d bytes\n", path, kind, size)
+		fmt.Printf("%s: %s, %d bytes\n", path, kind, info.Size)
 	default:
 		return fmt.Errorf("unknown operation %q", op)
 	}

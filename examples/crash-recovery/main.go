@@ -1,13 +1,15 @@
-// Crash recovery: format a journaled volume, commit hidden files,
-// power-cut the storage in the middle of an update burst, and bring
-// the volume back with the sealed intent journal — without the
-// journal's on-disk footprint betraying which updates were real.
+// Crash recovery: mount a journaled volume, commit hidden files
+// through the unified FS, power-cut the storage in the middle of an
+// update burst, and bring the volume back with the sealed intent
+// journal — without the journal's on-disk footprint betraying which
+// updates were real.
 //
 //	go run ./examples/crash-recovery
 package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -16,48 +18,46 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The raw storage, wrapped in the failure injector so we can pull
 	// the plug at an arbitrary write.
 	mem := steghide.NewMemDevice(4096, 4096+256)
 	dev := steghide.NewFaultDevice(mem)
 
-	// Format reserves a 256-slot intent ring right after the
-	// superblock. Like every other block, the ring is random-filled:
-	// an empty journal and a full one are indistinguishable.
-	vol, err := steghide.Format(dev, steghide.FormatOptions{
-		FillSeed:      []byte("demo entropy"),
-		JournalBlocks: 256,
-	})
+	// Mount formats the volume with a 256-slot intent ring right
+	// after the superblock and stands up Construction 1 with the
+	// journal enabled. Like every other block, the ring is
+	// random-filled: an empty journal and a full one are
+	// indistinguishable. The agent's secret also derives the journal
+	// key, so whoever can mount the volume can recover it.
+	secret := []byte("agent secret")
+	stack, err := steghide.Mount(dev,
+		steghide.WithFormat(steghide.FormatOptions{
+			FillSeed:      []byte("demo entropy"),
+			JournalBlocks: 256,
+		}),
+		steghide.WithConstruction1(secret),
+		steghide.WithJournal(""), // C1 derives the ring key from the secret
+		steghide.WithSeed([]byte("boot entropy")))
 	if err != nil {
 		log.Fatal(err)
 	}
+	vol := stack.Volume()
 	fmt.Printf("volume: %d blocks, journal ring %d slots at blocks [1,%d)\n",
 		vol.NumBlocks(), vol.JournalBlocks(), 1+vol.JournalBlocks())
 
-	// Construction 1: the agent's secret also derives the journal key,
-	// so whoever can mount the volume can recover it.
-	secret := []byte("agent secret")
-	agent, err := steghide.NewNonVolatileAgent(vol, secret, steghide.NewPRNG([]byte("boot entropy")))
+	// Commit a hidden file through the FS: write, then close — the
+	// header save is the durability point, and the journal records it.
+	fs, err := stack.Login("alice", "alice")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := agent.EnableJournal(); err != nil {
-		log.Fatal(err)
-	}
-
-	// Commit a hidden file: write, then sync — the header save is the
-	// durability point, and the journal records it.
 	payload := bytes.Repeat([]byte("the committed truth. "), 400)
-	if _, err := agent.Create("alice", "/ledger"); err != nil {
+	if err := steghide.WriteFile(ctx, fs, "/ledger", payload); err != nil {
 		log.Fatal(err)
 	}
-	if err := agent.Write("/ledger", payload, 0); err != nil {
-		log.Fatal(err)
-	}
-	if err := agent.Sync("/ledger"); err != nil {
-		log.Fatal(err)
-	}
-	state, err := agent.State() // the administrator's bitmap snapshot
+	state, err := stack.Agent1().State() // the administrator's bitmap snapshot
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,11 +69,15 @@ func main() {
 	// block write it protects, and dummy updates wrote
 	// indistinguishable filler slots at the same one-per-element rate.
 	dev.PowerCutAfterWrites(25)
+	w, err := fs.OpenWrite(ctx, "/ledger")
+	if err != nil {
+		log.Fatal(err)
+	}
 	chunk := make([]byte, vol.PayloadSize())
 	var cutErr error
 	for i := 0; cutErr == nil && i < 1000; i++ {
-		if cutErr = agent.Write("/ledger", chunk, uint64(i%4)*uint64(vol.PayloadSize())); cutErr == nil {
-			cutErr = agent.DummyUpdate()
+		if _, cutErr = w.WriteAt(chunk, int64(i%4)*int64(vol.PayloadSize())); cutErr == nil {
+			cutErr = stack.Agent1().DummyUpdate()
 		}
 	}
 	if !errors.Is(cutErr, steghide.ErrPowerCut) {
@@ -83,13 +87,16 @@ func main() {
 
 	// ---- reboot --------------------------------------------------------
 	dev.Heal()
-	vol2, err := steghide.OpenVolume(dev)
+	stack2, err := steghide.Mount(dev,
+		steghide.WithConstruction1(secret),
+		steghide.WithJournal(""),
+		steghide.WithSeed([]byte("reboot entropy")))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// fsck sees a dirty ring: intents with no covering save.
-	jrep, err := steghide.JournalFsck(vol2, steghide.JournalKeyFromSecret(secret, "c1"))
+	_, jrep, err := stack2.Fsck(nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,28 +105,22 @@ func main() {
 	// Recovery: restore the bitmap snapshot, then resolve every ring
 	// intent against the disk truth — a file's durable header either
 	// references a block (live data) or it does not (dummy cover).
-	agent2, err := steghide.NewNonVolatileAgent(vol2, secret, steghide.NewPRNG([]byte("reboot entropy")))
-	if err != nil {
+	if err := stack2.Agent1().LoadState(state); err != nil {
 		log.Fatal(err)
 	}
-	if err := agent2.EnableJournal(); err != nil {
-		log.Fatal(err)
-	}
-	if err := agent2.LoadState(state); err != nil {
-		log.Fatal(err)
-	}
-	rep, err := agent2.Recover()
+	rep, err := stack2.Recover()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("recovery:", rep)
 
 	// The committed content survived the crash.
-	if _, err := agent2.Open("alice", "/ledger"); err != nil {
+	fs2, err := stack2.Login("alice", "alice")
+	if err != nil {
 		log.Fatal(err)
 	}
-	got := make([]byte, len(payload))
-	if _, err := agent2.Read("/ledger", got, 0); err != nil {
+	got, err := steghide.ReadFile(ctx, fs2, "/ledger")
+	if err != nil {
 		log.Fatal(err)
 	}
 	if !bytes.Equal(got, payload) {
@@ -128,14 +129,11 @@ func main() {
 	fmt.Println("committed /ledger reads back intact after recovery")
 
 	// And the recovered volume serves traffic again.
-	if err := agent2.Write("/ledger", []byte("life goes on"), 0); err != nil {
-		log.Fatal(err)
-	}
-	if err := agent2.Sync("/ledger"); err != nil {
+	if err := steghide.WriteFile(ctx, fs2, "/ledger", []byte("life goes on")); err != nil {
 		log.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := agent2.DummyUpdate(); err != nil {
+		if err := stack2.Agent1().DummyUpdate(); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,8 @@ import (
 const nodes = 4
 
 func main() {
+	ctx := context.Background()
+
 	// Each "node" is its own storage server with its own curious
 	// operator tapping the wire.
 	taps := make([]*steghide.Collector, nodes)
@@ -45,37 +48,37 @@ func main() {
 		}
 	}()
 
-	// One logical volume across all nodes.
-	stripe, err := steghide.NewStripedDevice(members...)
+	// One logical volume across all nodes: Mount stripes the members,
+	// formats, and stands the agent up in one call.
+	stack, err := steghide.Mount(nil,
+		steghide.WithStripe(members...),
+		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("p2p")}),
+		steghide.WithSeed([]byte("agent")))
 	if err != nil {
 		log.Fatal(err)
 	}
-	vol, err := steghide.Format(stripe, steghide.FormatOptions{FillSeed: []byte("p2p")})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("striped volume: %d blocks across %d nodes\n\n", vol.NumBlocks(), nodes)
+	defer stack.Close() // hangs up every member through the stripe
+	fmt.Printf("striped volume: %d blocks across %d nodes\n\n", stack.Volume().NumBlocks(), nodes)
 
-	// Business as usual on top.
-	agent := steghide.NewVolatileAgent(vol, steghide.NewPRNG([]byte("agent")))
-	s, err := agent.LoginWithPassphrase("alice", "pw")
+	// Business as usual on top, through the unified FS.
+	fs, err := stack.Login("alice", "pw")
 	if err != nil {
 		log.Fatal(err)
 	}
-	must(errOnly(s.CreateDummy("/cover", 256)))
-	must(errOnly(s.Create("/secret")))
+	must(fs.CreateDummy(ctx, "/cover", 256))
 	msg := []byte("the stripe hides with the same math as a single disk")
-	must(s.Write("/secret", msg, 0))
+	must(steghide.WriteFile(ctx, fs, "/secret", msg))
 	for i := 0; i < 200; i++ {
-		must(agent.DummyUpdate())
+		must(stack.Agent2().DummyUpdate())
 	}
-	got := make([]byte, len(msg))
-	if _, err := s.Read("/secret", got, 0); err != nil {
+	got, err := steghide.ReadFile(ctx, fs, "/secret")
+	if err != nil {
 		log.Fatal(err)
 	}
 	if !bytes.Equal(got, msg) {
 		log.Fatal("content mismatch across the stripe")
 	}
+	must(fs.Close())
 	fmt.Printf("read back across %d nodes: %q\n\n", nodes, got)
 
 	// What each node's operator saw: an even share of featureless ops.
@@ -95,5 +98,3 @@ func must(err error) {
 		log.Fatal(err)
 	}
 }
-
-func errOnly[T any](_ T, err error) error { return err }

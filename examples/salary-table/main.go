@@ -12,8 +12,11 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"strings"
 
@@ -110,29 +113,45 @@ func runStegFS() {
 }
 
 func runStegHide() {
+	ctx := context.Background()
 	mem := steghide.NewMemDevice(512, 2048)
-	vol, err := steghide.Format(mem, steghide.FormatOptions{FillSeed: []byte("db2")})
+	stack, err := steghide.Mount(mem,
+		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("db2")}),
+		steghide.WithSeed([]byte("dbms-agent")))
 	if err != nil {
 		log.Fatal(err)
 	}
-	agent := steghide.NewVolatileAgent(vol, steghide.NewPRNG([]byte("dbms-agent")))
-	sess, err := agent.LoginWithPassphrase("dba", "pw")
+	defer stack.Close()
+	agent := stack.Agent2()
+	fs, err := stack.Login("dba", "pw")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sess.CreateDummy("/wal-archive", 150); err != nil {
+	if err := fs.CreateDummy(ctx, "/wal-archive", 150); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sess.Create("/sal_table"); err != nil {
+	if err := fs.Create(ctx, "/sal_table"); err != nil {
+		log.Fatal(err)
+	}
+	w, err := fs.OpenWrite(ctx, "/sal_table")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := fs.OpenRead(ctx, "/sal_table")
+	if err != nil {
 		log.Fatal(err)
 	}
 	table := &salTable{
 		rows: []string{"Alice", "Bob"},
 		write: func(d []byte, off uint64) error {
-			return sess.Write("/sal_table", d, off)
+			_, err := w.WriteAt(d, int64(off))
+			return err
 		},
 		read: func(p []byte, off uint64) error {
-			_, err := sess.Read("/sal_table", p, off)
+			_, err := r.ReadAt(p, int64(off))
+			if errors.Is(err, io.EOF) {
+				err = nil
+			}
 			return err
 		},
 	}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -80,23 +81,29 @@ func demoStegFS() {
 }
 
 func demoStegHide() {
+	ctx := context.Background()
 	mem := steghide.NewMemDevice(blockSize, nBlocks)
-	vol, err := steghide.Format(mem, steghide.FormatOptions{FillSeed: []byte("s2")})
+	stack, err := steghide.Mount(mem,
+		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("s2")}),
+		steghide.WithSeed([]byte("a")))
 	if err != nil {
 		log.Fatal(err)
 	}
-	agent := steghide.NewVolatileAgent(vol, steghide.NewPRNG([]byte("a")))
-	sess, err := agent.LoginWithPassphrase("victim", "pw")
+	defer stack.Close()
+	vol := stack.Volume()
+	agent := stack.Agent2()
+	fs, err := stack.Login("victim", "pw")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sess.CreateDummy("/cover", 4*fileBlks); err != nil {
+	if err := fs.CreateDummy(ctx, "/cover", 4*fileBlks); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sess.Create("/ledger"); err != nil {
+	if err := steghide.WriteFile(ctx, fs, "/ledger", make([]byte, fileBlks*vol.PayloadSize())); err != nil {
 		log.Fatal(err)
 	}
-	if err := sess.Write("/ledger", make([]byte, fileBlks*vol.PayloadSize()), 0); err != nil {
+	w, err := fs.OpenWrite(ctx, "/ledger")
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -111,9 +118,9 @@ func demoStegHide() {
 	// Phase 2 — the user hammers one logical block; dummy traffic
 	// continues interleaved.
 	rng := prng.NewFromUint64(3)
-	ps := uint64(vol.PayloadSize())
+	ps := vol.PayloadSize()
 	activeDiffs := diffPhase(mem, func() {
-		if err := sess.Write("/ledger", rng.Bytes(int(ps)), 0); err != nil {
+		if _, err := w.WriteAt(rng.Bytes(ps), 0); err != nil {
 			log.Fatal(err)
 		}
 		if err := agent.DummyUpdate(); err != nil {

@@ -1,0 +1,423 @@
+package steghide_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sort"
+	"testing"
+
+	"steghide"
+)
+
+// fsFixture builds one FS implementation and hands back a cleanup.
+type fsFixture struct {
+	name string
+	// deniable reports whether CreateDummy/dummy-aware Disclose are
+	// part of this construction's contract (Construction 2 surfaces).
+	deniable bool
+	// open builds the whole stack and returns a ready FS. The FS of
+	// Construction-2 surfaces has a dummy file disclosed already, so
+	// relocation targets exist; C1 surfaces have free-space dummies by
+	// construction.
+	open func(t *testing.T) steghide.FS
+}
+
+// newC2Fixture mounts a Construction-2 stack and logs one user in.
+func newC2Fixture(t *testing.T) steghide.FS {
+	t.Helper()
+	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096),
+		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("conf-c2")}),
+		steghide.WithConstruction2(),
+		steghide.WithSeed([]byte("conf-c2-agent")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stack.Close() })
+	fs, err := stack.Login("alice", "alice-pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CreateDummy(context.Background(), "/cover", 256); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// newC1Fixture mounts a Construction-1 stack.
+func newC1Fixture(t *testing.T) steghide.FS {
+	t.Helper()
+	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096),
+		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("conf-c1")}),
+		steghide.WithConstruction1([]byte("conf-c1-secret")),
+		steghide.WithSeed([]byte("conf-c1-agent")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stack.Close() })
+	fs, err := stack.Login("alice", "alice-locator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// newWireFixture serves a Construction-2 stack over TCP and dials it.
+func newWireFixture(t *testing.T) steghide.FS {
+	t.Helper()
+	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096),
+		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("conf-wire")}),
+		steghide.WithConstruction2(),
+		steghide.WithSeed([]byte("conf-wire-agent")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := steghide.NewAgentServer("127.0.0.1:0", stack.Agent2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		stack.Close()
+	})
+	fs, err := steghide.DialFS(context.Background(), srv.Addr(), "alice", "alice-pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CreateDummy(context.Background(), "/cover", 256); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// newObliviousFixture mounts Construction 1 with the read-hiding
+// cache in front.
+func newObliviousFixture(t *testing.T) steghide.FS {
+	t.Helper()
+	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096),
+		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("conf-obli")}),
+		steghide.WithConstruction1([]byte("conf-obli-secret")),
+		steghide.WithObliviousCache(16, 4), // caches up to 128 distinct blocks
+		steghide.WithSeed([]byte("conf-obli-agent")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stack.Close() })
+	fs, err := stack.Login("alice", "alice-locator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func fsFixtures() []fsFixture {
+	return []fsFixture{
+		{name: "c2-session", deniable: true, open: newC2Fixture},
+		{name: "c1-agent", deniable: false, open: newC1Fixture},
+		{name: "wire-client", deniable: true, open: newWireFixture},
+		{name: "oblivious", deniable: false, open: newObliviousFixture},
+	}
+}
+
+// TestFSConformance runs the same contract against all four
+// implementations of the unified FS: the paper's §3.2 model has one
+// request surface, so no behavior may depend on which front-end a
+// caller picked.
+func TestFSConformance(t *testing.T) {
+	for _, fx := range fsFixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			ctx := context.Background()
+			fs := fx.open(t)
+			defer fs.Close()
+
+			// Create, write, save, read back.
+			if err := fs.Create(ctx, "/doc"); err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			// Double-create is an error on every surface.
+			if err := fs.Create(ctx, "/doc"); err == nil {
+				t.Fatal("double create accepted")
+			}
+			secret := bytes.Repeat([]byte("the hidden payload "), 40)
+			w, err := fs.OpenWrite(ctx, "/doc")
+			if err != nil {
+				t.Fatalf("openwrite: %v", err)
+			}
+			if n, err := w.WriteAt(secret, 0); err != nil || n != len(secret) {
+				t.Fatalf("writeat: n=%d err=%v", n, err)
+			}
+			if err := w.Close(); err != nil { // saves the block map
+				t.Fatalf("write close: %v", err)
+			}
+			r, err := fs.OpenRead(ctx, "/doc")
+			if err != nil {
+				t.Fatalf("openread: %v", err)
+			}
+			got := make([]byte, len(secret))
+			if _, err := r.ReadAt(got, 0); err != nil {
+				t.Fatalf("readat: %v", err)
+			}
+			if !bytes.Equal(got, secret) {
+				t.Fatal("content mismatch after save/read")
+			}
+			// Offset read + io.EOF on short read, per io.ReaderAt.
+			tail := make([]byte, len(secret))
+			n, err := r.ReadAt(tail, 7)
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("short read: want io.EOF, got %v", err)
+			}
+			if n != len(secret)-7 || !bytes.Equal(tail[:n], secret[7:]) {
+				t.Fatalf("offset read mismatch (n=%d)", n)
+			}
+			if err := r.Close(); err != nil {
+				t.Fatalf("read close: %v", err)
+			}
+
+			// Negative offsets are rejected.
+			if _, err := r.ReadAt(got, -1); err == nil {
+				t.Fatal("negative ReadAt offset accepted")
+			}
+
+			// WriteFile has replace semantics: a shorter rewrite must
+			// not leave the previous tail behind (Truncate contract).
+			if err := steghide.WriteFile(ctx, fs, "/doc", []byte("short")); err != nil {
+				t.Fatalf("rewrite: %v", err)
+			}
+			back, err := steghide.ReadFile(ctx, fs, "/doc")
+			if err != nil || string(back) != "short" {
+				t.Fatalf("rewrite read back %q err=%v — old tail must not survive", back, err)
+			}
+			if info, err := fs.Stat(ctx, "/doc"); err != nil || info.Size != 5 {
+				t.Fatalf("stat after truncating rewrite: %+v err=%v", info, err)
+			}
+			if err := steghide.WriteFile(ctx, fs, "/doc", secret); err != nil {
+				t.Fatalf("regrow: %v", err)
+			}
+			if back, err = steghide.ReadFile(ctx, fs, "/doc"); err != nil || !bytes.Equal(back, secret) {
+				t.Fatalf("regrow after shrink corrupted content (err=%v) — stale cache?", err)
+			}
+
+			// Stat and Disclose agree with what was written.
+			info, err := fs.Stat(ctx, "/doc")
+			if err != nil {
+				t.Fatalf("stat: %v", err)
+			}
+			if info.Size != uint64(len(secret)) || info.Dummy {
+				t.Fatalf("stat: %+v", info)
+			}
+			if info, err = fs.Disclose(ctx, "/doc"); err != nil || info.Dummy {
+				t.Fatalf("disclose: %+v err=%v", info, err)
+			}
+
+			// Listings are sorted and stable.
+			if err := fs.Create(ctx, "/b"); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Create(ctx, "/a"); err != nil {
+				t.Fatal(err)
+			}
+			paths, err := fs.List(ctx)
+			if err != nil {
+				t.Fatalf("list: %v", err)
+			}
+			if !sort.StringsAreSorted(paths) {
+				t.Fatalf("unsorted listing: %v", paths)
+			}
+			if want := []string{"/a", "/b", "/doc"}; !equalStrings(paths, want) {
+				t.Fatalf("listing %v, want %v", paths, want)
+			}
+
+			// Delete removes the file from the listing and from disk.
+			if err := fs.Delete(ctx, "/b"); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			paths, err = fs.List(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := []string{"/a", "/doc"}; !equalStrings(paths, want) {
+				t.Fatalf("listing after delete %v, want %v", paths, want)
+			}
+			// Delete is unlink-like: no prior open required, and a
+			// missing path reports ErrNotFound.
+			if err := fs.Delete(ctx, "/never-existed"); !errors.Is(err, steghide.ErrNotFound) {
+				t.Fatalf("delete missing: want ErrNotFound, got %v", err)
+			}
+
+			// Error taxonomy: a missing file (or wrong key — the same
+			// thing, by design) is ErrNotFound and a *steghide.PathError
+			// on every surface, including across the wire.
+			_, err = fs.OpenRead(ctx, "/no-such-file")
+			if !errors.Is(err, steghide.ErrNotFound) {
+				t.Fatalf("open missing: want ErrNotFound, got %v", err)
+			}
+			var pe *steghide.PathError
+			if !errors.As(err, &pe) {
+				t.Fatalf("open missing: want *PathError, got %T", err)
+			}
+			if pe.Path != "/no-such-file" || pe.Op == "" {
+				t.Fatalf("PathError fields: %+v", pe)
+			}
+			if _, err := fs.Stat(ctx, "/also-missing"); !errors.Is(err, steghide.ErrNotFound) {
+				t.Fatalf("stat missing: want ErrNotFound, got %v", err)
+			}
+
+			// Deniability surface: constructions with user-visible dummy
+			// files support CreateDummy + dummy-aware Disclose; the
+			// others refuse with ErrUnsupported.
+			if fx.deniable {
+				if err := fs.CreateDummy(ctx, "/decoy", 16); err != nil {
+					t.Fatalf("createdummy: %v", err)
+				}
+				info, err := fs.Disclose(ctx, "/decoy")
+				if err != nil || !info.Dummy {
+					t.Fatalf("disclose dummy: %+v err=%v", info, err)
+				}
+				// Content operations are defined on real files only: a
+				// dummy's bytes are meaningless cover, so every surface
+				// refuses with ErrUnsupported instead of handing out a
+				// handle that cannot deliver.
+				if _, err := fs.OpenRead(ctx, "/decoy"); !errors.Is(err, steghide.ErrUnsupported) {
+					t.Fatalf("openread dummy: want ErrUnsupported, got %v", err)
+				}
+				if _, err := fs.OpenWrite(ctx, "/decoy"); !errors.Is(err, steghide.ErrUnsupported) {
+					t.Fatalf("openwrite dummy: want ErrUnsupported, got %v", err)
+				}
+				if err := fs.Delete(ctx, "/decoy"); !errors.Is(err, steghide.ErrUnsupported) {
+					t.Fatalf("delete dummy: want ErrUnsupported, got %v", err)
+				}
+			} else {
+				err := fs.CreateDummy(ctx, "/decoy", 16)
+				if !errors.Is(err, steghide.ErrUnsupported) {
+					t.Fatalf("createdummy: want ErrUnsupported, got %v", err)
+				}
+			}
+
+			// Context cancellation: an expired context aborts every
+			// operation with the context's error, wrapped in the
+			// taxonomy.
+			cctx, cancel := context.WithCancel(ctx)
+			cancel()
+			if err := fs.Create(cctx, "/cancelled"); !errors.Is(err, context.Canceled) {
+				t.Fatalf("create cancelled: %v", err)
+			}
+			if _, err := fs.List(cctx); !errors.Is(err, context.Canceled) {
+				t.Fatalf("list cancelled: %v", err)
+			}
+			w2, err := fs.OpenWrite(ctx, "/doc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A handle opened under a live context that then dies:
+			// writes through it abort at the scheduler/wire wait point.
+			w3, err := fs.OpenWrite(cctx, "/doc")
+			if err == nil {
+				if _, err := w3.WriteAt(secret, 0); !errors.Is(err, context.Canceled) {
+					t.Fatalf("write under cancelled ctx: %v", err)
+				}
+			}
+			if _, err := w2.WriteAt(secret[:16], 0); err != nil {
+				t.Fatalf("live handle must keep working: %v", err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFSConformanceCancelMidOp cancels a context *during* a write and
+// checks the operation aborts with the context error — the scheduler
+// honors cancellation between Figure-6 draws; the wire honors it on
+// the round trip.
+func TestFSConformanceCancelMidOp(t *testing.T) {
+	for _, fx := range fsFixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			ctx := context.Background()
+			fs := fx.open(t)
+			defer fs.Close()
+			if err := fs.Create(ctx, "/f"); err != nil {
+				t.Fatal(err)
+			}
+			// A context that expires after a few scheduler draws: the
+			// deadline is already in the past by the time the bulk of
+			// the write runs.
+			cctx, cancel := context.WithCancel(ctx)
+			w, err := fs.OpenWrite(cctx, "/f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cancel()
+			payload := bytes.Repeat([]byte("x"), 8192)
+			if _, err := w.WriteAt(payload, 0); !errors.Is(err, context.Canceled) {
+				t.Fatalf("mid-op cancel: want context.Canceled, got %v", err)
+			}
+		})
+	}
+}
+
+// TestC1CrossPrincipalIsolation pins the Construction-1 credential
+// check: the agent's path-keyed handle cache must not serve one
+// principal's open file to a login presenting a different locator
+// secret — a wrong secret sees ErrNotFound, indistinguishable from
+// the file not existing.
+func TestC1CrossPrincipalIsolation(t *testing.T) {
+	for _, oblivious := range []bool{false, true} {
+		name := "c1-agent"
+		opts := []steghide.Option{
+			steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("iso")}),
+			steghide.WithConstruction1([]byte("iso-secret")),
+			steghide.WithSeed([]byte("iso-agent")),
+		}
+		if oblivious {
+			name = "oblivious"
+			opts = append(opts, steghide.WithObliviousCache(16, 4))
+		}
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer stack.Close()
+			alice, err := stack.Login("alice", "alice-locator")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := steghide.WriteFile(ctx, alice, "/private", []byte("alice's secret")); err != nil {
+				t.Fatal(err)
+			}
+			bob, err := stack.Login("bob", "bob-locator")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := bob.OpenRead(ctx, "/private"); !errors.Is(err, steghide.ErrNotFound) {
+				t.Fatalf("bob opening alice's open file: want ErrNotFound, got %v", err)
+			}
+			if err := bob.Delete(ctx, "/private"); !errors.Is(err, steghide.ErrNotFound) {
+				t.Fatalf("bob deleting alice's open file: want ErrNotFound, got %v", err)
+			}
+			if _, err := bob.Stat(ctx, "/private"); !errors.Is(err, steghide.ErrNotFound) {
+				t.Fatalf("bob statting alice's open file: want ErrNotFound, got %v", err)
+			}
+			// Alice still has full access through her own view.
+			got, err := steghide.ReadFile(ctx, alice, "/private")
+			if err != nil || string(got) != "alice's secret" {
+				t.Fatalf("alice read back %q err=%v", got, err)
+			}
+		})
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -21,6 +21,9 @@ type FS struct {
 	rng   *prng.PRNG
 
 	files map[uint64]*stegfs.File
+	// nextOrd backs NextOrdinal, so compositions layered on top can
+	// allocate collision-free registration ordinals.
+	nextOrd uint64
 
 	// fetched is S in Fig. 8(a): blocks already copied into the
 	// oblivious store. The list gives O(1) random sampling for decoy
@@ -64,13 +67,34 @@ func (o *FS) Stats() FSStats { return o.stats }
 func (o *FS) ResetStats() { o.stats = FSStats{} }
 
 // Register makes a hidden file readable through the cache under the
-// given agent-chosen ordinal.
+// given agent-chosen ordinal. Explicit ordinals advance the
+// NextOrdinal sequence past themselves, so manual registration and
+// NextOrdinal-based compositions can share one cache without
+// colliding.
 func (o *FS) Register(ordinal uint64, f *stegfs.File) error {
 	if _, dup := o.files[ordinal]; dup {
 		return fmt.Errorf("oblivious: ordinal %d already registered", ordinal)
 	}
 	o.files[ordinal] = f
+	if ordinal > o.nextOrd {
+		o.nextOrd = ordinal
+	}
 	return nil
+}
+
+// NextOrdinal returns a fresh registration ordinal, never reused for
+// the lifetime of this FS (single-threaded, like every FS method).
+func (o *FS) NextOrdinal() uint64 {
+	o.nextOrd++
+	return o.nextOrd
+}
+
+// Unregister forgets a registered file. Cached entries under the
+// ordinal become unreachable (ordinals are never reused by callers
+// that allocate them monotonically); decoy reads that still sample
+// the old entries fall back to uniformly random steg blocks.
+func (o *FS) Unregister(ordinal uint64) {
+	delete(o.files, ordinal)
 }
 
 func (o *FS) file(ordinal uint64) (*stegfs.File, error) {

@@ -38,6 +38,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 
@@ -240,8 +241,24 @@ func (s *Scheduler) writeSealed(loc uint64, seal *sealer.Sealer, payload, raw []
 // and partition bookkeeping serialize inside the Space, while the
 // read/seal/write work of different blocks overlaps.
 func (s *Scheduler) Update(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
+	return s.UpdateCtx(context.Background(), loc, seal, payload)
+}
+
+// UpdateCtx is Update with cooperative cancellation: the context is
+// consulted before every draw of the Figure-6 loop — the scheduler's
+// wait point, where an update can spin arbitrarily long hunting for a
+// dummy block on a crowded volume. A cancelled context aborts the
+// update before the next draw; the iteration in flight always runs to
+// completion, because a committed draw's two-phase bookkeeping
+// (relocation withdraw/commit) must never be abandoned half-way. No
+// I/O lands after the abort, so the block being updated keeps its
+// pre-call content.
+func (s *Scheduler) UpdateCtx(ctx context.Context, loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
 	counted := false
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		t, err := s.space.DrawUpdate(loc)
 		if err != nil {
 			return 0, err

@@ -1,6 +1,7 @@
 package stegfs
 
 import (
+	"crypto/subtle"
 	"errors"
 	"fmt"
 
@@ -302,6 +303,15 @@ func (f *File) IsDummy() bool { return f.flags&flagDummy != 0 }
 
 // HeaderLoc returns the (fixed) location of the header block.
 func (f *File) HeaderLoc() uint64 { return f.headerLoc }
+
+// SameLocator reports whether fak carries the same locator secret
+// this file was opened with — the check an agent-side handle cache
+// needs before serving a cached file to a caller who presented their
+// own credentials (in Construction 1 the locator is the only per-user
+// secret, so a path-keyed cache must not bypass it).
+func (f *File) SameLocator(fak FAK) bool {
+	return subtle.ConstantTimeCompare(f.fak.Locator[:], fak.Locator[:]) == 1
+}
 
 // BlockLocs returns a copy of the block map.
 func (f *File) BlockLocs() []uint64 { return append([]uint64(nil), f.blocks...) }

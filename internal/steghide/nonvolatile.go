@@ -1,8 +1,10 @@
 package steghide
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"steghide/internal/prng"
@@ -137,19 +139,38 @@ func (a *NonVolatileAgent) Create(locatorSecret, path string) (*stegfs.File, err
 	return f, nil
 }
 
-// Open opens an existing hidden file.
+// Open opens an existing hidden file. A cached handle is served only
+// to a caller presenting the locator secret it was opened with: the
+// locator is Construction 1's one per-user credential, and a
+// path-keyed cache must not become a way around it — a wrong secret
+// sees ErrNotFound, indistinguishable from the file not existing.
 func (a *NonVolatileAgent) Open(locatorSecret, path string) (*stegfs.File, error) {
+	fak := a.fileFAK(locatorSecret, path)
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if h, open := a.files[path]; open {
+		if !h.f.SameLocator(fak) {
+			return nil, stegfs.ErrNotFound
+		}
 		return h.f, nil
 	}
-	f, err := stegfs.OpenFile(a.vol, a.fileFAK(locatorSecret, path), path, a.source)
+	f, err := stegfs.OpenFile(a.vol, fak, path, a.source)
 	if err != nil {
 		return nil, err
 	}
 	a.files[path] = &fileHandle{f: f}
 	return f, nil
+}
+
+// HasOpen reports whether path is currently open with exactly the
+// given handle — the cheap revalidation an FS-layer cache needs to
+// notice the agent-level handle was closed (or replaced by another
+// principal's open) underneath it, without re-deriving any keys.
+func (a *NonVolatileAgent) HasOpen(path string, f *stegfs.File) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h, open := a.files[path]
+	return open && h.f == f
 }
 
 // handle looks up an open file's handle.
@@ -180,12 +201,65 @@ func (a *NonVolatileAgent) Close(path string) error {
 	return h.f.Close()
 }
 
+// Delete removes an open file and forgets its handle; the released
+// blocks rejoin the bitmap's dummy pool, their ciphertext staying in
+// place as plausible cover.
+func (a *NonVolatileAgent) Delete(path string) error {
+	a.mu.Lock()
+	h, open := a.files[path]
+	if open {
+		delete(a.files, path)
+	}
+	a.mu.Unlock()
+	if !open {
+		return fmt.Errorf("steghide: %q not open", path)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	return h.f.Delete()
+}
+
+// Files lists the agent's open paths in sorted order, so listings are
+// stable across runs.
+func (a *NonVolatileAgent) Files() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.files))
+	for p := range a.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stat reports the current size of an open file.
+func (a *NonVolatileAgent) Stat(path string) (uint64, error) {
+	h, err := a.handle(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.lock(path); err != nil {
+		return 0, err
+	}
+	defer h.mu.Unlock()
+	return h.f.Size(), nil
+}
+
 // Write writes data at offset off of an open file through the
 // Figure 6 update policy. The block map stays cached; per §4.1.5 the
 // header is flushed only when the file is saved (Sync or Close), so
 // header writes do not add a fixed hot block to every update.
 // Writes to different files proceed concurrently.
 func (a *NonVolatileAgent) Write(path string, data []byte, off uint64) error {
+	return a.WriteCtx(context.Background(), path, data, off)
+}
+
+// WriteCtx is Write with cooperative cancellation: the context is
+// honored at the scheduler's wait point, before every draw of the
+// Figure-6 loop. Blocks already updated when the context fires keep
+// their new content; the cached map stays consistent.
+func (a *NonVolatileAgent) WriteCtx(ctx context.Context, path string, data []byte, off uint64) error {
 	h, err := a.handle(path)
 	if err != nil {
 		return err
@@ -194,8 +268,29 @@ func (a *NonVolatileAgent) Write(path string, data []byte, off uint64) error {
 		return err
 	}
 	defer h.mu.Unlock()
-	_, err = h.f.WriteAt(data, off, a.Policy())
+	_, err = h.f.WriteAt(data, off, a.PolicyCtx(ctx))
 	return err
+}
+
+// Truncate resizes an open file to size bytes through the Figure-6
+// policy: growth materializes fresh blocks, shrinkage releases them
+// back to the dummy pool (ciphertext staying in place as cover).
+func (a *NonVolatileAgent) Truncate(path string, size uint64) error {
+	return a.TruncateCtx(context.Background(), path, size)
+}
+
+// TruncateCtx is Truncate honoring the context at the scheduler's
+// wait point.
+func (a *NonVolatileAgent) TruncateCtx(ctx context.Context, path string, size uint64) error {
+	h, err := a.handle(path)
+	if err != nil {
+		return err
+	}
+	if err := h.lock(path); err != nil {
+		return err
+	}
+	defer h.mu.Unlock()
+	return h.f.Resize(size, a.PolicyCtx(ctx))
 }
 
 // Sync flushes an open file's cached block map to the volume.
@@ -228,6 +323,14 @@ func (a *NonVolatileAgent) Read(path string, p []byte, off uint64) (int, error) 
 // stegfs.File handles themselves (experiments, baselines harness).
 func (a *NonVolatileAgent) Policy() stegfs.UpdatePolicy { return policyFunc(a.update) }
 
+// PolicyCtx is Policy bound to a context, honored before every draw
+// of the Figure-6 loop.
+func (a *NonVolatileAgent) PolicyCtx(ctx context.Context) stegfs.UpdatePolicy {
+	return policyFunc(func(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
+		return a.updateCtx(ctx, loc, seal, payload)
+	})
+}
+
 // policyFunc adapts a function to stegfs.UpdatePolicy.
 type policyFunc func(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error)
 
@@ -239,9 +342,15 @@ func (p policyFunc) Update(loc uint64, seal *sealer.Sealer, payload []byte) (uin
 // update delegates the Figure-6 data update to the scheduler,
 // translating scheduler sentinels into the agent's error vocabulary.
 func (a *NonVolatileAgent) update(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
+	return a.updateCtx(context.Background(), loc, seal, payload)
+}
+
+// updateCtx is update with the caller's context threaded through to
+// the scheduler's draw loop.
+func (a *NonVolatileAgent) updateCtx(ctx context.Context, loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
 	a.opMu.RLock()
 	defer a.opMu.RUnlock()
-	newLoc, err := a.sched.Update(loc, seal, payload)
+	newLoc, err := a.sched.UpdateCtx(ctx, loc, seal, payload)
 	if errors.Is(err, sched.ErrNoFreeSpace) {
 		return 0, fmt.Errorf("%w: volume at 100%% utilization", ErrNoDummySpace)
 	}

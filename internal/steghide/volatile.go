@@ -1,8 +1,10 @@
 package steghide
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"steghide/internal/prng"
@@ -403,6 +405,31 @@ func (a *VolatileAgent) Logout(user string) error {
 	return firstErr
 }
 
+// Users lists the users with active sessions, sorted.
+func (a *VolatileAgent) Users() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.sessions))
+	for u := range a.sessions {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LogoutAll logs every active session out (flushing its files),
+// returning the first failure. Mount-built stacks call it on Close so
+// no session outlives the stack.
+func (a *VolatileAgent) LogoutAll() error {
+	var firstErr error
+	for _, u := range a.Users() {
+		if err := a.Logout(u); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // fak derives the FAK for one of the session user's paths.
 func (s *Session) fak(path string) stegfs.FAK {
 	return stegfs.DeriveFAKFromMaster(s.master, path)
@@ -483,6 +510,16 @@ func (s *Session) Disclose(path string) (*stegfs.File, error) {
 // different sessions proceed concurrently; the scheduler merges their
 // update intents into one uniformly random stream.
 func (s *Session) Write(path string, data []byte, off uint64) error {
+	return s.WriteCtx(context.Background(), path, data, off)
+}
+
+// WriteCtx is Write with cooperative cancellation: the context is
+// honored at the scheduler's wait point, before every draw of the
+// Figure-6 loop, so a caller's deadline can abort an update that is
+// still hunting for a relocation target. Blocks already updated when
+// the context fires keep their new content (partial-write semantics,
+// like an interrupted POSIX write); the file's map stays consistent.
+func (s *Session) WriteCtx(ctx context.Context, path string, data []byte, off uint64) error {
 	a := s.agent
 	a.structMu.RLock()
 	defer a.structMu.RUnlock()
@@ -492,7 +529,41 @@ func (s *Session) Write(path string, data []byte, off uint64) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotDisclosed, path)
 	}
-	if _, err := f.WriteAt(data, off, policyFunc(a.update)); err != nil {
+	policy := policyFunc(func(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
+		return a.sched.UpdateCtx(ctx, loc, seal, payload)
+	})
+	if _, err := f.WriteAt(data, off, policy); err != nil {
+		return err
+	}
+	a.registerFile(s.user, f)
+	return nil
+}
+
+// Truncate resizes a disclosed real file to size bytes: growth draws
+// fresh blocks from the disclosed dummy space, shrinkage donates
+// blocks back to the user's dummy files.
+func (s *Session) Truncate(path string, size uint64) error {
+	return s.TruncateCtx(context.Background(), path, size)
+}
+
+// TruncateCtx is Truncate honoring the context at the scheduler's
+// wait point. Like Write (whose growth path runs the same Resize), it
+// holds the data-plane lock only: the registry and source serialize
+// internally, so other sessions keep flowing during a large resize.
+func (s *Session) TruncateCtx(ctx context.Context, path string, size uint64) error {
+	a := s.agent
+	a.structMu.RLock()
+	defer a.structMu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotDisclosed, path)
+	}
+	policy := policyFunc(func(loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
+		return a.sched.UpdateCtx(ctx, loc, seal, payload)
+	})
+	if err := f.Resize(size, policy); err != nil {
 		return err
 	}
 	a.registerFile(s.user, f)
@@ -556,7 +627,9 @@ func (s *Session) Delete(path string) error {
 	return nil
 }
 
-// Files lists the session's disclosed real-file paths.
+// Files lists the session's disclosed real-file paths in sorted
+// order, so listings are stable across runs (map iteration order must
+// not leak into user-visible output or golden tests).
 func (s *Session) Files() []string {
 	a := s.agent
 	a.structMu.RLock()
@@ -567,7 +640,47 @@ func (s *Session) Files() []string {
 	for p := range s.files {
 		out = append(out, p)
 	}
+	sort.Strings(out)
 	return out
+}
+
+// User returns the name this session was logged in as.
+func (s *Session) User() string { return s.user }
+
+// Stat reports the size and kind of a disclosed file, serialized with
+// the session's own operations.
+func (s *Session) Stat(path string) (size uint64, dummy bool, err error) {
+	a := s.agent
+	a.structMu.RLock()
+	defer a.structMu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[path]; ok {
+		return f.Size(), false, nil
+	}
+	if f, ok := s.dummyFiles[path]; ok {
+		return f.Size(), true, nil
+	}
+	return 0, false, fmt.Errorf("%w: %q", ErrNotDisclosed, path)
+}
+
+// Open returns the session's open handle for path — real or dummy —
+// without touching the device, and reports whether one exists. Like
+// every session operation it serializes with the agent's control
+// plane (Create/Disclose/Delete mutate the maps under structMu).
+func (s *Session) Open(path string) (*stegfs.File, bool) {
+	a := s.agent
+	a.structMu.RLock()
+	defer a.structMu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[path]; ok {
+		return f, true
+	}
+	if f, ok := s.dummyFiles[path]; ok {
+		return f, true
+	}
+	return nil, false
 }
 
 // --- Figure 6 over disclosed blocks -----------------------------------

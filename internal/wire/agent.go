@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -193,20 +195,80 @@ func (s *AgentServer) handle(req frame, session **steghide.Session, user *string
 			return errFrame(err)
 		}
 		return frame{Type: msgOK}
+	case msgDelete:
+		path := d.str()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		if err := sess.Delete(path); err != nil {
+			return errFrame(err)
+		}
+		return frame{Type: msgOK}
+	case msgTruncate:
+		path := d.str()
+		size := d.u64()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		if err := sess.Truncate(path, size); err != nil {
+			return errFrame(err)
+		}
+		return frame{Type: msgOK}
+	case msgList:
+		paths := sess.Files() // sorted — listings are stable on the wire
+		e := &encoder{}
+		e.u64(uint64(len(paths)))
+		for _, p := range paths {
+			e.str(p)
+		}
+		return frame{Type: msgOK, Body: e.b}
 	default:
 		return errFrame(fmt.Errorf("wire: unknown message type %#x", req.Type))
 	}
 }
 
+// ErrConnBroken reports a client whose connection was desynced by an
+// interrupted call (context cancellation or transport fault mid
+// frame); every further call fails until the caller redials. Without
+// this latch a later request would silently pair with the stale
+// reply of the interrupted one.
+var ErrConnBroken = errors.New("wire: connection broken by an interrupted call; redial")
+
 // Client is a user's connection to an AgentServer.
 type Client struct {
-	conn net.Conn
-	mu   sync.Mutex
+	conn   net.Conn
+	mu     sync.Mutex
+	broken bool // guarded by mu — a queued call must see the latch
+}
+
+// do runs one round trip, latching the broken flag when an
+// interrupted call leaves the frame stream out of sync. The latch is
+// checked and set inside the connection's critical section: a call
+// that was already queued behind the interrupted one re-checks after
+// acquiring the mutex, so it cannot run on the desynced stream.
+func (c *Client) do(ctx context.Context, req frame) (frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return frame{}, ErrConnBroken
+	}
+	resp, desynced, err := callLocked(ctx, c.conn, req)
+	if desynced {
+		c.broken = true
+	}
+	return resp, err
 }
 
 // DialAgent connects to an agent server.
 func DialAgent(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialAgentCtx(context.Background(), addr)
+}
+
+// DialAgentCtx is DialAgent honoring the context while the
+// connection is being established.
+func DialAgentCtx(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial: %w", err)
 	}
@@ -216,43 +278,72 @@ func DialAgent(addr string) (*Client, error) {
 // Close drops the connection (logging the user out server-side).
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Every operation has a context-honoring form; the plain methods are
+// the same call under context.Background(). The context's deadline
+// bounds the whole round trip and cancellation interrupts an
+// in-flight frame (after which the connection is out of frame sync
+// and must be dropped — the server logs the user out, preserving the
+// volatility property).
+
 // Login authenticates the connection's user.
 func (c *Client) Login(user, passphrase string) error {
+	return c.LoginCtx(context.Background(), user, passphrase)
+}
+
+// LoginCtx is Login honoring the context at the wire wait point.
+func (c *Client) LoginCtx(ctx context.Context, user, passphrase string) error {
 	e := &encoder{}
 	e.str(user).str(passphrase)
-	_, err := call(c.conn, &c.mu, frame{Type: msgLogin, Body: e.b})
+	_, err := c.do(ctx, frame{Type: msgLogin, Body: e.b})
 	return err
 }
 
 // Logout ends the session, flushing disclosed files.
-func (c *Client) Logout() error {
-	_, err := call(c.conn, &c.mu, frame{Type: msgLogout})
+func (c *Client) Logout() error { return c.LogoutCtx(context.Background()) }
+
+// LogoutCtx is Logout honoring the context at the wire wait point.
+func (c *Client) LogoutCtx(ctx context.Context) error {
+	_, err := c.do(ctx, frame{Type: msgLogout})
 	return err
 }
 
 // Create creates a hidden file.
-func (c *Client) Create(path string) error {
+func (c *Client) Create(path string) error { return c.CreateCtx(context.Background(), path) }
+
+// CreateCtx is Create honoring the context at the wire wait point.
+func (c *Client) CreateCtx(ctx context.Context, path string) error {
 	e := &encoder{}
 	e.str(path)
-	_, err := call(c.conn, &c.mu, frame{Type: msgCreate, Body: e.b})
+	_, err := c.do(ctx, frame{Type: msgCreate, Body: e.b})
 	return err
 }
 
 // CreateDummy creates and discloses a dummy file of n blocks.
 func (c *Client) CreateDummy(path string, blocks uint64) error {
+	return c.CreateDummyCtx(context.Background(), path, blocks)
+}
+
+// CreateDummyCtx is CreateDummy honoring the context at the wire wait
+// point.
+func (c *Client) CreateDummyCtx(ctx context.Context, path string, blocks uint64) error {
 	e := &encoder{}
 	e.str(path)
 	e.u64(blocks)
-	_, err := call(c.conn, &c.mu, frame{Type: msgCreateDummy, Body: e.b})
+	_, err := c.do(ctx, frame{Type: msgCreateDummy, Body: e.b})
 	return err
 }
 
 // Disclose opens an existing file, reporting whether it is a dummy
 // and its size.
 func (c *Client) Disclose(path string) (isDummy bool, size uint64, err error) {
+	return c.DiscloseCtx(context.Background(), path)
+}
+
+// DiscloseCtx is Disclose honoring the context at the wire wait point.
+func (c *Client) DiscloseCtx(ctx context.Context, path string) (isDummy bool, size uint64, err error) {
 	e := &encoder{}
 	e.str(path)
-	resp, err := call(c.conn, &c.mu, frame{Type: msgDisclose, Body: e.b})
+	resp, err := c.do(ctx, frame{Type: msgDisclose, Body: e.b})
 	if err != nil {
 		return false, 0, err
 	}
@@ -267,11 +358,16 @@ func (c *Client) Disclose(path string) (isDummy bool, size uint64, err error) {
 
 // Read reads up to len(p) bytes at offset off of a disclosed file.
 func (c *Client) Read(path string, p []byte, off uint64) (int, error) {
+	return c.ReadCtx(context.Background(), path, p, off)
+}
+
+// ReadCtx is Read honoring the context at the wire wait point.
+func (c *Client) ReadCtx(ctx context.Context, path string, p []byte, off uint64) (int, error) {
 	e := &encoder{}
 	e.str(path)
 	e.u64(off)
 	e.u64(uint64(len(p)))
-	resp, err := call(c.conn, &c.mu, frame{Type: msgRead, Body: e.b})
+	resp, err := c.do(ctx, frame{Type: msgRead, Body: e.b})
 	if err != nil {
 		return 0, err
 	}
@@ -280,18 +376,80 @@ func (c *Client) Read(path string, p []byte, off uint64) (int, error) {
 
 // Write writes data at offset off of a disclosed file.
 func (c *Client) Write(path string, data []byte, off uint64) error {
+	return c.WriteCtx(context.Background(), path, data, off)
+}
+
+// WriteCtx is Write honoring the context at the wire wait point.
+func (c *Client) WriteCtx(ctx context.Context, path string, data []byte, off uint64) error {
 	e := &encoder{}
 	e.str(path)
 	e.u64(off)
 	e.bytes(data)
-	_, err := call(c.conn, &c.mu, frame{Type: msgWrite, Body: e.b})
+	_, err := c.do(ctx, frame{Type: msgWrite, Body: e.b})
 	return err
 }
 
 // Save flushes a disclosed file's block map.
-func (c *Client) Save(path string) error {
+func (c *Client) Save(path string) error { return c.SaveCtx(context.Background(), path) }
+
+// SaveCtx is Save honoring the context at the wire wait point.
+func (c *Client) SaveCtx(ctx context.Context, path string) error {
 	e := &encoder{}
 	e.str(path)
-	_, err := call(c.conn, &c.mu, frame{Type: msgSave, Body: e.b})
+	_, err := c.do(ctx, frame{Type: msgSave, Body: e.b})
 	return err
+}
+
+// Delete removes a disclosed file, donating its blocks to the user's
+// dummy files.
+func (c *Client) Delete(path string) error { return c.DeleteCtx(context.Background(), path) }
+
+// DeleteCtx is Delete honoring the context at the wire wait point.
+func (c *Client) DeleteCtx(ctx context.Context, path string) error {
+	e := &encoder{}
+	e.str(path)
+	_, err := c.do(ctx, frame{Type: msgDelete, Body: e.b})
+	return err
+}
+
+// Truncate resizes a disclosed file to size bytes.
+func (c *Client) Truncate(path string, size uint64) error {
+	return c.TruncateCtx(context.Background(), path, size)
+}
+
+// TruncateCtx is Truncate honoring the context at the wire wait
+// point.
+func (c *Client) TruncateCtx(ctx context.Context, path string, size uint64) error {
+	e := &encoder{}
+	e.str(path)
+	e.u64(size)
+	_, err := c.do(ctx, frame{Type: msgTruncate, Body: e.b})
+	return err
+}
+
+// Files lists the session's disclosed real-file paths, sorted.
+func (c *Client) Files() ([]string, error) { return c.FilesCtx(context.Background()) }
+
+// FilesCtx is Files honoring the context at the wire wait point.
+func (c *Client) FilesCtx(ctx context.Context) ([]string, error) {
+	resp, err := c.do(ctx, frame{Type: msgList})
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{b: resp.Body}
+	n := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > maxBodySize/8 {
+		return nil, fmt.Errorf("wire: listing of %d entries out of bounds", n)
+	}
+	paths := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		paths = append(paths, d.str())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return paths, nil
 }

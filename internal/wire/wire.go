@@ -19,14 +19,18 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"steghide/internal/blockdev"
+	"steghide/internal/stegfs"
+	"steghide/internal/steghide"
 )
 
 // Message types.
@@ -51,10 +55,91 @@ const (
 	msgRead        = 0x15
 	msgWrite       = 0x16
 	msgSave        = 0x17
+	msgDelete      = 0x18
+	msgList        = 0x19
+	msgTruncate    = 0x1A
 	// Replies.
 	msgOK  = 0x70
 	msgErr = 0x7F
 )
+
+// Error codes carried in msgErr bodies so the sentinel errors of the
+// file layer survive the wire: errors.Is against ErrNotFound,
+// ErrVolumeFull, ErrNoDummySpace and friends works on a remote client
+// exactly as it does against a local agent, instead of every remote
+// failure collapsing to an opaque string. Code 0 is a plain error.
+const (
+	codeGeneric      = 0
+	codeNotFound     = 1
+	codeVolumeFull   = 2
+	codeNoDummySpace = 3
+	codeNotDisclosed = 4
+	codeUnknownUser  = 5
+)
+
+// errCode tags err with the sentinel code the peer should rebuild.
+func errCode(err error) uint64 {
+	switch {
+	case errors.Is(err, stegfs.ErrNotFound):
+		return codeNotFound
+	case errors.Is(err, stegfs.ErrVolumeFull):
+		return codeVolumeFull
+	case errors.Is(err, steghide.ErrNoDummySpace):
+		return codeNoDummySpace
+	case errors.Is(err, steghide.ErrNotDisclosed):
+		return codeNotDisclosed
+	case errors.Is(err, steghide.ErrUnknownUser):
+		return codeUnknownUser
+	default:
+		return codeGeneric
+	}
+}
+
+// codeSentinel maps a wire code back to the sentinel it names.
+func codeSentinel(code uint64) error {
+	switch code {
+	case codeNotFound:
+		return stegfs.ErrNotFound
+	case codeVolumeFull:
+		return stegfs.ErrVolumeFull
+	case codeNoDummySpace:
+		return steghide.ErrNoDummySpace
+	case codeNotDisclosed:
+		return steghide.ErrNotDisclosed
+	case codeUnknownUser:
+		return steghide.ErrUnknownUser
+	default:
+		return nil
+	}
+}
+
+// remoteError is a peer-reported failure. It unwraps to ErrRemote
+// and, when the peer tagged a sentinel code, to that sentinel too.
+type remoteError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *remoteError) Error() string { return "wire: remote error: " + e.msg }
+
+func (e *remoteError) Unwrap() []error {
+	if e.sentinel == nil {
+		return []error{ErrRemote}
+	}
+	return []error{ErrRemote, e.sentinel}
+}
+
+// decodeRemoteError rebuilds a peer's msgErr body: code plus message.
+func decodeRemoteError(body []byte) error {
+	d := &decoder{b: body}
+	code := d.u64()
+	msg := d.str()
+	if d.err != nil {
+		// A malformed error body still reports as a remote failure.
+		return fmt.Errorf("%w: %s", ErrRemote, body)
+	}
+	return &remoteError{sentinel: codeSentinel(code), msg: msg}
+}
 
 const (
 	headerSize  = 16
@@ -106,19 +191,91 @@ func readFrame(r io.Reader) (frame, error) {
 
 // call sends a request and decodes the reply, translating msgErr.
 func call(conn net.Conn, mu *sync.Mutex, req frame) (frame, error) {
+	resp, _, err := callCtx(context.Background(), conn, mu, req)
+	return resp, err
+}
+
+// callCtx is call honoring the context at the wire wait point: the
+// context's deadline bounds the whole round trip, and cancellation
+// interrupts an in-flight frame by expiring the connection deadline.
+// The returned desynced flag reports that the request may have
+// reached the peer but its reply was not (fully) consumed — the
+// stream is out of frame sync and the connection must not carry
+// another call (a later request would pair with the stale reply).
+// Cancellation *before* the request is sent leaves the stream
+// healthy.
+func callCtx(ctx context.Context, conn net.Conn, mu *sync.Mutex, req frame) (resp frame, desynced bool, err error) {
 	mu.Lock()
 	defer mu.Unlock()
-	if err := writeFrame(conn, req); err != nil {
-		return frame{}, err
+	return callLocked(ctx, conn, req)
+}
+
+// callLocked is callCtx's core; the caller holds the connection's
+// mutex (Client.do locks it itself so the broken-latch check and the
+// round trip are one critical section).
+func callLocked(ctx context.Context, conn net.Conn, req frame) (resp frame, desynced bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return frame{}, false, fmt.Errorf("wire: %w", err)
 	}
-	resp, err := readFrame(conn)
-	if err != nil {
-		return frame{}, err
+	stop := watchCtx(ctx, conn)
+	resp, ioErr := func() (frame, error) {
+		if err := writeFrame(conn, req); err != nil {
+			return frame{}, err
+		}
+		return readFrame(conn)
+	}()
+	cerr := stop()
+	if ioErr != nil {
+		// Any I/O failure after the request started leaves the frame
+		// stream unusable, whether the cause was the context firing or
+		// a transport fault.
+		if cerr != nil {
+			return frame{}, true, fmt.Errorf("wire: %w", cerr)
+		}
+		return frame{}, true, ioErr
+	}
+	if cerr != nil {
+		// The context fired but the round trip completed intact: the
+		// stream is still in sync; the operation still reports the
+		// cancellation.
+		return frame{}, false, fmt.Errorf("wire: %w", cerr)
 	}
 	if resp.Type == msgErr {
-		return frame{}, fmt.Errorf("%w: %s", ErrRemote, resp.Body)
+		return frame{}, false, decodeRemoteError(resp.Body)
 	}
-	return resp, nil
+	return resp, false, nil
+}
+
+// watchCtx arms conn with ctx's deadline and interrupts in-flight I/O
+// on cancellation. The returned stop undoes both and reports the
+// context's error if it fired. stop waits for the watcher goroutine
+// to exit before clearing the deadline, so a watcher that raced the
+// call's completion cannot expire the deadline afterwards and poison
+// the connection's next call.
+func watchCtx(ctx context.Context, conn net.Conn) func() error {
+	if ctx.Done() == nil {
+		return func() error { return nil }
+	}
+	if d, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(d) //nolint:errcheck // best-effort bound
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-ctx.Done():
+			// Expire the deadline to unblock the frame read/write.
+			conn.SetDeadline(time.Now()) //nolint:errcheck
+		case <-done:
+		}
+	}()
+	return func() error {
+		close(done)
+		<-exited
+		conn.SetDeadline(time.Time{}) //nolint:errcheck
+		return ctx.Err()
+	}
 }
 
 // encoder builds binary bodies.
@@ -426,7 +583,10 @@ func decodeIndices(d *decoder) []uint64 {
 }
 
 func errFrame(err error) frame {
-	return frame{Type: msgErr, Body: []byte(err.Error())}
+	e := &encoder{}
+	e.u64(errCode(err))
+	e.str(err.Error())
+	return frame{Type: msgErr, Body: e.b}
 }
 
 // RemoteDevice is a blockdev.Device backed by a StorageServer. It is

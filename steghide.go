@@ -32,17 +32,40 @@
 //
 // # Quick start
 //
+// Mount assembles the stack; Login returns the unified FS interface
+// every front-end of this package implements:
+//
+//	ctx := context.Background()
 //	dev := steghide.NewMemDevice(4096, 1<<15)
-//	vol, _ := steghide.Format(dev, steghide.FormatOptions{})
-//	agent := steghide.NewVolatileAgent(vol, steghide.NewPRNG([]byte("entropy")))
-//	session, _ := agent.LoginWithPassphrase("alice", "correct horse")
-//	session.CreateDummy("/cover", 4096) // deniable cover + relocation targets
-//	session.Create("/secret")
-//	session.Write("/secret", []byte("hello"), 0)
-//	agent.Logout("alice") // agent forgets everything
+//	stack, _ := steghide.Mount(dev,
+//	    steghide.WithFormat(steghide.FormatOptions{}),
+//	    steghide.WithDaemon(250*time.Millisecond)) // idle dummy traffic
+//	defer stack.Close()
+//	fs, _ := stack.Login("alice", "correct horse")
+//	fs.CreateDummy(ctx, "/cover", 4096) // deniable cover + relocation targets
+//	steghide.WriteFile(ctx, fs, "/secret", []byte("hello"))
+//	fs.Close() // logout: the agent forgets everything
+//
+// The same FS is served by Construction 1 (WithConstruction1), remote
+// agents (DialFS), and the read-hiding oblivious composition
+// (WithObliviousCache) — code written against it cannot tell which
+// construction is hiding its accesses. Failed operations return
+// *PathError values wrapping the package sentinels, across the wire
+// too; contexts are honored at the scheduler draw loop and the wire
+// round trip. Options: WithFormat, WithConstruction1/2, WithJournal,
+// WithObliviousCache, WithDaemon, WithTrace, WithStripe, WithSim,
+// WithRNG/WithSeed.
+//
+// The constructors below (NewVolatileAgent, NewNonVolatileAgent,
+// NewObliviousFS, ...) remain as the thin assembly layer Mount is
+// built from — established code keeps working unchanged, and
+// Mount-built stacks are bit-identical to manual wiring given the
+// same seeds.
 //
 // See examples/ for runnable programs, DESIGN.md for the system
-// inventory, and EXPERIMENTS.md for paper-vs-measured results.
+// inventory (including the "Public API" section mapping FS to the
+// paper's request model), and EXPERIMENTS.md for paper-vs-measured
+// results.
 package steghide
 
 import (
@@ -287,6 +310,10 @@ func JournalFsck(vol *Volume, key Key) (*JournalFsckReport, error) {
 
 // DummyDaemon emits idle-time dummy updates on a period (§4.1.3).
 type DummyDaemon = steghide.Daemon
+
+// DummySource is anything that can emit one dummy update — both
+// agent constructions implement it.
+type DummySource = steghide.DummySource
 
 // NewDummyDaemon wires a daemon to either agent construction.
 func NewDummyDaemon(src steghide.DummySource, period time.Duration) *DummyDaemon {
