@@ -13,10 +13,14 @@
 //
 //	steghide agent   -storage 127.0.0.1:7070 -addr 127.0.0.1:7071
 //	                 [-dummy-interval 250ms]
+//	                 [-volume work=127.0.0.1:7070 -volume home=127.0.0.1:7072 ...]
 //	    Run a volatile agent against remote storage, issuing dummy
-//	    updates whenever idle.
+//	    updates whenever idle. With -volume flags one daemon mounts
+//	    and serves several volumes; clients pick one at login
+//	    (protocol v2's volume field).
 //
-//	steghide client  -agent 127.0.0.1:7071 -user alice -pass pw [-timeout 5s] <op> ...
+//	steghide client  -agent 127.0.0.1:7071 -user alice -pass pw
+//	                 [-volume work] [-timeout 5s] <op> ...
 //	    One-shot client operations over the unified steghide.FS:
 //	      mkdummy <path> <blocks>     create+disclose a dummy file
 //	      create  <path>              create a hidden file
@@ -35,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"time"
 
 	"steghide"
@@ -229,78 +234,141 @@ type tracerFunc func(steghide.Event)
 
 func (f tracerFunc) Record(e steghide.Event) { f(e) }
 
+// volumeFlags collects repeated -volume name=storageAddr flags.
+type volumeFlags []string
+
+func (v *volumeFlags) String() string { return fmt.Sprint(*v) }
+
+func (v *volumeFlags) Set(s string) error {
+	*v = append(*v, s)
+	return nil
+}
+
 func cmdAgent(args []string) error {
 	fs := flag.NewFlagSet("agent", flag.ExitOnError)
-	storageAddr := fs.String("storage", "127.0.0.1:7070", "storage server address")
+	storageAddr := fs.String("storage", "127.0.0.1:7070", "storage server address (the default volume)")
 	addr := fs.String("addr", "127.0.0.1:7071", "listen address for clients")
 	dummyInterval := fs.Duration("dummy-interval", 250*time.Millisecond,
 		"idle dummy-update period (0 disables)")
 	journalPass := fs.String("journal-pass", "",
 		"administrator journal passphrase: journal every update intent and recover the ring at boot (needs a volume formatted with -journal)")
+	var volumes volumeFlags
+	fs.Var(&volumes, "volume",
+		"serve an extra named volume, as name=storageAddr (repeatable); clients select it at login")
 	fs.Parse(args)
 
-	dev, err := steghide.DialStorage(*storageAddr)
-	if err != nil {
-		return err
+	// Shared mount options: every served volume gets its own RNG
+	// seed, journal and dummy-traffic daemon.
+	mountOpts := func(name string) ([]steghide.Option, error) {
+		entropy := make([]byte, 32)
+		if _, err := readEntropy(entropy); err != nil {
+			return nil, err
+		}
+		opts := []steghide.Option{steghide.WithSeed(entropy), steghide.WithVolumeName(name)}
+		if *journalPass != "" {
+			opts = append(opts, steghide.WithJournal(*journalPass))
+		}
+		if *dummyInterval > 0 {
+			opts = append(opts, steghide.WithDaemon(*dummyInterval))
+		}
+		return opts, nil
 	}
-	entropy := make([]byte, 32)
-	if _, err := readEntropy(entropy); err != nil {
-		dev.Close()
-		return err
-	}
-	// Mount replaces the old hand-wired assembly: open the remote
-	// volume, stand up the volatile agent, recover the journal ring,
+
+	// Mount replaces the old hand-wired assembly: open each remote
+	// volume, stand up its volatile agent, recover the journal ring,
 	// start the adaptive dummy-traffic daemon; Close unwinds it all.
-	opts := []steghide.Option{steghide.WithSeed(entropy)}
-	if *journalPass != "" {
-		opts = append(opts, steghide.WithJournal(*journalPass))
+	type target struct{ name, addr string }
+	targets := []target{{"", *storageAddr}}
+	for _, spec := range volumes {
+		name, vaddr, ok := strings.Cut(spec, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("-volume wants name=storageAddr, got %q", spec)
+		}
+		targets = append(targets, target{name, vaddr})
 	}
-	if *dummyInterval > 0 {
-		opts = append(opts, steghide.WithDaemon(*dummyInterval))
+	// Fail fast on aliasing: two stacks mounted over one raw device
+	// would each treat the other's data blocks as free dummy cover and
+	// silently corrupt it; duplicate names would shadow at login.
+	seenAddr := map[string]string{}
+	seenName := map[string]bool{}
+	for _, tg := range targets {
+		if prev, dup := seenAddr[tg.addr]; dup {
+			return fmt.Errorf("volumes %q and %q share storage %s: one raw device must back exactly one volume", prev, tg.name, tg.addr)
+		}
+		if seenName[tg.name] {
+			return fmt.Errorf("duplicate volume name %q", tg.name)
+		}
+		seenAddr[tg.addr] = tg.name
+		seenName[tg.name] = true
 	}
-	stack, err := steghide.Mount(dev, opts...)
-	if err != nil {
-		dev.Close()
-		return err
+	var stacks []*steghide.Stack
+	defer func() {
+		for _, s := range stacks {
+			s.Close()
+		}
+	}()
+	for _, tg := range targets {
+		dev, err := steghide.DialStorage(tg.addr)
+		if err != nil {
+			return err
+		}
+		opts, err := mountOpts(tg.name)
+		if err != nil {
+			dev.Close()
+			return err
+		}
+		stack, err := steghide.Mount(dev, opts...)
+		if err != nil {
+			dev.Close()
+			return err
+		}
+		stacks = append(stacks, stack)
+		if rep := stack.BootRecovery(); rep != nil {
+			fmt.Printf("agent: volume %q: %v\n", tg.name, rep)
+		}
 	}
-	defer stack.Close()
-	if rep := stack.BootRecovery(); rep != nil {
-		fmt.Println("agent:", rep)
-	}
-	srv, err := steghide.NewAgentServer(*addr, stack.Agent2())
+	srv, err := steghide.Serve(*addr, stacks...)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("agent: storage=%s clients=%s\n", *storageAddr, srv.Addr())
+	fmt.Printf("agent: %d volume(s) %v, clients=%s\n", len(stacks), srv.Volumes(), srv.Addr())
 
 	// Surface daemon failures as they happen, not only at exit: the
 	// daemon swallows ErrNoDummySpace (normal at boot) but anything
 	// else means the cover traffic stopped flowing.
 	stopMon := make(chan struct{})
-	if d := stack.Daemon(); d != nil {
-		go func() {
-			var seen uint64
-			ticker := time.NewTicker(5 * time.Second)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-stopMon:
-					return
-				case <-ticker.C:
-					if n, lastErr := d.Errors(); n > seen {
-						fmt.Fprintf(os.Stderr, "dummy daemon: %d errors so far, last: %v\n", n, lastErr)
-						seen = n
+	go func() {
+		seen := make([]uint64, len(stacks))
+		ticker := time.NewTicker(5 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopMon:
+				return
+			case <-ticker.C:
+				for i, s := range stacks {
+					d := s.Daemon()
+					if d == nil {
+						continue
+					}
+					if n, lastErr := d.Errors(); n > seen[i] {
+						fmt.Fprintf(os.Stderr, "dummy daemon (volume %q): %d errors so far, last: %v\n",
+							s.VolumeName(), n, lastErr)
+						seen[i] = n
 					}
 				}
 			}
-		}()
-	}
+		}
+	}()
 	waitForInterrupt()
 	close(stopMon)
-	if d := stack.Daemon(); d != nil {
-		if n, lastErr := d.Errors(); n > 0 {
-			fmt.Fprintf(os.Stderr, "dummy daemon: %d errors, last: %v\n", n, lastErr)
+	for _, s := range stacks {
+		if d := s.Daemon(); d != nil {
+			if n, lastErr := d.Errors(); n > 0 {
+				fmt.Fprintf(os.Stderr, "dummy daemon (volume %q): %d errors, last: %v\n",
+					s.VolumeName(), n, lastErr)
+			}
 		}
 	}
 	return nil
@@ -311,6 +379,7 @@ func cmdClient(args []string) error {
 	agentAddr := fs.String("agent", "127.0.0.1:7071", "agent server address")
 	user := fs.String("user", "", "user name")
 	pass := fs.String("pass", "", "passphrase")
+	volume := fs.String("volume", "", "volume name on a multi-volume agent (empty = default volume)")
 	timeout := fs.Duration("timeout", 0, "per-invocation deadline (0 = none)")
 	fs.Parse(args)
 	rest := fs.Args()
@@ -326,7 +395,7 @@ func cmdClient(args []string) error {
 	}
 	// The remote session is the same steghide.FS a local login gets;
 	// the wire round-trips the error taxonomy underneath.
-	vault, err := steghide.DialFS(ctx, *agentAddr, *user, *pass)
+	vault, err := steghide.DialVolumeFS(ctx, *agentAddr, *volume, *user, *pass)
 	if err != nil {
 		return err
 	}

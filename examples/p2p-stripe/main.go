@@ -5,6 +5,10 @@
 // cleanly: each node sees ~1/n of a uniform process, which is again a
 // uniform process.
 //
+// Each member device is a wire-protocol-v2 connection, so the
+// stripe's scattered batch I/O pipelines to all nodes concurrently
+// instead of lock-stepping one round trip at a time.
+//
 //	go run ./examples/p2p-stripe
 package main
 

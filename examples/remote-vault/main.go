@@ -1,7 +1,14 @@
 // Remote vault: the full system model of §3.2 over TCP — a storage
 // server (the shared raw volume, with the attacker's tap on its
-// wire), a volatile agent mounted on the remote device, and two
-// users on the unified FS who cannot see each other's files.
+// wire), volatile agents mounted on remote devices, and users on the
+// unified FS who cannot see each other's files.
+//
+// One agent daemon serves a *fleet* of volumes (wire protocol v2):
+// each stack is mounted under a name and clients pick theirs at
+// login, so "personal" and "work" below share one address, one
+// process, and nothing else. The transport is multiplexed — every
+// FS call pipelines on the connection and cancelling one call leaves
+// the rest in flight.
 //
 //	go run ./examples/remote-vault
 package main
@@ -16,54 +23,83 @@ import (
 	"steghide"
 )
 
+// vault is one served volume: its own raw storage (with its own
+// attacker tap) behind its own mounted stack.
+func vault(seed string) (*steghide.Collector, *steghide.StorageServer, *steghide.Stack, error) {
+	tap := &steghide.Collector{}
+	raw := steghide.NewMemDevice(512, 4096)
+	if _, err := steghide.Format(raw, steghide.FormatOptions{FillSeed: []byte(seed)}); err != nil {
+		return nil, nil, nil, err
+	}
+	srv, err := steghide.NewStorageServer("127.0.0.1:0", raw, tap)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	remote, err := steghide.DialStorage(srv.Addr())
+	if err != nil {
+		srv.Close()
+		return nil, nil, nil, err
+	}
+	stack, err := steghide.Mount(remote,
+		steghide.WithVolumeName(seed),
+		steghide.WithSeed([]byte("agent-"+seed)))
+	if err != nil {
+		srv.Close()
+		return nil, nil, nil, err
+	}
+	return tap, srv, stack, nil
+}
+
 func main() {
 	ctx := context.Background()
 
-	// --- shared raw storage, observable by the attacker ---------------
-	tap := &steghide.Collector{}
-	raw := steghide.NewMemDevice(512, 4096)
-	if _, err := steghide.Format(raw, steghide.FormatOptions{FillSeed: []byte("rv")}); err != nil {
-		log.Fatal(err)
-	}
-	storageSrv, err := steghide.NewStorageServer("127.0.0.1:0", raw, tap)
+	// --- two independent raw volumes, one agent daemon -----------------
+	personalTap, personalSrv, personal, err := vault("personal")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer storageSrv.Close()
-	fmt.Printf("storage server on %s (attacker tapping the wire)\n", storageSrv.Addr())
+	defer personalSrv.Close()
+	defer personal.Close() // hangs up the remote device too
+	_, workSrv, work, err := vault("work")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer workSrv.Close()
+	defer work.Close()
 
-	// --- trusted agent, mounted on the remote device -------------------
-	remote, err := steghide.DialStorage(storageSrv.Addr())
-	if err != nil {
-		log.Fatal(err)
-	}
-	stack, err := steghide.Mount(remote, steghide.WithSeed([]byte("agent")))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer stack.Close() // hangs up the remote device too
-	agentSrv, err := steghide.NewAgentServer("127.0.0.1:0", stack.Agent2())
+	agentSrv, err := steghide.Serve("127.0.0.1:0", personal, work)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer agentSrv.Close()
-	fmt.Printf("agent server on %s\n\n", agentSrv.Addr())
+	fmt.Printf("agent server on %s serving volumes %v\n\n", agentSrv.Addr(), agentSrv.Volumes())
 
-	// --- Alice stores a secret ----------------------------------------
-	// DialFS returns the same steghide.FS a local login would; the
-	// wire protocol round-trips the error taxonomy, so nothing below
-	// cares that the agent is remote.
-	alice, err := steghide.DialFS(ctx, agentSrv.Addr(), "alice", "alice-passphrase")
+	// --- Alice stores a secret on the personal volume ------------------
+	// DialVolumeFS returns the same steghide.FS a local login would;
+	// the volume name routes the session, and the wire protocol
+	// round-trips the error taxonomy, so nothing below cares that the
+	// agent is remote.
+	alice, err := steghide.DialVolumeFS(ctx, agentSrv.Addr(), "personal", "alice", "alice-passphrase")
 	if err != nil {
 		log.Fatal(err)
 	}
 	must(alice.CreateDummy(ctx, "/alice-cover", 128))
 	secret := []byte("wire transfer reference: 7f3a-11c9")
 	must(steghide.WriteFile(ctx, alice, "/alice-secret", secret))
-	fmt.Printf("alice stored %d bytes\n", len(secret))
+	fmt.Printf("alice stored %d bytes on %q\n", len(secret), "personal")
 
-	// --- Bob cannot see Alice's file -----------------------------------
-	bob, err := steghide.DialFS(ctx, agentSrv.Addr(), "bob", "bob-passphrase")
+	// --- the volumes are disjoint worlds -------------------------------
+	aliceWork, err := steghide.DialVolumeFS(ctx, agentSrv.Addr(), "work", "alice", "alice-passphrase")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := aliceWork.Disclose(ctx, "/alice-secret"); errors.Is(err, steghide.ErrNotFound) {
+		fmt.Println("alice probing /alice-secret on the work volume: no such file — different volume, different world")
+	}
+	must(aliceWork.Close())
+
+	// --- Bob cannot see Alice's file even on her volume ----------------
+	bob, err := steghide.DialVolumeFS(ctx, agentSrv.Addr(), "personal", "bob", "bob-passphrase")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +110,7 @@ func main() {
 
 	// --- Alice reads it back from a fresh session ----------------------
 	must(alice.Close())
-	alice2, err := steghide.DialFS(ctx, agentSrv.Addr(), "alice", "alice-passphrase")
+	alice2, err := steghide.DialVolumeFS(ctx, agentSrv.Addr(), "personal", "alice", "alice-passphrase")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +125,7 @@ func main() {
 	must(alice2.Close())
 
 	// --- what the attacker saw ------------------------------------------
-	events := steghide.ExpandEvents(tap.Events())
+	events := steghide.ExpandEvents(personalTap.Events())
 	reads, writes := 0, 0
 	for _, e := range events {
 		if e.Op.String() == "read" {
@@ -98,7 +134,7 @@ func main() {
 			writes++
 		}
 	}
-	fmt.Printf("the attacker observed %d reads and %d writes of opaque ciphertext\n", reads, writes)
+	fmt.Printf("the personal volume's attacker observed %d reads and %d writes of opaque ciphertext\n", reads, writes)
 	fmt.Println("every write landed on a uniformly random block — nothing to correlate")
 }
 

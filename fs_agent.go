@@ -11,13 +11,11 @@ import (
 // key and the data/dummy bitmap; the secret only derives where this
 // user's headers live.
 //
-// Known limitation (pre-dating this surface): the agent's handle
-// table is keyed by pathname, so the same pathname under two
-// different locator secrets cannot be open simultaneously — the
-// second principal sees ErrNotFound until the first closes. This is
-// an availability constraint, not a confidentiality one: the cached
-// handle is never served (nor flushed, nor deleted) across a locator
-// mismatch.
+// The agent's handle table is keyed by (path, locator), so two
+// principals may hold the same pathname open simultaneously — each
+// operates on their own file through the handle this FS was issued at
+// open time, and neither shadows the other. A wrong secret still sees
+// ErrNotFound, indistinguishable from the file not existing.
 type agentFS struct {
 	agent  *NonVolatileAgent
 	secret string
@@ -50,27 +48,29 @@ func (a *agentFS) Create(ctx context.Context, path string) error {
 
 // ensureOpen opens path with the agent unless this FS already did —
 // and revalidates the cached handle against the agent, so a handle
-// closed (or replaced) at the agent level by another FS over the same
-// agent is transparently reopened under this FS's secret instead of
-// failing with a stale-handle error.
-func (a *agentFS) ensureOpen(op, path string) error {
+// closed at the agent level by another FS over the same agent is
+// transparently reopened under this FS's secret instead of failing
+// with a stale-handle error. It returns the handle every subsequent
+// agent call must name: the handle, not the pathname, identifies this
+// principal's file once two locators share a path.
+func (a *agentFS) ensureOpen(op, path string) (*File, error) {
 	a.mu.Lock()
 	known := a.opened[path]
 	a.mu.Unlock()
 	if known != nil && a.agent.HasOpen(path, known) {
-		return nil
+		return known, nil
 	}
 	f, err := a.agent.Open(a.secret, path)
 	if err != nil {
 		a.mu.Lock()
 		delete(a.opened, path)
 		a.mu.Unlock()
-		return pathErr(op, path, err)
+		return nil, pathErr(op, path, err)
 	}
 	a.mu.Lock()
 	a.opened[path] = f
 	a.mu.Unlock()
-	return nil
+	return f, nil
 }
 
 // OpenRead implements FS.
@@ -78,10 +78,11 @@ func (a *agentFS) OpenRead(ctx context.Context, path string) (ReadHandle, error)
 	if err := ctxErr(ctx, "open", path); err != nil {
 		return nil, err
 	}
-	if err := a.ensureOpen("open", path); err != nil {
+	f, err := a.ensureOpen("open", path)
+	if err != nil {
 		return nil, err
 	}
-	return &agentHandle{fs: a, ctx: ctx, path: path}, nil
+	return &agentHandle{fs: a, ctx: ctx, path: path, f: f}, nil
 }
 
 // OpenWrite implements FS.
@@ -89,10 +90,11 @@ func (a *agentFS) OpenWrite(ctx context.Context, path string) (WriteHandle, erro
 	if err := ctxErr(ctx, "open", path); err != nil {
 		return nil, err
 	}
-	if err := a.ensureOpen("open", path); err != nil {
+	f, err := a.ensureOpen("open", path)
+	if err != nil {
 		return nil, err
 	}
-	return &agentHandle{fs: a, ctx: ctx, path: path, save: true}, nil
+	return &agentHandle{fs: a, ctx: ctx, path: path, f: f, save: true}, nil
 }
 
 // Save implements FS. Like every path-keyed operation it goes
@@ -103,10 +105,11 @@ func (a *agentFS) Save(ctx context.Context, path string) error {
 	if err := ctxErr(ctx, "save", path); err != nil {
 		return err
 	}
-	if err := a.ensureOpen("save", path); err != nil {
+	f, err := a.ensureOpen("save", path)
+	if err != nil {
 		return err
 	}
-	return pathErr("save", path, a.agent.Sync(path))
+	return pathErr("save", path, a.agent.SyncHandle(path, f))
 }
 
 // Truncate implements FS.
@@ -114,10 +117,11 @@ func (a *agentFS) Truncate(ctx context.Context, path string, size uint64) error 
 	if err := ctxErr(ctx, "truncate", path); err != nil {
 		return err
 	}
-	if err := a.ensureOpen("truncate", path); err != nil {
+	f, err := a.ensureOpen("truncate", path)
+	if err != nil {
 		return err
 	}
-	return pathErr("truncate", path, a.agent.TruncateCtx(ctx, path, size))
+	return pathErr("truncate", path, a.agent.TruncateHandleCtx(ctx, path, f, size))
 }
 
 // Delete implements FS, opening the file first when needed — like
@@ -126,10 +130,11 @@ func (a *agentFS) Delete(ctx context.Context, path string) error {
 	if err := ctxErr(ctx, "delete", path); err != nil {
 		return err
 	}
-	if err := a.ensureOpen("delete", path); err != nil {
+	f, err := a.ensureOpen("delete", path)
+	if err != nil {
 		return err
 	}
-	if err := a.agent.Delete(path); err != nil {
+	if err := a.agent.DeleteHandle(path, f); err != nil {
 		return pathErr("delete", path, err)
 	}
 	a.mu.Lock()
@@ -154,10 +159,11 @@ func (a *agentFS) statAs(ctx context.Context, op, path string) (FileInfo, error)
 	if err := ctxErr(ctx, op, path); err != nil {
 		return FileInfo{}, err
 	}
-	if err := a.ensureOpen(op, path); err != nil {
+	f, err := a.ensureOpen(op, path)
+	if err != nil {
 		return FileInfo{}, err
 	}
-	size, err := a.agent.Stat(path)
+	size, err := a.agent.StatHandle(path, f)
 	if err != nil {
 		return FileInfo{}, pathErr(op, path, err)
 	}
@@ -191,19 +197,21 @@ func (a *agentFS) CreateDummy(ctx context.Context, path string, _ uint64) error 
 }
 
 // Close implements FS: save and forget every file opened through this
-// FS, returning the first failure.
+// FS — and only this FS's handles, never another principal's under a
+// shared pathname — returning the first failure.
 func (a *agentFS) Close() error {
 	a.mu.Lock()
-	paths := make([]string, 0, len(a.opened))
-	for p := range a.opened {
-		paths = append(paths, p)
-	}
+	opened := a.opened
 	a.opened = map[string]*File{}
 	a.mu.Unlock()
+	paths := make([]string, 0, len(opened))
+	for p := range opened {
+		paths = append(paths, p)
+	}
 	sort.Strings(paths)
 	var firstErr error
 	for _, p := range paths {
-		if err := a.agent.Close(p); err != nil && firstErr == nil {
+		if err := a.agent.CloseHandle(p, opened[p]); err != nil && firstErr == nil {
 			firstErr = pathErr("close", p, err)
 		}
 	}
@@ -211,11 +219,13 @@ func (a *agentFS) Close() error {
 }
 
 // agentHandle is an open file of an agentFS; the context captured at
-// open time governs its reads and writes.
+// open time governs its reads and writes, and the agent-level handle
+// f pins which principal's file the operations touch.
 type agentHandle struct {
 	fs   *agentFS
 	ctx  context.Context
 	path string
+	f    *File
 	save bool
 }
 
@@ -227,7 +237,7 @@ func (h *agentHandle) ReadAt(p []byte, off int64) (int, error) {
 	if err := ctxErr(h.ctx, "read", h.path); err != nil {
 		return 0, err
 	}
-	n, err := h.fs.agent.Read(h.path, p, uint64(off))
+	n, err := h.fs.agent.ReadHandle(h.path, h.f, p, uint64(off))
 	if err != nil {
 		return n, pathErr("read", h.path, err)
 	}
@@ -239,7 +249,7 @@ func (h *agentHandle) WriteAt(p []byte, off int64) (int, error) {
 	if err := checkWriteAt(h.path, off); err != nil {
 		return 0, err
 	}
-	if err := h.fs.agent.WriteCtx(h.ctx, h.path, p, uint64(off)); err != nil {
+	if err := h.fs.agent.WriteHandleCtx(h.ctx, h.path, h.f, p, uint64(off)); err != nil {
 		return 0, pathErr("write", h.path, err)
 	}
 	return len(p), nil
@@ -250,5 +260,5 @@ func (h *agentHandle) Close() error {
 	if !h.save {
 		return nil
 	}
-	return pathErr("close", h.path, h.fs.agent.Sync(h.path))
+	return pathErr("close", h.path, h.fs.agent.SyncHandle(h.path, h.f))
 }

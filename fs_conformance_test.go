@@ -406,6 +406,36 @@ func TestC1CrossPrincipalIsolation(t *testing.T) {
 			if err != nil || string(got) != "alice's secret" {
 				t.Fatalf("alice read back %q err=%v", got, err)
 			}
+
+			// The handle table is keyed by (path, locator), not path:
+			// bob can create his *own* /private while alice's is open,
+			// and the two coexist without shadowing each other.
+			if err := steghide.WriteFile(ctx, bob, "/private", []byte("bob's file")); err != nil {
+				t.Fatalf("bob creating his own /private: %v", err)
+			}
+			got, err = steghide.ReadFile(ctx, bob, "/private")
+			if err != nil || string(got) != "bob's file" {
+				t.Fatalf("bob read back %q err=%v", got, err)
+			}
+			got, err = steghide.ReadFile(ctx, alice, "/private")
+			if err != nil || string(got) != "alice's secret" {
+				t.Fatalf("alice after bob's create: read back %q err=%v", got, err)
+			}
+			// Bob deleting his file touches only his handle; alice's
+			// file — same pathname, different locator — survives.
+			if err := bob.Delete(ctx, "/private"); err != nil {
+				t.Fatalf("bob deleting his own /private: %v", err)
+			}
+			got, err = steghide.ReadFile(ctx, alice, "/private")
+			if err != nil || string(got) != "alice's secret" {
+				t.Fatalf("alice after bob's delete: read back %q err=%v", got, err)
+			}
+			if err := bob.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := alice.Close(); err != nil {
+				t.Fatal(err)
+			}
 		})
 	}
 }

@@ -99,10 +99,11 @@ func (o *obliviousFS) OpenRead(ctx context.Context, path string) (ReadHandle, er
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if _, err := o.ensureOpen("open", path); err != nil {
+	e, err := o.ensureOpen("open", path)
+	if err != nil {
 		return nil, err
 	}
-	return &obliHandle{fs: o, ctx: ctx, path: path}, nil
+	return &obliHandle{fs: o, ctx: ctx, path: path, f: e.f}, nil
 }
 
 // OpenWrite implements FS.
@@ -112,10 +113,11 @@ func (o *obliviousFS) OpenWrite(ctx context.Context, path string) (WriteHandle, 
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if _, err := o.ensureOpen("open", path); err != nil {
+	e, err := o.ensureOpen("open", path)
+	if err != nil {
 		return nil, err
 	}
-	return &obliHandle{fs: o, ctx: ctx, path: path, save: true}, nil
+	return &obliHandle{fs: o, ctx: ctx, path: path, f: e.f, save: true}, nil
 }
 
 // Save implements FS; ensureOpen gates it behind the locator-secret
@@ -126,10 +128,11 @@ func (o *obliviousFS) Save(ctx context.Context, path string) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if _, err := o.ensureOpen("save", path); err != nil {
+	e, err := o.ensureOpen("save", path)
+	if err != nil {
 		return err
 	}
-	return pathErr("save", path, o.agent.Sync(path))
+	return pathErr("save", path, o.agent.SyncHandle(path, e.f))
 }
 
 // Truncate implements FS. A shrink retires the cache ordinal: the
@@ -167,10 +170,11 @@ func (o *obliviousFS) Delete(ctx context.Context, path string) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if _, err := o.ensureOpen("delete", path); err != nil {
+	e, err := o.ensureOpen("delete", path)
+	if err != nil {
 		return err
 	}
-	if err := o.agent.Delete(path); err != nil {
+	if err := o.agent.DeleteHandle(path, e.f); err != nil {
 		return pathErr("delete", path, err)
 	}
 	if e, ok := o.entries[path]; ok {
@@ -197,10 +201,11 @@ func (o *obliviousFS) statAs(ctx context.Context, op, path string) (FileInfo, er
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if _, err := o.ensureOpen(op, path); err != nil {
+	e, err := o.ensureOpen(op, path)
+	if err != nil {
 		return FileInfo{}, err
 	}
-	size, err := o.agent.Stat(path)
+	size, err := o.agent.StatHandle(path, e.f)
 	if err != nil {
 		return FileInfo{}, pathErr(op, path, err)
 	}
@@ -242,7 +247,7 @@ func (o *obliviousFS) Close() error {
 	sort.Strings(paths)
 	var firstErr error
 	for _, p := range paths {
-		if err := o.agent.Close(p); err != nil && firstErr == nil {
+		if err := o.agent.CloseHandle(p, o.entries[p].f); err != nil && firstErr == nil {
 			firstErr = pathErr("close", p, err)
 		}
 		o.cache.Unregister(o.entries[p].ord)
@@ -252,11 +257,14 @@ func (o *obliviousFS) Close() error {
 }
 
 // obliHandle is an open file of an obliviousFS; the context captured
-// at open time governs its reads and writes.
+// at open time governs its reads and writes, and the agent-level
+// handle f pins Close to the file this handle was issued for — a
+// handle outliving its FS must fail, not resurrect the registration.
 type obliHandle struct {
 	fs   *obliviousFS
 	ctx  context.Context
 	path string
+	f    *File
 	save bool
 }
 
@@ -350,10 +358,13 @@ func (o *obliviousFS) writeLocked(ctx context.Context, e *obliEntry, path string
 	return nil
 }
 
-// Close implements io.Closer; write handles flush the block map.
+// Close implements io.Closer; write handles flush the block map —
+// through the handle pinned at open time, so a Close racing (or
+// following) the FS's own Close fails with "not open" instead of
+// silently reopening and re-registering the file.
 func (h *obliHandle) Close() error {
 	if !h.save {
 		return nil
 	}
-	return pathErr("close", h.path, h.fs.agent.Sync(h.path))
+	return pathErr("close", h.path, h.fs.agent.SyncHandle(h.path, h.f))
 }

@@ -10,9 +10,12 @@ import (
 // remoteFS adapts a logged-in agent-protocol connection to the
 // unified FS. The wire layer round-trips sentinel error codes, so
 // errors.Is against ErrNotFound, ErrVolumeFull and friends behaves
-// exactly as it does against a local session; contexts bound each
-// round trip (deadline) and interrupt in-flight frames
-// (cancellation).
+// exactly as it does against a local session. On protocol v2 the
+// connection is multiplexed: concurrent FS calls (and handle
+// reads/writes from many goroutines) pipeline on the one connection
+// instead of lock-stepping, a context deadline bounds each exchange,
+// and cancellation abandons just that request — the connection stays
+// healthy for the rest of the session.
 type remoteFS struct {
 	c       *AgentClient
 	ownConn bool // DialFS owns the connection and closes it
@@ -27,15 +30,24 @@ func NewRemoteFS(c *AgentClient) FS {
 	return &remoteFS{c: c, disclosed: map[string]bool{}}
 }
 
-// DialFS dials an agent server, logs user in, and returns the remote
-// session as an FS. Close logs out and drops the connection —
-// transport lifetime enforcing the volatility property.
+// DialFS dials an agent server, logs user in on the default volume,
+// and returns the remote session as an FS. Close logs out and drops
+// the connection — transport lifetime enforcing the volatility
+// property.
 func DialFS(ctx context.Context, addr, user, passphrase string) (FS, error) {
+	return DialVolumeFS(ctx, addr, "", user, passphrase)
+}
+
+// DialVolumeFS is DialFS against one named volume of a multi-volume
+// agent server (Serve): the volume field of the v2 login frame routes
+// the session. The empty name is the default volume and works
+// against v1 servers too.
+func DialVolumeFS(ctx context.Context, addr, volume, user, passphrase string) (FS, error) {
 	cli, err := wire.DialAgentCtx(ctx, addr)
 	if err != nil {
 		return nil, pathErr("dial", addr, err)
 	}
-	if err := cli.LoginCtx(ctx, user, passphrase); err != nil {
+	if err := cli.LoginVolumeCtx(ctx, volume, user, passphrase); err != nil {
 		cli.Close() //nolint:errcheck // the login error wins
 		return nil, pathErr("login", user, err)
 	}
@@ -211,13 +223,24 @@ func (h *remoteHandle) ReadAt(p []byte, off int64) (int, error) {
 	return n, eofIfShort(n, len(p))
 }
 
-// WriteAt implements io.WriterAt.
+// wireWriteChunk bounds each write frame, mirroring ReadFile's
+// bounded reads: a huge WriteAt becomes several pipelineable frames
+// instead of one frame that could exceed the negotiated limit (which
+// the mux would refuse, and a v1 peer would drop the connection
+// over).
+const wireWriteChunk = 1 << 20
+
+// WriteAt implements io.WriterAt, chunked per wireWriteChunk.
 func (h *remoteHandle) WriteAt(p []byte, off int64) (int, error) {
 	if err := checkWriteAt(h.path, off); err != nil {
 		return 0, err
 	}
-	if err := h.fs.c.WriteCtx(h.ctx, h.path, p, uint64(off)); err != nil {
-		return 0, pathErr("write", h.path, err)
+	for written := 0; written < len(p); {
+		n := min(len(p)-written, wireWriteChunk)
+		if err := h.fs.c.WriteCtx(h.ctx, h.path, p[written:written+n], uint64(off)+uint64(written)); err != nil {
+			return written, pathErr("write", h.path, err)
+		}
+		written += n
 	}
 	return len(p), nil
 }

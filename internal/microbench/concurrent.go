@@ -175,3 +175,108 @@ func ConcurrentClientSuite() []bench {
 	}
 	return out
 }
+
+// Pipelined-vs-lockstep pairing: the same workload — n sessions, each
+// keeping pipeDepth single-block reads in flight on its one
+// connection — driven once through the v1 lock-step client (the
+// connection mutex serializes the depth) and once through the v2 mux
+// (all n×depth requests in flight at once). One op = one read RTT, so
+// ns/op is inverse aggregate wire throughput. Reads are served from
+// the session's open file without touching the Figure-6 scheduler,
+// keeping the comparison transport-bound rather than crypto-bound.
+
+const (
+	pipeDepth      = 8
+	pipeFileBlocks = 8
+)
+
+// pipelineWire builds the fixture and drives n connections × pipeDepth
+// goroutines of single-block reads.
+func pipelineWire(b *testing.B, n int, v1 bool) {
+	blocks := uint64(n*(ccDummyBlocks/2+pipeFileBlocks+16) + 128)
+	vol, err := stegfs.Format(blockdev.NewMem(ccBlockSize, blocks),
+		stegfs.FormatOptions{KDFIterations: 4, FillSeed: []byte("ccp")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent := steghide.NewVolatile(vol, prng.NewFromUint64(9))
+	srv, err := wire.NewAgentServer("127.0.0.1:0", agent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	dial := wire.DialAgent
+	if v1 {
+		dial = wire.DialAgentV1
+	}
+	clients := make([]*wire.Client, n)
+	ps := vol.PayloadSize()
+	data := make([]byte, pipeFileBlocks*ps)
+	for i := range clients {
+		cli, err := dial(srv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cli.Login(fmt.Sprintf("u%02d", i), fmt.Sprintf("pw-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := cli.CreateDummy("/d", ccDummyBlocks/2); err != nil {
+			b.Fatal(err)
+		}
+		if err := cli.Create("/f"); err != nil {
+			b.Fatal(err)
+		}
+		if err := cli.Write("/f", data, 0); err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = cli
+	}
+	defer func() {
+		for _, cli := range clients {
+			cli.Close()
+		}
+	}()
+
+	workers := n * pipeDepth
+	b.SetBytes(int64(ps))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli := clients[w%n]
+			rng := prng.NewFromUint64(uint64(3000 + w))
+			buf := make([]byte, ps)
+			for k := share(b.N, workers, w); k > 0; k-- {
+				off := uint64(rng.Intn(pipeFileBlocks)) * uint64(ps)
+				if _, err := cli.Read("/f", buf, off); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// PipelineSuite returns the paired lockstep/pipelined entries at the
+// acceptance point (16 sessions × deep pipelines) plus a small size.
+func PipelineSuite() []bench {
+	var out []bench
+	for _, n := range []int{4, 16} {
+		n := n
+		out = append(out,
+			bench{
+				name: fmt.Sprintf("wire-pipeline/lockstep-%d", n),
+				fn:   func(b *testing.B) { pipelineWire(b, n, true) },
+			},
+			bench{
+				name: fmt.Sprintf("wire-pipeline/pipelined-%d", n),
+				fn:   func(b *testing.B) { pipelineWire(b, n, false) },
+			},
+		)
+	}
+	return out
+}

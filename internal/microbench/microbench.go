@@ -6,7 +6,10 @@
 // the oblivious reshuffle, a sequential hidden-file scan — and the
 // multi-client scaling curve of the update scheduler
 // (concurrent-clients/local-N and /wire-N: aggregate Figure-6 update
-// throughput at 1/4/16/64 concurrent sessions).
+// throughput at 1/4/16/64 concurrent sessions) — plus the wire
+// protocol's paired pipelining benchmark (wire-pipeline/lockstep-N vs
+// /pipelined-N: the same N-session × 8-deep read workload through the
+// v1 lock-step client and the v2 mux).
 package microbench
 
 import (
@@ -58,7 +61,8 @@ func suite() []bench {
 		{"journal/append", journalAppend},
 		{"journal/recover", journalRecover},
 	}
-	return append(s, ConcurrentClientSuite()...)
+	s = append(s, ConcurrentClientSuite()...)
+	return append(s, PipelineSuite()...)
 }
 
 // Run executes the whole suite and returns the results.

@@ -278,7 +278,7 @@ func (rig *c1CrashRig) phaseB() error {
 		// Delete /c inside the window.
 		func() error {
 			tr.file("/c").mayMiss = true
-			h, err := a.handle("/c")
+			h, err := a.handle("/c", nil)
 			if err != nil {
 				return err
 			}

@@ -39,8 +39,15 @@ type NonVolatileAgent struct {
 	// intents is the journal adapter, nil until EnableJournal.
 	intents *c1Intents
 
+	// files is keyed by pathname and holds one handle per locator
+	// secret: two principals may legitimately own distinct hidden
+	// files under the same pathname (each locator derives its own
+	// header positions), and neither may shadow — or be served — the
+	// other's. Path-only lookups resolve only while the path is
+	// unambiguous; the FS layer disambiguates by passing the handle
+	// it was issued at open time.
 	mu    sync.Mutex
-	files map[string]*fileHandle
+	files map[string][]*fileHandle
 
 	// opMu fences the persistent-memory snapshot against in-flight
 	// Figure-6 work: updates and dummy traffic hold it shared, while
@@ -88,7 +95,7 @@ func NewNonVolatile(vol *stegfs.Volume, secret []byte, rng *prng.PRNG) (*NonVola
 		seal:   seal,
 		key:    key,
 		jkey:   JournalKeyFromSecret(secret, "c1"),
-		files:  map[string]*fileHandle{},
+		files:  map[string][]*fileHandle{},
 	}
 	a.space = sched.NewBitmapSpace(source, seal, rng.Child("figure6"))
 	a.sched = sched.New(vol, a.space)
@@ -125,75 +132,126 @@ func (a *NonVolatileAgent) fileFAK(locatorSecret, path string) stegfs.FAK {
 
 // Create creates a hidden file for the user identified by
 // locatorSecret. The agent retains the open handle until Close.
+// Another principal's open file under the same pathname does not
+// collide: handles are keyed by (path, locator).
 func (a *NonVolatileAgent) Create(locatorSecret, path string) (*stegfs.File, error) {
+	fak := a.fileFAK(locatorSecret, path)
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if _, open := a.files[path]; open {
-		return nil, fmt.Errorf("steghide: %q already open", path)
+	for _, h := range a.files[path] {
+		if h.f.SameLocator(fak) {
+			return nil, fmt.Errorf("steghide: %q already open", path)
+		}
 	}
-	f, err := stegfs.CreateFile(a.vol, a.fileFAK(locatorSecret, path), path, a.source)
+	f, err := stegfs.CreateFile(a.vol, fak, path, a.source)
 	if err != nil {
 		return nil, err
 	}
-	a.files[path] = &fileHandle{f: f}
+	a.files[path] = append(a.files[path], &fileHandle{f: f})
 	return f, nil
 }
 
 // Open opens an existing hidden file. A cached handle is served only
 // to a caller presenting the locator secret it was opened with: the
-// locator is Construction 1's one per-user credential, and a
-// path-keyed cache must not become a way around it — a wrong secret
-// sees ErrNotFound, indistinguishable from the file not existing.
+// locator is Construction 1's one per-user credential, and the handle
+// cache must not become a way around it — a wrong secret falls
+// through to the on-disk lookup and sees ErrNotFound,
+// indistinguishable from the file not existing. Handles are keyed by
+// (path, locator), so two principals may hold the same pathname open
+// simultaneously without shadowing each other.
 func (a *NonVolatileAgent) Open(locatorSecret, path string) (*stegfs.File, error) {
 	fak := a.fileFAK(locatorSecret, path)
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if h, open := a.files[path]; open {
-		if !h.f.SameLocator(fak) {
-			return nil, stegfs.ErrNotFound
+	for _, h := range a.files[path] {
+		if h.f.SameLocator(fak) {
+			return h.f, nil
 		}
-		return h.f, nil
 	}
 	f, err := stegfs.OpenFile(a.vol, fak, path, a.source)
 	if err != nil {
 		return nil, err
 	}
-	a.files[path] = &fileHandle{f: f}
+	a.files[path] = append(a.files[path], &fileHandle{f: f})
 	return f, nil
 }
 
 // HasOpen reports whether path is currently open with exactly the
 // given handle — the cheap revalidation an FS-layer cache needs to
-// notice the agent-level handle was closed (or replaced by another
-// principal's open) underneath it, without re-deriving any keys.
+// notice the agent-level handle was closed underneath it, without
+// re-deriving any keys.
 func (a *NonVolatileAgent) HasOpen(path string, f *stegfs.File) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	h, open := a.files[path]
-	return open && h.f == f
+	for _, h := range a.files[path] {
+		if h.f == f {
+			return true
+		}
+	}
+	return false
 }
 
-// handle looks up an open file's handle.
-func (a *NonVolatileAgent) handle(path string) (*fileHandle, error) {
+// handle resolves (path, f) to the open handle. f == nil selects by
+// path alone, which works only while the path is unambiguous — the
+// compatibility mode for single-principal callers; with two
+// principals holding the same pathname open, a path-only operation
+// cannot tell whose file it means and fails.
+func (a *NonVolatileAgent) handle(path string, f *stegfs.File) (*fileHandle, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	h, open := a.files[path]
-	if !open {
-		return nil, fmt.Errorf("steghide: %q not open", path)
+	hs := a.files[path]
+	if f == nil {
+		switch len(hs) {
+		case 0:
+			return nil, fmt.Errorf("steghide: %q not open", path)
+		case 1:
+			return hs[0], nil
+		default:
+			return nil, fmt.Errorf("steghide: %q open under %d locators; operate through the handle", path, len(hs))
+		}
 	}
-	return h, nil
+	for _, h := range hs {
+		if h.f == f {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("steghide: %q not open", path)
 }
 
-// Close saves and forgets an open file.
-func (a *NonVolatileAgent) Close(path string) error {
+// drop removes (path, f)'s handle from the table, returning it; like
+// handle, f == nil selects by path only while the path is unambiguous
+// and reports the ambiguity otherwise.
+func (a *NonVolatileAgent) drop(path string, f *stegfs.File) (*fileHandle, error) {
 	a.mu.Lock()
-	h, open := a.files[path]
-	if open {
-		delete(a.files, path)
+	defer a.mu.Unlock()
+	hs := a.files[path]
+	if f == nil && len(hs) > 1 {
+		return nil, fmt.Errorf("steghide: %q open under %d locators; operate through the handle", path, len(hs))
 	}
-	a.mu.Unlock()
-	if !open {
-		return fmt.Errorf("steghide: %q not open", path)
+	for i, h := range hs {
+		if f == nil || h.f == f {
+			rest := append(hs[:i:i], hs[i+1:]...)
+			if len(rest) == 0 {
+				delete(a.files, path)
+			} else {
+				a.files[path] = rest
+			}
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("steghide: %q not open", path)
+}
+
+// Close saves and forgets an open file (path-only compatibility form;
+// see CloseHandle).
+func (a *NonVolatileAgent) Close(path string) error { return a.CloseHandle(path, nil) }
+
+// CloseHandle saves and forgets the open file (path, f); f == nil
+// selects by path while the path is unambiguous.
+func (a *NonVolatileAgent) CloseHandle(path string, f *stegfs.File) error {
+	h, err := a.drop(path, f)
+	if err != nil {
+		return err
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -201,18 +259,17 @@ func (a *NonVolatileAgent) Close(path string) error {
 	return h.f.Close()
 }
 
-// Delete removes an open file and forgets its handle; the released
-// blocks rejoin the bitmap's dummy pool, their ciphertext staying in
-// place as plausible cover.
-func (a *NonVolatileAgent) Delete(path string) error {
-	a.mu.Lock()
-	h, open := a.files[path]
-	if open {
-		delete(a.files, path)
-	}
-	a.mu.Unlock()
-	if !open {
-		return fmt.Errorf("steghide: %q not open", path)
+// Delete removes an open file and forgets its handle (path-only
+// compatibility form; see DeleteHandle).
+func (a *NonVolatileAgent) Delete(path string) error { return a.DeleteHandle(path, nil) }
+
+// DeleteHandle removes the open file (path, f) and forgets its
+// handle; the released blocks rejoin the bitmap's dummy pool, their
+// ciphertext staying in place as plausible cover.
+func (a *NonVolatileAgent) DeleteHandle(path string, f *stegfs.File) error {
+	h, err := a.drop(path, f)
+	if err != nil {
+		return err
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -221,7 +278,7 @@ func (a *NonVolatileAgent) Delete(path string) error {
 }
 
 // Files lists the agent's open paths in sorted order, so listings are
-// stable across runs.
+// stable across runs. A path two principals hold open appears once.
 func (a *NonVolatileAgent) Files() []string {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -233,9 +290,43 @@ func (a *NonVolatileAgent) Files() []string {
 	return out
 }
 
+// CloseAll saves and forgets every open handle — every principal's —
+// returning the first failure. This is the teardown path: Close(path)
+// cannot name one principal's handle once a path is shared.
+func (a *NonVolatileAgent) CloseAll() error {
+	a.mu.Lock()
+	var all []*fileHandle
+	paths := make([]string, 0, len(a.files))
+	for p := range a.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		all = append(all, a.files[p]...)
+	}
+	a.files = map[string][]*fileHandle{}
+	a.mu.Unlock()
+	var firstErr error
+	for _, h := range all {
+		h.mu.Lock()
+		h.closed = true
+		err := h.f.Close()
+		h.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Stat reports the current size of an open file.
 func (a *NonVolatileAgent) Stat(path string) (uint64, error) {
-	h, err := a.handle(path)
+	return a.StatHandle(path, nil)
+}
+
+// StatHandle is Stat for the specific open handle (path, f).
+func (a *NonVolatileAgent) StatHandle(path string, f *stegfs.File) (uint64, error) {
+	h, err := a.handle(path, f)
 	if err != nil {
 		return 0, err
 	}
@@ -260,7 +351,12 @@ func (a *NonVolatileAgent) Write(path string, data []byte, off uint64) error {
 // Figure-6 loop. Blocks already updated when the context fires keep
 // their new content; the cached map stays consistent.
 func (a *NonVolatileAgent) WriteCtx(ctx context.Context, path string, data []byte, off uint64) error {
-	h, err := a.handle(path)
+	return a.WriteHandleCtx(ctx, path, nil, data, off)
+}
+
+// WriteHandleCtx is WriteCtx for the specific open handle (path, f).
+func (a *NonVolatileAgent) WriteHandleCtx(ctx context.Context, path string, f *stegfs.File, data []byte, off uint64) error {
+	h, err := a.handle(path, f)
 	if err != nil {
 		return err
 	}
@@ -282,7 +378,13 @@ func (a *NonVolatileAgent) Truncate(path string, size uint64) error {
 // TruncateCtx is Truncate honoring the context at the scheduler's
 // wait point.
 func (a *NonVolatileAgent) TruncateCtx(ctx context.Context, path string, size uint64) error {
-	h, err := a.handle(path)
+	return a.TruncateHandleCtx(ctx, path, nil, size)
+}
+
+// TruncateHandleCtx is TruncateCtx for the specific open handle
+// (path, f).
+func (a *NonVolatileAgent) TruncateHandleCtx(ctx context.Context, path string, f *stegfs.File, size uint64) error {
+	h, err := a.handle(path, f)
 	if err != nil {
 		return err
 	}
@@ -294,8 +396,11 @@ func (a *NonVolatileAgent) TruncateCtx(ctx context.Context, path string, size ui
 }
 
 // Sync flushes an open file's cached block map to the volume.
-func (a *NonVolatileAgent) Sync(path string) error {
-	h, err := a.handle(path)
+func (a *NonVolatileAgent) Sync(path string) error { return a.SyncHandle(path, nil) }
+
+// SyncHandle is Sync for the specific open handle (path, f).
+func (a *NonVolatileAgent) SyncHandle(path string, f *stegfs.File) error {
+	h, err := a.handle(path, f)
 	if err != nil {
 		return err
 	}
@@ -308,7 +413,12 @@ func (a *NonVolatileAgent) Sync(path string) error {
 
 // Read reads len(p) bytes at offset off of an open file.
 func (a *NonVolatileAgent) Read(path string, p []byte, off uint64) (int, error) {
-	h, err := a.handle(path)
+	return a.ReadHandle(path, nil, p, off)
+}
+
+// ReadHandle is Read for the specific open handle (path, f).
+func (a *NonVolatileAgent) ReadHandle(path string, f *stegfs.File, p []byte, off uint64) (int, error) {
+	h, err := a.handle(path, f)
 	if err != nil {
 		return 0, err
 	}

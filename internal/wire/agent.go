@@ -2,42 +2,110 @@ package wire
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"steghide/internal/steghide"
 )
 
-// AgentServer exposes a volatile agent (Construction 2) to clients
-// over TCP. Each connection is one user's channel; the login state is
+// AgentServer exposes volatile agents (Construction 2) to clients
+// over TCP. One daemon fronts a fleet of volumes: each mounted volume
+// is registered under a name, and msgLogin picks the volume the
+// connection's session lives on (the empty name is the default
+// volume, which is all a v1 client can reach).
+//
+// Each connection is one user's channel; the login state is
 // connection-scoped, and dropping the connection logs the user out —
 // the volatility property, enforced by transport lifetime.
 //
-// Connections are served concurrently, and since the agent's update
-// path is itself concurrent (the per-volume scheduler in
+// Connections are served concurrently, and on protocol v2 so are the
+// requests *within* one connection: a bounded worker pool overlaps a
+// session's in-flight calls (the per-volume scheduler in
 // internal/sched merges all sessions' intents into one uniformly
-// random stream), simultaneous requests from different users overlap
-// their crypto and storage I/O instead of lock-stepping through an
-// agent-wide mutex. Requests on a single connection are processed in
-// order — one user's operations keep their sequential semantics.
+// random stream, so overlapping is safe), with backpressure once the
+// pool's queue fills. A v1 connection keeps the lock-step in-order
+// semantics it always had.
 type AgentServer struct {
-	agent *steghide.VolatileAgent
-	ln    net.Listener
-	wg    sync.WaitGroup
+	vmu     sync.RWMutex
+	volumes map[string]*steghide.VolatileAgent
+	ln      net.Listener
+	wg      sync.WaitGroup
+
+	maxFrame uint64
+	forceV1  bool // interop knob: behave like a pre-v2 server
 }
 
-// NewAgentServer starts serving the agent on addr.
+// NewAgentServer starts serving a single agent on addr as the default
+// (unnamed) volume.
 func NewAgentServer(addr string, agent *steghide.VolatileAgent) (*AgentServer, error) {
+	return NewMultiAgentServer(addr, map[string]*steghide.VolatileAgent{"": agent})
+}
+
+// NewMultiAgentServer starts one daemon serving every agent in
+// volumes, keyed by the volume name clients pass at login. An entry
+// under the empty name is the default volume.
+func NewMultiAgentServer(addr string, volumes map[string]*steghide.VolatileAgent) (*AgentServer, error) {
+	return newAgentServer(addr, volumes, maxBodySize, false)
+}
+
+// newAgentServer is the option-carrying core; the knobs (frame limit
+// offer, pinned-v1 behavior) must be fixed before the accept loop can
+// hand a connection to them.
+func newAgentServer(addr string, volumes map[string]*steghide.VolatileAgent, maxFrame uint64, forceV1 bool) (*AgentServer, error) {
+	if len(volumes) == 0 {
+		return nil, fmt.Errorf("wire: agent server needs at least one volume")
+	}
+	vols := make(map[string]*steghide.VolatileAgent, len(volumes))
+	for name, agent := range volumes {
+		if agent == nil {
+			return nil, fmt.Errorf("wire: volume %q has no agent", name)
+		}
+		vols[name] = agent
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
-	s := &AgentServer{agent: agent, ln: ln}
+	s := &AgentServer{volumes: vols, ln: ln, maxFrame: maxFrame, forceV1: forceV1}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// AddVolume registers another mounted volume under name while the
+// server runs; it fails if the name is taken.
+func (s *AgentServer) AddVolume(name string, agent *steghide.VolatileAgent) error {
+	if agent == nil {
+		return fmt.Errorf("wire: volume %q has no agent", name)
+	}
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	if _, taken := s.volumes[name]; taken {
+		return fmt.Errorf("wire: volume %q already served", name)
+	}
+	s.volumes[name] = agent
+	return nil
+}
+
+// Volumes lists the served volume names, sorted.
+func (s *AgentServer) Volumes() []string {
+	s.vmu.RLock()
+	defer s.vmu.RUnlock()
+	out := make([]string, 0, len(s.volumes))
+	for name := range s.volumes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup resolves a volume name to its agent.
+func (s *AgentServer) lookup(name string) *steghide.VolatileAgent {
+	s.vmu.RLock()
+	defer s.vmu.RUnlock()
+	return s.volumes[name]
 }
 
 // Addr returns the server's listen address.
@@ -61,68 +129,93 @@ func (s *AgentServer) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			s.serve(conn)
+			st := &connSession{}
+			cs := &connServer{conn: conn, maxFrame: s.maxFrame, forceV1: s.forceV1}
+			cs.serve(func(ctx context.Context, req frame, limit uint64) frame {
+				return s.handle(ctx, req, st, limit)
+			})
+			// Transport lifetime enforces volatility: the connection
+			// dropping logs the user out, flushing disclosed files.
+			if sess, agent, user := st.get(); sess != nil {
+				agent.Logout(user) //nolint:errcheck // best-effort cleanup
+			}
 		}()
 	}
 }
 
-func (s *AgentServer) serve(conn net.Conn) {
-	var session *steghide.Session
-	var user string
-	defer func() {
-		if session != nil {
-			s.agent.Logout(user) //nolint:errcheck // best-effort cleanup
-		}
-	}()
-	for {
-		req, err := readFrame(conn)
-		if err != nil {
-			return
-		}
-		resp := s.handle(req, &session, &user)
-		if err := writeFrame(conn, resp); err != nil {
-			return
-		}
-	}
+// connSession is one connection's login state. Workers serving
+// pipelined requests share it, so access is mutex-guarded; the
+// session object itself is safe for concurrent use (PR 2's scheduler
+// merges all its I/O into the volume's update stream).
+type connSession struct {
+	mu    sync.Mutex
+	sess  *steghide.Session
+	user  string
+	agent *steghide.VolatileAgent
 }
 
-func (s *AgentServer) handle(req frame, session **steghide.Session, user *string) frame {
+func (st *connSession) get() (*steghide.Session, *steghide.VolatileAgent, string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sess, st.agent, st.user
+}
+
+func (s *AgentServer) handle(ctx context.Context, req frame, st *connSession, limit uint64) frame {
+	if err := ctx.Err(); err != nil {
+		return errFrame(fmt.Errorf("wire: %w", err))
+	}
 	d := &decoder{b: req.Body}
 	switch req.Type {
 	case msgLogin:
-		if *session != nil {
-			return errFrame(fmt.Errorf("wire: already logged in"))
-		}
 		u := d.str()
 		pass := d.str()
+		volume := ""
+		if d.err == nil && len(d.b) > 0 {
+			// v2 logins name a volume; v1 bodies end after the
+			// passphrase and land on the default volume.
+			volume = d.str()
+		}
 		if d.err != nil {
 			return errFrame(d.err)
 		}
-		sess, err := s.agent.LoginWithPassphrase(u, pass)
+		agent := s.lookup(volume)
+		if agent == nil {
+			return errFrame(fmt.Errorf("%w: %q", ErrUnknownVolume, volume))
+		}
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.sess != nil {
+			return errFrame(fmt.Errorf("wire: already logged in"))
+		}
+		sess, err := agent.LoginWithPassphrase(u, pass)
 		if err != nil {
 			return errFrame(err)
 		}
-		*session = sess
-		*user = u
+		st.sess = sess
+		st.user = u
+		st.agent = agent
 		return frame{Type: msgOK}
 
 	case msgLogout:
-		if *session == nil {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.sess == nil {
 			return errFrame(steghide.ErrUnknownUser)
 		}
-		err := s.agent.Logout(*user)
-		*session = nil
-		*user = ""
+		err := st.agent.Logout(st.user)
+		st.sess = nil
+		st.user = ""
+		st.agent = nil
 		if err != nil {
 			return errFrame(err)
 		}
 		return frame{Type: msgOK}
 	}
 
-	if *session == nil {
+	sess, _, _ := st.get()
+	if sess == nil {
 		return errFrame(fmt.Errorf("wire: not logged in"))
 	}
-	sess := *session
 	switch req.Type {
 	case msgCreate:
 		path := d.str()
@@ -166,7 +259,7 @@ func (s *AgentServer) handle(req frame, session **steghide.Session, user *string
 		if d.err != nil {
 			return errFrame(d.err)
 		}
-		if n > maxBodySize {
+		if n > limit {
 			return errFrame(fmt.Errorf("wire: read of %d bytes exceeds limit", n))
 		}
 		buf := make([]byte, n)
@@ -182,7 +275,7 @@ func (s *AgentServer) handle(req frame, session **steghide.Session, user *string
 		if d.err != nil {
 			return errFrame(d.err)
 		}
-		if err := sess.Write(path, data, off); err != nil {
+		if err := sess.WriteCtx(ctx, path, data, off); err != nil {
 			return errFrame(err)
 		}
 		return frame{Type: msgOK}
@@ -210,7 +303,7 @@ func (s *AgentServer) handle(req frame, session **steghide.Session, user *string
 		if d.err != nil {
 			return errFrame(d.err)
 		}
-		if err := sess.Truncate(path, size); err != nil {
+		if err := sess.TruncateCtx(ctx, path, size); err != nil {
 			return errFrame(err)
 		}
 		return frame{Type: msgOK}
@@ -227,36 +320,14 @@ func (s *AgentServer) handle(req frame, session **steghide.Session, user *string
 	}
 }
 
-// ErrConnBroken reports a client whose connection was desynced by an
-// interrupted call (context cancellation or transport fault mid
-// frame); every further call fails until the caller redials. Without
-// this latch a later request would silently pair with the stale
-// reply of the interrupted one.
-var ErrConnBroken = errors.New("wire: connection broken by an interrupted call; redial")
-
-// Client is a user's connection to an AgentServer.
+// Client is a user's connection to an AgentServer. It is safe for
+// concurrent use: on a v2 connection every method call is one
+// pipelined in-flight request, and cancelling one call's context
+// abandons just that request — the connection stays healthy. On a v1
+// (lock-step) connection calls serialize, and an interrupted call
+// latches the connection broken (ErrConnBroken) exactly as before.
 type Client struct {
-	conn   net.Conn
-	mu     sync.Mutex
-	broken bool // guarded by mu — a queued call must see the latch
-}
-
-// do runs one round trip, latching the broken flag when an
-// interrupted call leaves the frame stream out of sync. The latch is
-// checked and set inside the connection's critical section: a call
-// that was already queued behind the interrupted one re-checks after
-// acquiring the mutex, so it cannot run on the desynced stream.
-func (c *Client) do(ctx context.Context, req frame) (frame, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.broken {
-		return frame{}, ErrConnBroken
-	}
-	resp, desynced, err := callLocked(ctx, c.conn, req)
-	if desynced {
-		c.broken = true
-	}
-	return resp, err
+	m *muxConn
 }
 
 // DialAgent connects to an agent server.
@@ -265,35 +336,74 @@ func DialAgent(addr string) (*Client, error) {
 }
 
 // DialAgentCtx is DialAgent honoring the context while the
-// connection is being established.
+// connection is established and the protocol version negotiated.
 func DialAgentCtx(ctx context.Context, addr string) (*Client, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	m, err := dialMux(ctx, addr, maxBodySize, false)
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial: %w", err)
+		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return &Client{m: m}, nil
+}
+
+// DialAgentV1 connects speaking the lock-step v1 protocol only — the
+// compatibility client for pre-v2 servers (and the lock-step arm of
+// the paired pipelining benchmark).
+func DialAgentV1(addr string) (*Client, error) {
+	m, err := dialMux(context.Background(), addr, maxBodySize, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{m: m}, nil
+}
+
+// ProtoVersion reports the negotiated protocol version (1 or 2).
+func (c *Client) ProtoVersion() int { return c.m.protoVersion() }
+
+// do runs one exchange on the mux.
+func (c *Client) do(ctx context.Context, req frame) (frame, error) {
+	return c.m.call(ctx, req)
 }
 
 // Close drops the connection (logging the user out server-side).
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error { return c.m.close() }
 
 // Every operation has a context-honoring form; the plain methods are
 // the same call under context.Background(). The context's deadline
-// bounds the whole round trip and cancellation interrupts an
-// in-flight frame (after which the connection is out of frame sync
-// and must be dropped — the server logs the user out, preserving the
-// volatility property).
+// bounds the whole round trip; cancellation abandons the in-flight
+// request (sending msgCancel so the server stops working on it) and,
+// on protocol v2, leaves the connection healthy for other calls.
 
-// Login authenticates the connection's user.
+// Login authenticates the connection's user on the default volume.
 func (c *Client) Login(user, passphrase string) error {
 	return c.LoginCtx(context.Background(), user, passphrase)
 }
 
 // LoginCtx is Login honoring the context at the wire wait point.
 func (c *Client) LoginCtx(ctx context.Context, user, passphrase string) error {
+	return c.LoginVolumeCtx(ctx, "", user, passphrase)
+}
+
+// LoginVolume authenticates the connection's user on the named volume
+// of a multi-volume server (the empty name is the default volume).
+func (c *Client) LoginVolume(volume, user, passphrase string) error {
+	return c.LoginVolumeCtx(context.Background(), volume, user, passphrase)
+}
+
+// LoginVolumeCtx is LoginVolume honoring the context at the wire wait
+// point. Logins to the default volume omit the volume field, so they
+// stay byte-compatible with v1 servers; a named volume requires a v2
+// server and fails with ErrRemote against a v1 peer.
+func (c *Client) LoginVolumeCtx(ctx context.Context, volume, user, passphrase string) error {
+	if volume != "" && c.m.v1 {
+		// A v1 server would silently ignore the trailing volume field
+		// and log the user into the default volume — refuse instead.
+		return fmt.Errorf("wire: volume login requires protocol v2 (peer speaks v1)")
+	}
 	e := &encoder{}
 	e.str(user).str(passphrase)
+	if volume != "" {
+		e.str(volume)
+	}
 	_, err := c.do(ctx, frame{Type: msgLogin, Body: e.b})
 	return err
 }
@@ -441,7 +551,9 @@ func (c *Client) FilesCtx(ctx context.Context) ([]string, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	if n > maxBodySize/8 {
+	// The entry count cannot exceed what the (already size-bounded)
+	// body can hold, so a lying count cannot drive the allocation.
+	if n > uint64(len(d.b))/8 {
 		return nil, fmt.Errorf("wire: listing of %d entries out of bounds", n)
 	}
 	paths := make([]string, 0, n)

@@ -1,0 +1,417 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrConnBroken reports a client connection desynced by a transport
+// fault (or, on a v1 lock-step connection, by an interrupted call);
+// every further call fails until the caller redials. Protocol v2
+// removed the cancellation case from this latch: a cancelled v2 call
+// abandons only its own request ID — the demux reader discards the
+// late reply by ID — so the connection stays healthy.
+var ErrConnBroken = errors.New("wire: connection broken; redial")
+
+// errConnClosed reports calls after a local Close.
+var errConnClosed = errors.New("wire: connection closed")
+
+// muxSendQueue bounds the writer goroutine's mailbox; callers block
+// (honoring their contexts) when it is full.
+const muxSendQueue = 64
+
+// muxConn is one client connection to a wire server, in either of two
+// modes decided by the hello handshake at dial time:
+//
+//   - v2 (multiplexed): every call gets a request ID and a reply
+//     channel; a writer goroutine serializes frames onto the socket
+//     and a demux reader routes replies to their channels by ID, so
+//     any number of calls from any goroutines are concurrently in
+//     flight on one connection. Context cancellation sends msgCancel
+//     and abandons just that request.
+//   - v1 (lock-step): the peer predates the hello frame; a mutex
+//     serializes whole round trips, and an interrupted call latches
+//     the connection broken exactly as protocol v1 always did.
+type muxConn struct {
+	conn     net.Conn
+	maxFrame uint64 // negotiated body limit (v1: maxBodySize)
+	v1       bool
+
+	// --- v1 lock-step state --------------------------------------
+	lmu     sync.Mutex
+	lbroken bool // guarded by lmu — a queued call must see the latch
+
+	// --- v2 mux state --------------------------------------------
+	sendq    chan frame
+	quit     chan struct{} // closed by Close
+	dead     chan struct{} // closed when reader/writer hit a fault
+	deadOnce sync.Once
+	quitOnce sync.Once
+
+	mu      sync.Mutex
+	err     error // first transport fault, wrapped in ErrConnBroken
+	pending map[uint32]chan frame
+	nextID  uint32
+}
+
+// dialMux connects to addr and runs the hello handshake: a v2 answer
+// starts the mux goroutines, a msgErr answer (an old server rejecting
+// the unknown frame type) falls back to lock-step v1. forceV1 skips
+// the handshake entirely and speaks v1 — the interop knob a client
+// pinned to the old protocol uses.
+func dialMux(ctx context.Context, addr string, proposeMax uint64, forceV1 bool) (*muxConn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	m, err := newMux(ctx, conn, proposeMax, forceV1)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// newMux runs the handshake on an established connection.
+func newMux(ctx context.Context, conn net.Conn, proposeMax uint64, forceV1 bool) (*muxConn, error) {
+	if proposeMax == 0 || proposeMax > maxBodySize {
+		proposeMax = maxBodySize
+	}
+	if forceV1 {
+		return &muxConn{conn: conn, maxFrame: maxBodySize, v1: true}, nil
+	}
+	// The handshake itself is one lock-step round trip, bounded by
+	// the dial context.
+	stop := watchCtx(ctx, conn)
+	resp, err := func() (frame, error) {
+		if err := writeFrame(conn, frame{Type: msgHello, Body: helloBody(protoV2, proposeMax)}); err != nil {
+			return frame{}, err
+		}
+		return readFrame(conn, maxBodySize)
+	}()
+	if cerr := stop(); cerr != nil {
+		return nil, fmt.Errorf("wire: %w", cerr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Type {
+	case msgHello:
+		version, theirMax, err := decodeHello(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if version < protoV2 {
+			// A server that answers hello but pins v1: lock-step.
+			return &muxConn{conn: conn, maxFrame: maxBodySize, v1: true}, nil
+		}
+		m := &muxConn{
+			conn:     conn,
+			maxFrame: min(proposeMax, theirMax),
+			sendq:    make(chan frame, muxSendQueue),
+			quit:     make(chan struct{}),
+			dead:     make(chan struct{}),
+			pending:  map[uint32]chan frame{},
+		}
+		go m.writeLoop()
+		go m.readLoop()
+		return m, nil
+	case msgErr:
+		// A v1 server rejecting the unknown frame type — it is still
+		// in frame sync (it answered), so speak v1 on the same
+		// connection.
+		return &muxConn{conn: conn, maxFrame: maxBodySize, v1: true}, nil
+	default:
+		return nil, fmt.Errorf("wire: unexpected hello reply type %#x", resp.Type)
+	}
+}
+
+// protoVersion reports the negotiated protocol version.
+func (m *muxConn) protoVersion() int {
+	if m.v1 {
+		return protoV1
+	}
+	return protoV2
+}
+
+// call runs one request/reply exchange. On a v2 connection it
+// pipelines with every other in-flight call; ctx cancellation
+// abandons only this request (a best-effort msgCancel tells the
+// server to stop working on it) and the connection stays usable. On
+// a v1 connection it is the classic lock-step round trip with the
+// broken-connection latch.
+func (m *muxConn) call(ctx context.Context, req frame) (frame, error) {
+	if uint64(len(req.Body)) > m.maxFrame {
+		// Refuse before anything hits the wire: the peer would reject
+		// the frame unread and drop the connection, killing every
+		// other in-flight call for one oversized request.
+		return frame{}, fmt.Errorf("%w: request of %d bytes (limit %d)", ErrFrameTooBig, len(req.Body), m.maxFrame)
+	}
+	if m.v1 {
+		return m.callV1(ctx, req)
+	}
+	if err := ctx.Err(); err != nil {
+		return frame{}, fmt.Errorf("wire: %w", err)
+	}
+	ch := make(chan frame, 1)
+	id, err := m.register(ch)
+	if err != nil {
+		return frame{}, err
+	}
+	req.ID = id
+	select {
+	case m.sendq <- req:
+	case <-ctx.Done():
+		m.unregister(id)
+		return frame{}, fmt.Errorf("wire: %w", ctx.Err())
+	case <-m.dead:
+		m.unregister(id)
+		return frame{}, m.brokenErr()
+	case <-m.quit:
+		m.unregister(id)
+		return frame{}, errConnClosed
+	}
+	select {
+	case resp := <-ch:
+		if resp.Type == msgErr {
+			return frame{}, decodeRemoteError(resp.Body)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		// Abandon this request only: drop the pending entry (the
+		// demux reader discards the late reply by ID) and tell the
+		// server, best effort, to stop working on it.
+		if m.unregister(id) {
+			select {
+			case m.sendq <- frame{Type: msgCancel, ID: id}:
+			default: // writer saturated — the reply will be discarded anyway
+			}
+		}
+		// Else the reply raced the cancellation and won; the exchange
+		// completed intact, but the operation still reports the
+		// cancellation (matching the v1 semantics for a round trip
+		// that finished as the context fired).
+		return frame{}, fmt.Errorf("wire: %w", ctx.Err())
+	case <-m.dead:
+		// The reader may have delivered the reply just before dying.
+		if resp, ok := m.take(ch); ok {
+			if resp.Type == msgErr {
+				return frame{}, decodeRemoteError(resp.Body)
+			}
+			return resp, nil
+		}
+		m.unregister(id)
+		return frame{}, m.brokenErr()
+	case <-m.quit:
+		m.unregister(id)
+		return frame{}, errConnClosed
+	}
+}
+
+// take drains a buffered reply if one was delivered.
+func (m *muxConn) take(ch chan frame) (frame, bool) {
+	select {
+	case resp := <-ch:
+		return resp, true
+	default:
+		return frame{}, false
+	}
+}
+
+// register allocates a request ID and parks its reply channel.
+func (m *muxConn) register(ch chan frame) (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrConnBroken, m.err)
+	}
+	for {
+		m.nextID++
+		if m.nextID == 0 { // 0 is the v1 wildcard; never assign it
+			m.nextID = 1
+		}
+		if _, busy := m.pending[m.nextID]; !busy {
+			break
+		}
+	}
+	id := m.nextID
+	m.pending[id] = ch
+	return id, nil
+}
+
+// unregister forgets a pending request, reporting whether it was
+// still pending (false: the reader already delivered its reply).
+func (m *muxConn) unregister(id uint32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, was := m.pending[id]
+	delete(m.pending, id)
+	return was
+}
+
+// writeLoop is the single writer: it serializes frames from every
+// caller onto the socket, so concurrent calls never interleave bytes.
+func (m *muxConn) writeLoop() {
+	for {
+		select {
+		case f := <-m.sendq:
+			if err := writeFrame(m.conn, f); err != nil {
+				m.fail(err)
+				return
+			}
+		case <-m.quit:
+			return
+		}
+	}
+}
+
+// readLoop is the demux reader: it routes every reply to the pending
+// channel its ID names. A reply whose ID is unknown belongs to a
+// cancelled (abandoned) request and is discarded — this is what keeps
+// a cancelled call from desyncing the stream.
+func (m *muxConn) readLoop() {
+	for {
+		f, err := readFrame(m.conn, m.maxFrame)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		m.mu.Lock()
+		ch := m.pending[f.ID]
+		delete(m.pending, f.ID)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// fail latches the first transport fault and wakes every waiter.
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.mu.Unlock()
+	m.deadOnce.Do(func() { close(m.dead) })
+	m.conn.Close() // unblock the sibling loop
+}
+
+// brokenErr reports the latched transport fault. A fault caused by
+// the local Close reports as a plain close, not a broken connection.
+func (m *muxConn) brokenErr() error {
+	select {
+	case <-m.quit:
+		return errConnClosed
+	default:
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fmt.Errorf("%w: %v", ErrConnBroken, m.err)
+}
+
+// close tears the connection down; in v2 mode the loops exit via the
+// quit channel and the socket close.
+func (m *muxConn) close() error {
+	if m.v1 {
+		return m.conn.Close()
+	}
+	m.quitOnce.Do(func() { close(m.quit) })
+	return m.conn.Close()
+}
+
+// --- v1 lock-step ------------------------------------------------------
+
+// callV1 is the classic one-at-a-time round trip. The broken latch is
+// checked and set inside the connection's critical section: a call
+// that was queued behind an interrupted one re-checks after acquiring
+// the mutex, so it cannot run on the desynced stream.
+func (m *muxConn) callV1(ctx context.Context, req frame) (frame, error) {
+	m.lmu.Lock()
+	defer m.lmu.Unlock()
+	if m.lbroken {
+		return frame{}, ErrConnBroken
+	}
+	resp, desynced, err := callLocked(ctx, m.conn, req)
+	if desynced {
+		m.lbroken = true
+	}
+	return resp, err
+}
+
+// callLocked is one lock-step round trip; the caller holds the
+// connection's mutex. The returned desynced flag reports that the
+// request may have reached the peer but its reply was not (fully)
+// consumed — the stream is out of frame sync and the connection must
+// not carry another call (a later request would pair with the stale
+// reply). Cancellation *before* the request is sent leaves the stream
+// healthy.
+func callLocked(ctx context.Context, conn net.Conn, req frame) (resp frame, desynced bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return frame{}, false, fmt.Errorf("wire: %w", err)
+	}
+	stop := watchCtx(ctx, conn)
+	resp, ioErr := func() (frame, error) {
+		if err := writeFrame(conn, req); err != nil {
+			return frame{}, err
+		}
+		return readFrame(conn, maxBodySize)
+	}()
+	cerr := stop()
+	if ioErr != nil {
+		// Any I/O failure after the request started leaves the frame
+		// stream unusable, whether the cause was the context firing or
+		// a transport fault.
+		if cerr != nil {
+			return frame{}, true, fmt.Errorf("wire: %w", cerr)
+		}
+		return frame{}, true, ioErr
+	}
+	if cerr != nil {
+		// The context fired but the round trip completed intact: the
+		// stream is still in sync; the operation still reports the
+		// cancellation.
+		return frame{}, false, fmt.Errorf("wire: %w", cerr)
+	}
+	if resp.Type == msgErr {
+		return frame{}, false, decodeRemoteError(resp.Body)
+	}
+	return resp, false, nil
+}
+
+// watchCtx arms conn with ctx's deadline and interrupts in-flight I/O
+// on cancellation. The returned stop undoes both and reports the
+// context's error if it fired. stop waits for the watcher goroutine
+// to exit before clearing the deadline, so a watcher that raced the
+// call's completion cannot expire the deadline afterwards and poison
+// the connection's next call.
+func watchCtx(ctx context.Context, conn net.Conn) func() error {
+	if ctx.Done() == nil {
+		return func() error { return nil }
+	}
+	if d, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(d) //nolint:errcheck // best-effort bound
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-ctx.Done():
+			// Expire the deadline to unblock the frame read/write.
+			conn.SetDeadline(time.Now()) //nolint:errcheck
+		case <-done:
+		}
+	}()
+	return func() error {
+		close(done)
+		<-exited
+		conn.SetDeadline(time.Time{}) //nolint:errcheck
+		return ctx.Err()
+	}
+}

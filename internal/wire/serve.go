@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Worker-pool geometry shared by both servers: each connection gets
+// its own bounded pool, and the reader blocks once the queue fills —
+// backpressure propagates to the client through TCP flow control
+// instead of unbounded buffering.
+const (
+	connWorkers  = 8
+	connQueueLen = 16
+)
+
+// handlerFunc serves one request frame. On v2 connections it runs on
+// a pool worker, concurrently with the connection's other in-flight
+// requests; ctx is cancelled when the client sends msgCancel for this
+// request (or the connection is torn down). On v1 connections it runs
+// inline on the read loop with an always-live ctx. limit is the
+// connection's negotiated frame bound — reply bodies must stay under
+// it, or a conforming peer will (rightly) drop the connection.
+type handlerFunc func(ctx context.Context, req frame, limit uint64) frame
+
+// connServer drives one accepted connection through version
+// negotiation and then the appropriate frame loop.
+type connServer struct {
+	conn     net.Conn
+	maxFrame uint64 // server's offer; lowered to the negotiated value
+	forceV1  bool   // interop knob: behave like a pre-v2 server
+
+	wmu sync.Mutex // one reply frame at a time on the socket
+}
+
+// job is one dispatched request with its cancellation handle.
+type job struct {
+	req    frame
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// serve negotiates and runs the connection until it drops. handle is
+// the protocol logic; it must be safe for concurrent use.
+func (cs *connServer) serve(handle handlerFunc) {
+	// The first frame decides the protocol. Pre-negotiation the v1
+	// ceiling applies — a v1 peer's first frame may legitimately be a
+	// full-size batch write.
+	first, err := readFrame(cs.conn, maxBodySize)
+	if err != nil {
+		return
+	}
+	if first.Type == msgHello && !cs.forceV1 {
+		version, theirMax, err := decodeHello(first.Body)
+		if err != nil {
+			cs.write(frame{Type: msgErr, ID: first.ID, Body: errFrame(err).Body})
+			return
+		}
+		if version >= protoV2 {
+			negotiated := min(cs.maxFrame, theirMax)
+			cs.maxFrame = negotiated
+			if err := cs.write(frame{Type: msgHello, ID: first.ID, Body: helloBody(protoV2, negotiated)}); err != nil {
+				return
+			}
+			cs.serveV2(handle)
+			return
+		}
+		// A v1-pinned client that still speaks hello: acknowledge and
+		// fall through to lock-step.
+		if err := cs.write(frame{Type: msgHello, ID: first.ID, Body: helloBody(protoV1, maxBodySize)}); err != nil {
+			return
+		}
+		cs.serveV1(nil, handle)
+		return
+	}
+	if first.Type == msgHello {
+		// forceV1: answer exactly like a pre-v2 server — an error for
+		// the unknown frame type — and keep serving lock-step. This is
+		// the downgrade signal v2 dialers key on.
+		if err := cs.write(errFrameID(first.ID, fmt.Errorf("wire: unknown message type %#x", first.Type))); err != nil {
+			return
+		}
+		cs.serveV1(nil, handle)
+		return
+	}
+	// No hello: a v1 client. Serve its first frame, then loop.
+	cs.serveV1(&first, handle)
+}
+
+// serveV1 is the lock-step loop: one request, one reply, in order.
+func (cs *connServer) serveV1(first *frame, handle handlerFunc) {
+	ctx := context.Background()
+	if first != nil {
+		resp := handle(ctx, *first, maxBodySize)
+		resp.ID = first.ID
+		if err := cs.write(resp); err != nil {
+			return
+		}
+	}
+	for {
+		req, err := readFrame(cs.conn, maxBodySize)
+		if err != nil {
+			return
+		}
+		resp := handle(ctx, req, maxBodySize)
+		resp.ID = req.ID
+		if err := cs.write(resp); err != nil {
+			return
+		}
+	}
+}
+
+// serveV2 is the pipelined loop: the reader dispatches requests to a
+// bounded worker pool and keeps reading, so a connection's requests
+// overlap; replies carry the request ID and may complete out of
+// order. msgCancel is handled inline on the reader — it overtakes
+// work sitting in the job queue and cancels the named request's
+// context whether queued or mid-handler. (Under full backpressure —
+// queue full, reader blocked on dispatch — cancels wait in the TCP
+// buffer behind the blocked frame like everything else; the client
+// does not depend on delivery, since it discards the late reply by
+// ID either way.)
+func (cs *connServer) serveV2(handle handlerFunc) {
+	connCtx, cancelAll := context.WithCancel(context.Background())
+	defer cancelAll()
+
+	var (
+		imu      sync.Mutex
+		inflight = map[uint32]context.CancelFunc{}
+	)
+	jobs := make(chan job, connQueueLen)
+	var wg sync.WaitGroup
+	for i := 0; i < connWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				resp := handle(j.ctx, j.req, cs.maxFrame)
+				resp.ID = j.req.ID
+				imu.Lock()
+				delete(inflight, j.req.ID)
+				imu.Unlock()
+				j.cancel()
+				if err := cs.write(resp); err != nil {
+					// The socket is gone: cancel everything and close
+					// the conn so the blocked reader exits too.
+					cancelAll()
+					cs.conn.Close()
+				}
+			}
+		}()
+	}
+	defer wg.Wait()
+	defer close(jobs)
+
+	for {
+		req, err := readFrame(cs.conn, cs.maxFrame)
+		if err != nil {
+			return
+		}
+		if req.Type == msgCancel {
+			imu.Lock()
+			cancel := inflight[req.ID]
+			imu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+			continue // cancels get no reply; the request itself answers
+		}
+		jctx, jcancel := context.WithCancel(connCtx)
+		imu.Lock()
+		_, dup := inflight[req.ID]
+		if !dup {
+			inflight[req.ID] = jcancel
+		}
+		imu.Unlock()
+		if dup {
+			// A conforming client never reuses an in-flight ID.
+			// Letting it through would leave one request uncancellable
+			// and pair two replies with one ID at the peer — and any
+			// reply we send now would carry the live ID and poison the
+			// original call. A protocol violation this deep has no
+			// in-band answer: drop the connection.
+			jcancel()
+			return
+		}
+		select {
+		case jobs <- job{req: req, ctx: jctx, cancel: jcancel}:
+		case <-connCtx.Done():
+			jcancel()
+			return
+		}
+	}
+}
+
+// write sends one frame under the writer lock.
+func (cs *connServer) write(f frame) error {
+	cs.wmu.Lock()
+	defer cs.wmu.Unlock()
+	return writeFrame(cs.conn, f)
+}
+
+// errFrameID is errFrame with the reply ID stamped.
+func errFrameID(id uint32, err error) frame {
+	f := errFrame(err)
+	f.ID = id
+	return f
+}

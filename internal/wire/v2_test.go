@@ -1,0 +1,640 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/prng"
+	"steghide/internal/stegfs"
+	"steghide/internal/steghide"
+)
+
+// slowDevice wraps a device so every single-block op costs a fixed
+// latency — an RTT-bound backend that makes pipelining visible even
+// on a single CPU.
+type slowDevice struct {
+	blockdev.Device
+	delay time.Duration
+}
+
+func (s *slowDevice) ReadBlock(i uint64, buf []byte) error {
+	time.Sleep(s.delay)
+	return s.Device.ReadBlock(i, buf)
+}
+
+func (s *slowDevice) WriteBlock(i uint64, data []byte) error {
+	time.Sleep(s.delay)
+	return s.Device.WriteBlock(i, data)
+}
+
+// Batched ops charge one latency per batch (like one seek), keeping
+// fixture setup (volume format fill) out of the per-op cost.
+func (s *slowDevice) ReadBlocks(start uint64, bufs [][]byte) error {
+	time.Sleep(s.delay)
+	return blockdev.ReadBlocks(s.Device, start, bufs)
+}
+
+func (s *slowDevice) WriteBlocks(start uint64, data [][]byte) error {
+	time.Sleep(s.delay)
+	return blockdev.WriteBlocks(s.Device, start, data)
+}
+
+func (s *slowDevice) ReadBlocksAt(idx []uint64, bufs [][]byte) error {
+	time.Sleep(s.delay)
+	return blockdev.ReadBlocksAt(s.Device, idx, bufs)
+}
+
+func (s *slowDevice) WriteBlocksAt(idx []uint64, data [][]byte) error {
+	time.Sleep(s.delay)
+	return blockdev.WriteBlocksAt(s.Device, idx, data)
+}
+
+// --- interop matrix ----------------------------------------------------
+
+// interopStorage runs the storage protocol across one client/server
+// version pairing and asserts the negotiated version.
+func interopStorage(t *testing.T, serverV1, clientV1 bool, wantProto int) {
+	t.Helper()
+	mem := blockdev.NewMem(256, 64)
+	srv, err := newStorageServer("127.0.0.1:0", mem, nil, maxBodySize, serverV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dial := DialStorage
+	if clientV1 {
+		dial = DialStorageV1
+	}
+	dev, err := dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if got := dev.ProtoVersion(); got != wantProto {
+		t.Fatalf("negotiated protocol %d, want %d", got, wantProto)
+	}
+	data := prng.NewFromUint64(7).Bytes(256)
+	if err := dev.WriteBlock(9, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 256)
+	if err := dev.ReadBlock(9, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+	// Batches must interop too (they chunk by the negotiated limit).
+	bufs := blockdev.AllocBlocks(8, 256)
+	if err := blockdev.ReadBlocks(dev, 4, bufs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// interopAgent runs the agent protocol across one version pairing.
+func interopAgent(t *testing.T, serverV1, clientV1 bool, wantProto int) {
+	t.Helper()
+	vol, err := stegfs.Format(blockdev.NewMem(256, 2048),
+		stegfs.FormatOptions{KDFIterations: 4, FillSeed: []byte("iop")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := steghide.NewVolatile(vol, prng.NewFromUint64(5))
+	srv, err := newAgentServer("127.0.0.1:0",
+		map[string]*steghide.VolatileAgent{"": agent}, maxBodySize, serverV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dial := DialAgent
+	if clientV1 {
+		dial = DialAgentV1
+	}
+	cli, err := dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if got := cli.ProtoVersion(); got != wantProto {
+		t.Fatalf("negotiated protocol %d, want %d", got, wantProto)
+	}
+	if err := cli.Login("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.CreateDummy("/d", 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	msg := prng.NewFromUint64(9).Bytes(500)
+	if err := cli.Write("/f", msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if n, err := cli.Read("/f", got, 0); err != nil || n != len(msg) {
+		t.Fatalf("read %d, %v", n, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("content mismatch")
+	}
+	// Error taxonomy must survive whichever protocol carried it.
+	if _, _, err := cli.Disclose("/nope"); !errors.Is(err, stegfs.ErrNotFound) {
+		t.Fatalf("want ErrNotFound across the wire, got %v", err)
+	}
+	if err := cli.Logout(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInteropMatrix pins both directions of v1↔v2 compatibility on
+// both protocols: a v2 client downgrades against a v1 server, a v1
+// client is served lock-step by a v2 server, and v2↔v2 negotiates the
+// mux.
+func TestInteropMatrix(t *testing.T) {
+	cases := []struct {
+		name               string
+		serverV1, clientV1 bool
+		want               int
+	}{
+		{"v2-client/v2-server", false, false, protoV2},
+		{"v2-client/v1-server", true, false, protoV1},
+		{"v1-client/v2-server", false, true, protoV1},
+		{"v1-client/v1-server", true, true, protoV1},
+	}
+	for _, tc := range cases {
+		t.Run("storage/"+tc.name, func(t *testing.T) {
+			interopStorage(t, tc.serverV1, tc.clientV1, tc.want)
+		})
+		t.Run("agent/"+tc.name, func(t *testing.T) {
+			interopAgent(t, tc.serverV1, tc.clientV1, tc.want)
+		})
+	}
+}
+
+// TestMultiVolumeServing pins the tentpole's fleet mode: one daemon,
+// several independent volumes, routed by the login's volume name.
+func TestMultiVolumeServing(t *testing.T) {
+	mkAgent := func(seed string) *steghide.VolatileAgent {
+		vol, err := stegfs.Format(blockdev.NewMem(256, 2048),
+			stegfs.FormatOptions{KDFIterations: 4, FillSeed: []byte(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return steghide.NewVolatile(vol, prng.New([]byte(seed)))
+	}
+	srv, err := NewMultiAgentServer("127.0.0.1:0", map[string]*steghide.VolatileAgent{
+		"":     mkAgent("default"),
+		"red":  mkAgent("red"),
+		"blue": mkAgent("blue"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.Volumes(); len(got) != 3 {
+		t.Fatalf("volumes %v", got)
+	}
+
+	store := func(volume, path string, msg []byte) {
+		cli, err := DialAgent(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		if err := cli.LoginVolume(volume, "alice", "pw"); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.CreateDummy("/d", 16); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Create(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Write(path, msg, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Logout(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	redMsg := []byte("red volume secret")
+	blueMsg := []byte("blue volume secret")
+	store("red", "/s", redMsg)
+	store("blue", "/s", blueMsg)
+
+	// Same user, same path, different volumes: different files.
+	check := func(volume string, want []byte) {
+		cli, err := DialAgent(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		if err := cli.LoginVolume(volume, "alice", "pw"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cli.Disclose("/s"); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(want))
+		if _, err := cli.Read("/s", got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("volume %q served %q, want %q", volume, got, want)
+		}
+	}
+	check("red", redMsg)
+	check("blue", blueMsg)
+
+	// The default volume never saw /s.
+	cli, err := DialAgent(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Login("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cli.Disclose("/s"); !errors.Is(err, stegfs.ErrNotFound) {
+		t.Fatalf("default volume leaked another volume's file: %v", err)
+	}
+
+	// An unknown volume is a typed, sentinel-coded failure.
+	cli2, err := DialAgent(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	if err := cli2.LoginVolume("green", "alice", "pw"); !errors.Is(err, ErrUnknownVolume) {
+		t.Fatalf("want ErrUnknownVolume, got %v", err)
+	}
+	// The failed login must not poison the connection (v2: no latch).
+	if err := cli2.LoginVolume("red", "alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrameSizeLimit pins the negotiated max-frame bound: a declared
+// body over the limit is rejected with the typed error before any
+// allocation.
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frame{Type: msgOK, Body: make([]byte, 4096)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(&buf, 1024); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("want ErrFrameTooBig, got %v", err)
+	}
+	// A hostile header declaring a huge length fails identically —
+	// without the length check this would try to allocate 2^50 bytes.
+	hostile := make([]byte, headerSize)
+	hostile[8] = 0x04 // length = 2^50
+	if _, err := readFrame(bytes.NewReader(hostile), maxBodySize); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("want ErrFrameTooBig for hostile length, got %v", err)
+	}
+	// Under the limit passes.
+	buf.Reset()
+	if err := writeFrame(&buf, frame{Type: msgOK, ID: 42, Body: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(&buf, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != msgOK || f.ID != 42 || string(f.Body) != "ok" {
+		t.Fatalf("frame %+v", f)
+	}
+}
+
+// TestNegotiatedLimitChunksBatches proves a small server-side frame
+// limit propagates through the hello and the client chunks its
+// batches accordingly instead of tripping the bound.
+func TestNegotiatedLimitChunksBatches(t *testing.T) {
+	mem := blockdev.NewMem(512, 256)
+	// 8 KiB limit: a 64-block batch cannot fit one frame.
+	srv, err := newStorageServer("127.0.0.1:0", mem, nil, 8<<10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dev, err := DialStorage(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if dev.m.maxFrame != 8<<10 {
+		t.Fatalf("negotiated limit %d, want %d", dev.m.maxFrame, 8<<10)
+	}
+	data := blockdev.AllocBlocks(64, 512)
+	for i, b := range data {
+		for j := range b {
+			b[j] = byte(i ^ j)
+		}
+	}
+	if err := blockdev.WriteBlocks(dev, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got := blockdev.AllocBlocks(64, 512)
+	if err := blockdev.ReadBlocks(dev, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatalf("chunked batch diverges at %d", i)
+		}
+	}
+}
+
+// TestOversizedRequestRefusedLocally: a request body over the
+// negotiated limit is refused client-side with the typed error before
+// anything hits the wire — the connection (and its other in-flight
+// calls) stays healthy instead of being torn down by the peer's
+// frame-bound rejection.
+func TestOversizedRequestRefusedLocally(t *testing.T) {
+	mem := blockdev.NewMem(512, 64)
+	srv, err := newStorageServer("127.0.0.1:0", mem, nil, 8<<10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dev, err := DialStorage(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	huge := frame{Type: msgWriteBlock, Body: make([]byte, 16<<10)}
+	if _, err := dev.m.call(context.Background(), huge); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("want ErrFrameTooBig, got %v", err)
+	}
+	// The connection still works.
+	buf := make([]byte, 512)
+	if err := dev.ReadBlock(1, buf); err != nil {
+		t.Fatalf("connection unhealthy after refused request: %v", err)
+	}
+}
+
+// --- cancellation under load -------------------------------------------
+
+// TestCancelUnderLoad is the tentpole's cancellation contract: 64
+// concurrent in-flight calls on one connection, half cancelled
+// mid-flight; the survivors complete correctly and the connection
+// stays healthy — no broken latch, next call works.
+func TestCancelUnderLoad(t *testing.T) {
+	slow := &slowDevice{Device: blockdev.NewMem(256, 4096), delay: 2 * time.Millisecond}
+	vol, err := stegfs.Format(slow, stegfs.FormatOptions{KDFIterations: 4, FillSeed: []byte("cul")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := steghide.NewVolatile(vol, prng.NewFromUint64(11))
+	srv, err := NewAgentServer("127.0.0.1:0", agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := DialAgent(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if cli.ProtoVersion() != protoV2 {
+		t.Fatal("test needs a v2 connection")
+	}
+	if err := cli.Login("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.CreateDummy("/d", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	ps := vol.PayloadSize()
+	content := prng.NewFromUint64(12).Bytes(4 * ps)
+	if err := cli.Write("/f", content, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const calls = 64
+	type result struct {
+		canceled bool
+		err      error
+		got      []byte
+	}
+	results := make([]result, calls)
+	cancels := make([]context.CancelFunc, calls)
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels[i] = cancel
+		wg.Add(1)
+		go func(i int, ctx context.Context) {
+			defer wg.Done()
+			buf := make([]byte, ps)
+			off := uint64(i%4) * uint64(ps)
+			_, err := cli.ReadCtx(ctx, "/f", buf, off)
+			results[i] = result{canceled: i%2 == 1, err: err, got: buf}
+		}(i, ctx)
+	}
+	// Let the pool fill, then cancel every odd call mid-flight.
+	time.Sleep(5 * time.Millisecond)
+	for i := 1; i < calls; i += 2 {
+		cancels[i]()
+	}
+	wg.Wait()
+	for i := 0; i < calls; i += 2 {
+		cancels[i]()
+	}
+
+	for i, r := range results {
+		if errors.Is(r.err, ErrConnBroken) {
+			t.Fatalf("call %d hit the broken latch: %v", i, r.err)
+		}
+		if r.canceled {
+			// A cancelled call either reports the cancellation or — if
+			// its reply won the race — nothing; it must never report a
+			// transport fault.
+			if r.err != nil && !errors.Is(r.err, context.Canceled) {
+				t.Fatalf("cancelled call %d: %v", i, r.err)
+			}
+			continue
+		}
+		if r.err != nil {
+			t.Fatalf("surviving call %d failed: %v", i, r.err)
+		}
+		off := (i % 4) * ps
+		if !bytes.Equal(r.got, content[off:off+ps]) {
+			t.Fatalf("surviving call %d read wrong content", i)
+		}
+	}
+
+	// The connection is still healthy: fresh calls work, no redial.
+	buf := make([]byte, ps)
+	if _, err := cli.Read("/f", buf, 0); err != nil {
+		t.Fatalf("connection unhealthy after cancellations: %v", err)
+	}
+	if !bytes.Equal(buf, content[:ps]) {
+		t.Fatal("post-cancel read returned wrong content")
+	}
+	if err := cli.Logout(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- pipelined vs lock-step --------------------------------------------
+
+// runReads drives total single-block reads from depth goroutines.
+func runReads(t *testing.T, dev *RemoteDevice, depth, total int) time.Duration {
+	t.Helper()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, depth)
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, dev.BlockSize())
+			for i := w; i < total; i += depth {
+				if err := dev.ReadBlock(uint64(i%64), buf); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// TestPipelineSpeedup asserts the acceptance bound on an RTT-bound
+// backend: with a per-op device latency dominating the cost (the Sim
+// role — on a 1-vCPU container CPU-bound crypto would flatten a
+// Mem-only comparison), a v2 client pipelining 8-deep over one
+// connection must beat the lock-step v1 client by ≥3× on the same
+// workload. The nominal ratio is ~8 (the pool width); 3 leaves CI
+// scheduling plenty of slack.
+func TestPipelineSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	slow := &slowDevice{Device: blockdev.NewMem(256, 64), delay: 2 * time.Millisecond}
+	srv, err := NewStorageServer("127.0.0.1:0", slow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const depth, total = 8, 96
+
+	v1, err := DialStorageV1(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	lockstep := runReads(t, v1, depth, total)
+
+	v2, err := DialStorage(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	pipelined := runReads(t, v2, depth, total)
+
+	ratio := float64(lockstep) / float64(pipelined)
+	t.Logf("lock-step %v, pipelined %v: %.1fx", lockstep, pipelined, ratio)
+	if ratio < 3 {
+		t.Fatalf("pipelining speedup %.2fx < 3x (lock-step %v, pipelined %v)", ratio, lockstep, pipelined)
+	}
+}
+
+// TestV2SingleConnOrdering: one goroutine's sequential calls on a v2
+// connection still observe their own writes (each call completes
+// before the next is issued, pipelining or not).
+func TestV2SingleConnOrdering(t *testing.T) {
+	mem := blockdev.NewMem(128, 32)
+	srv, err := NewStorageServer("127.0.0.1:0", mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dev, err := DialStorage(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	buf := make([]byte, 128)
+	for i := 0; i < 20; i++ {
+		data := prng.NewFromUint64(uint64(i)).Bytes(128)
+		if err := dev.WriteBlock(3, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.ReadBlock(3, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data) {
+			t.Fatalf("iteration %d: read does not see own write", i)
+		}
+	}
+}
+
+// TestV1InterruptStillLatches pins the retained v1 semantics: on a
+// lock-step connection an interrupted in-flight call still latches
+// ErrConnBroken (the desync is real there — no IDs to discard by).
+func TestV1InterruptStillLatches(t *testing.T) {
+	slow := &slowDevice{Device: blockdev.NewMem(256, 4096), delay: 20 * time.Millisecond}
+	vol, err := stegfs.Format(slow, stegfs.FormatOptions{KDFIterations: 4, FillSeed: []byte("lch")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := steghide.NewVolatile(vol, prng.NewFromUint64(13))
+	srv, err := NewAgentServer("127.0.0.1:0", agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := DialAgentV1(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Login("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.CreateDummy("/d", 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 2*vol.PayloadSize())
+	if err := cli.Write("/f", big, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	buf := make([]byte, len(big))
+	if _, err := cli.ReadCtx(ctx, "/f", buf, 0); err == nil {
+		t.Fatal("interrupted call succeeded")
+	}
+	if _, err := cli.Read("/f", buf, 0); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("v1 interrupted call must latch ErrConnBroken, got %v", err)
+	}
+}
+

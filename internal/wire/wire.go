@@ -9,331 +9,31 @@
 //     protocol carries only block indices and ciphertext, and an
 //     optional tap publishes every request to a Tracer — the
 //     wire-level traffic-analysis attacker's view.
-//   - AgentServer exposes a volatile agent (Construction 2) to
-//     clients: login, disclose, create, read, write, logout. In a real
-//     deployment this channel would be TLS; the protocol layer is
-//     orthogonal to the constructions being reproduced.
+//   - AgentServer exposes volatile agents (Construction 2) to
+//     clients: login (naming one of the served volumes), disclose,
+//     create, read, write, logout. In a real deployment this channel
+//     would be TLS; the protocol layer is orthogonal to the
+//     constructions being reproduced.
 //
-// The framing is deliberately simple: fixed 16-byte header (type,
-// flags, length) followed by a binary body, all big-endian.
+// The framing is a fixed 16-byte header (type, request ID, length)
+// followed by a binary body, all big-endian. Protocol v2 multiplexes:
+// every frame carries a request ID, clients keep any number of calls
+// in flight on one connection, servers work them on a bounded pool
+// and reply out of order, and msgCancel abandons one request without
+// touching the rest. The first frame negotiates the version and the
+// maximum frame size; v1 peers (no hello, or rejecting it) get the
+// classic lock-step protocol on the same port.
 package wire
 
 import (
 	"context"
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"steghide/internal/blockdev"
-	"steghide/internal/stegfs"
-	"steghide/internal/steghide"
 )
-
-// Message types.
-const (
-	// Storage protocol.
-	msgReadBlock  = 0x01
-	msgWriteBlock = 0x02
-	msgDevInfo    = 0x03
-	// Batched storage protocol: a whole block range (or index set) per
-	// round trip, so remote batch cost is one network latency instead
-	// of one per block.
-	msgReadBlocks    = 0x04
-	msgWriteBlocks   = 0x05
-	msgReadBlocksAt  = 0x06
-	msgWriteBlocksAt = 0x07
-	// Agent protocol.
-	msgLogin       = 0x10
-	msgLogout      = 0x11
-	msgCreate      = 0x12
-	msgCreateDummy = 0x13
-	msgDisclose    = 0x14
-	msgRead        = 0x15
-	msgWrite       = 0x16
-	msgSave        = 0x17
-	msgDelete      = 0x18
-	msgList        = 0x19
-	msgTruncate    = 0x1A
-	// Replies.
-	msgOK  = 0x70
-	msgErr = 0x7F
-)
-
-// Error codes carried in msgErr bodies so the sentinel errors of the
-// file layer survive the wire: errors.Is against ErrNotFound,
-// ErrVolumeFull, ErrNoDummySpace and friends works on a remote client
-// exactly as it does against a local agent, instead of every remote
-// failure collapsing to an opaque string. Code 0 is a plain error.
-const (
-	codeGeneric      = 0
-	codeNotFound     = 1
-	codeVolumeFull   = 2
-	codeNoDummySpace = 3
-	codeNotDisclosed = 4
-	codeUnknownUser  = 5
-)
-
-// errCode tags err with the sentinel code the peer should rebuild.
-func errCode(err error) uint64 {
-	switch {
-	case errors.Is(err, stegfs.ErrNotFound):
-		return codeNotFound
-	case errors.Is(err, stegfs.ErrVolumeFull):
-		return codeVolumeFull
-	case errors.Is(err, steghide.ErrNoDummySpace):
-		return codeNoDummySpace
-	case errors.Is(err, steghide.ErrNotDisclosed):
-		return codeNotDisclosed
-	case errors.Is(err, steghide.ErrUnknownUser):
-		return codeUnknownUser
-	default:
-		return codeGeneric
-	}
-}
-
-// codeSentinel maps a wire code back to the sentinel it names.
-func codeSentinel(code uint64) error {
-	switch code {
-	case codeNotFound:
-		return stegfs.ErrNotFound
-	case codeVolumeFull:
-		return stegfs.ErrVolumeFull
-	case codeNoDummySpace:
-		return steghide.ErrNoDummySpace
-	case codeNotDisclosed:
-		return steghide.ErrNotDisclosed
-	case codeUnknownUser:
-		return steghide.ErrUnknownUser
-	default:
-		return nil
-	}
-}
-
-// remoteError is a peer-reported failure. It unwraps to ErrRemote
-// and, when the peer tagged a sentinel code, to that sentinel too.
-type remoteError struct {
-	sentinel error
-	msg      string
-}
-
-func (e *remoteError) Error() string { return "wire: remote error: " + e.msg }
-
-func (e *remoteError) Unwrap() []error {
-	if e.sentinel == nil {
-		return []error{ErrRemote}
-	}
-	return []error{ErrRemote, e.sentinel}
-}
-
-// decodeRemoteError rebuilds a peer's msgErr body: code plus message.
-func decodeRemoteError(body []byte) error {
-	d := &decoder{b: body}
-	code := d.u64()
-	msg := d.str()
-	if d.err != nil {
-		// A malformed error body still reports as a remote failure.
-		return fmt.Errorf("%w: %s", ErrRemote, body)
-	}
-	return &remoteError{sentinel: codeSentinel(code), msg: msg}
-}
-
-const (
-	headerSize  = 16
-	maxBodySize = 64 << 20 // defensive bound on a frame body
-)
-
-// ErrRemote carries an error string returned by the peer.
-var ErrRemote = errors.New("wire: remote error")
-
-// frame is one protocol message.
-type frame struct {
-	Type uint32
-	Body []byte
-}
-
-func writeFrame(w io.Writer, f frame) error {
-	var hdr [headerSize]byte
-	binary.BigEndian.PutUint32(hdr[0:], f.Type)
-	binary.BigEndian.PutUint64(hdr[8:], uint64(len(f.Body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
-	}
-	if len(f.Body) > 0 {
-		if _, err := w.Write(f.Body); err != nil {
-			return fmt.Errorf("wire: write body: %w", err)
-		}
-	}
-	return nil
-}
-
-func readFrame(r io.Reader) (frame, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return frame{}, err
-	}
-	n := binary.BigEndian.Uint64(hdr[8:])
-	if n > maxBodySize {
-		return frame{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
-	}
-	f := frame{Type: binary.BigEndian.Uint32(hdr[0:])}
-	if n > 0 {
-		f.Body = make([]byte, n)
-		if _, err := io.ReadFull(r, f.Body); err != nil {
-			return frame{}, fmt.Errorf("wire: read body: %w", err)
-		}
-	}
-	return f, nil
-}
-
-// call sends a request and decodes the reply, translating msgErr.
-func call(conn net.Conn, mu *sync.Mutex, req frame) (frame, error) {
-	resp, _, err := callCtx(context.Background(), conn, mu, req)
-	return resp, err
-}
-
-// callCtx is call honoring the context at the wire wait point: the
-// context's deadline bounds the whole round trip, and cancellation
-// interrupts an in-flight frame by expiring the connection deadline.
-// The returned desynced flag reports that the request may have
-// reached the peer but its reply was not (fully) consumed — the
-// stream is out of frame sync and the connection must not carry
-// another call (a later request would pair with the stale reply).
-// Cancellation *before* the request is sent leaves the stream
-// healthy.
-func callCtx(ctx context.Context, conn net.Conn, mu *sync.Mutex, req frame) (resp frame, desynced bool, err error) {
-	mu.Lock()
-	defer mu.Unlock()
-	return callLocked(ctx, conn, req)
-}
-
-// callLocked is callCtx's core; the caller holds the connection's
-// mutex (Client.do locks it itself so the broken-latch check and the
-// round trip are one critical section).
-func callLocked(ctx context.Context, conn net.Conn, req frame) (resp frame, desynced bool, err error) {
-	if err := ctx.Err(); err != nil {
-		return frame{}, false, fmt.Errorf("wire: %w", err)
-	}
-	stop := watchCtx(ctx, conn)
-	resp, ioErr := func() (frame, error) {
-		if err := writeFrame(conn, req); err != nil {
-			return frame{}, err
-		}
-		return readFrame(conn)
-	}()
-	cerr := stop()
-	if ioErr != nil {
-		// Any I/O failure after the request started leaves the frame
-		// stream unusable, whether the cause was the context firing or
-		// a transport fault.
-		if cerr != nil {
-			return frame{}, true, fmt.Errorf("wire: %w", cerr)
-		}
-		return frame{}, true, ioErr
-	}
-	if cerr != nil {
-		// The context fired but the round trip completed intact: the
-		// stream is still in sync; the operation still reports the
-		// cancellation.
-		return frame{}, false, fmt.Errorf("wire: %w", cerr)
-	}
-	if resp.Type == msgErr {
-		return frame{}, false, decodeRemoteError(resp.Body)
-	}
-	return resp, false, nil
-}
-
-// watchCtx arms conn with ctx's deadline and interrupts in-flight I/O
-// on cancellation. The returned stop undoes both and reports the
-// context's error if it fired. stop waits for the watcher goroutine
-// to exit before clearing the deadline, so a watcher that raced the
-// call's completion cannot expire the deadline afterwards and poison
-// the connection's next call.
-func watchCtx(ctx context.Context, conn net.Conn) func() error {
-	if ctx.Done() == nil {
-		return func() error { return nil }
-	}
-	if d, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(d) //nolint:errcheck // best-effort bound
-	}
-	done := make(chan struct{})
-	exited := make(chan struct{})
-	go func() {
-		defer close(exited)
-		select {
-		case <-ctx.Done():
-			// Expire the deadline to unblock the frame read/write.
-			conn.SetDeadline(time.Now()) //nolint:errcheck
-		case <-done:
-		}
-	}()
-	return func() error {
-		close(done)
-		<-exited
-		conn.SetDeadline(time.Time{}) //nolint:errcheck
-		return ctx.Err()
-	}
-}
-
-// encoder builds binary bodies.
-type encoder struct{ b []byte }
-
-func (e *encoder) u64(v uint64) *encoder {
-	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], v)
-	e.b = append(e.b, tmp[:]...)
-	return e
-}
-
-func (e *encoder) str(s string) *encoder {
-	e.u64(uint64(len(s)))
-	e.b = append(e.b, s...)
-	return e
-}
-
-func (e *encoder) bytes(p []byte) *encoder {
-	e.u64(uint64(len(p)))
-	e.b = append(e.b, p...)
-	return e
-}
-
-// decoder parses binary bodies.
-type decoder struct {
-	b   []byte
-	err error
-}
-
-func (d *decoder) u64() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	if len(d.b) < 8 {
-		d.err = fmt.Errorf("wire: truncated body")
-		return 0
-	}
-	v := binary.BigEndian.Uint64(d.b)
-	d.b = d.b[8:]
-	return v
-}
-
-func (d *decoder) str() string { return string(d.raw()) }
-
-func (d *decoder) raw() []byte {
-	n := d.u64()
-	if d.err != nil {
-		return nil
-	}
-	if uint64(len(d.b)) < n {
-		d.err = fmt.Errorf("wire: truncated body")
-		return nil
-	}
-	v := d.b[:n]
-	d.b = d.b[n:]
-	return v
-}
 
 // --- storage server ----------------------------------------------------
 
@@ -343,19 +43,27 @@ type StorageServer struct {
 	tap blockdev.Tracer // optional: the wire attacker's observation
 	ln  net.Listener
 	wg  sync.WaitGroup
+	seq atomic.Uint64
 
-	mu     sync.Mutex
-	closed bool
+	maxFrame uint64
+	forceV1  bool // interop knob: behave like a pre-v2 server
 }
 
 // NewStorageServer starts serving dev on addr (e.g. "127.0.0.1:0").
 // tap may be nil.
 func NewStorageServer(addr string, dev blockdev.Device, tap blockdev.Tracer) (*StorageServer, error) {
+	return newStorageServer(addr, dev, tap, maxBodySize, false)
+}
+
+// newStorageServer is the option-carrying core; the knobs (frame
+// limit offer, pinned-v1 behavior) must be fixed before the accept
+// loop can hand a connection to them.
+func newStorageServer(addr string, dev blockdev.Device, tap blockdev.Tracer, maxFrame uint64, forceV1 bool) (*StorageServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
-	s := &StorageServer{dev: dev, tap: tap, ln: ln}
+	s := &StorageServer{dev: dev, tap: tap, ln: ln, maxFrame: maxFrame, forceV1: forceV1}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -366,9 +74,6 @@ func (s *StorageServer) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the server and waits for connections to drain.
 func (s *StorageServer) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -376,7 +81,6 @@ func (s *StorageServer) Close() error {
 
 func (s *StorageServer) acceptLoop() {
 	defer s.wg.Done()
-	var seq uint64
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -386,150 +90,128 @@ func (s *StorageServer) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			s.serve(conn, &seq)
+			cs := &connServer{conn: conn, maxFrame: s.maxFrame, forceV1: s.forceV1}
+			cs.serve(s.handle)
 		}()
 	}
 }
 
-func (s *StorageServer) serve(conn net.Conn, seq *uint64) {
-	buf := make([]byte, s.dev.BlockSize())
-	for {
-		req, err := readFrame(conn)
+// handle serves one storage request; on v2 connections it runs
+// concurrently on the connection's worker pool, so it allocates its
+// own buffers and bumps the tap sequence atomically. limit is the
+// connection's negotiated frame bound; batch replies must fit it.
+func (s *StorageServer) handle(ctx context.Context, req frame, limit uint64) frame {
+	if err := ctx.Err(); err != nil {
+		return errFrame(fmt.Errorf("wire: %w", err))
+	}
+	switch req.Type {
+	case msgDevInfo:
+		e := &encoder{}
+		e.u64(uint64(s.dev.BlockSize())).u64(s.dev.NumBlocks())
+		return frame{Type: msgOK, Body: e.b}
+	case msgReadBlock:
+		d := &decoder{b: req.Body}
+		idx := d.u64()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		buf := make([]byte, s.dev.BlockSize())
+		if err := s.dev.ReadBlock(idx, buf); err != nil {
+			return errFrame(err)
+		}
+		s.record(blockdev.Event{Op: blockdev.OpRead, Block: idx})
+		return frame{Type: msgOK, Body: buf}
+	case msgWriteBlock:
+		d := &decoder{b: req.Body}
+		idx := d.u64()
+		data := d.raw()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		if err := s.dev.WriteBlock(idx, data); err != nil {
+			return errFrame(err)
+		}
+		s.record(blockdev.Event{Op: blockdev.OpWrite, Block: idx})
+		return frame{Type: msgOK}
+	case msgReadBlocks:
+		d := &decoder{b: req.Body}
+		start, count := d.u64(), d.u64()
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		bufs, err := s.batchBufs(count, limit)
 		if err != nil {
-			return
+			return errFrame(err)
 		}
-		var resp frame
-		switch req.Type {
-		case msgDevInfo:
-			e := &encoder{}
-			e.u64(uint64(s.dev.BlockSize())).u64(s.dev.NumBlocks())
-			resp = frame{Type: msgOK, Body: e.b}
-		case msgReadBlock:
-			d := &decoder{b: req.Body}
-			idx := d.u64()
-			if d.err != nil {
-				resp = errFrame(d.err)
-				break
-			}
-			if err := s.dev.ReadBlock(idx, buf); err != nil {
-				resp = errFrame(err)
-				break
-			}
-			if s.tap != nil {
-				s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpRead, Block: idx})
-			}
-			resp = frame{Type: msgOK, Body: append([]byte(nil), buf...)}
-		case msgWriteBlock:
-			d := &decoder{b: req.Body}
-			idx := d.u64()
-			data := d.raw()
-			if d.err != nil {
-				resp = errFrame(d.err)
-				break
-			}
-			if err := s.dev.WriteBlock(idx, data); err != nil {
-				resp = errFrame(err)
-				break
-			}
-			if s.tap != nil {
-				s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpWrite, Block: idx})
-			}
-			resp = frame{Type: msgOK}
-		case msgReadBlocks:
-			d := &decoder{b: req.Body}
-			start, count := d.u64(), d.u64()
-			if d.err != nil {
-				resp = errFrame(d.err)
-				break
-			}
-			bufs, err := s.batchBufs(count)
-			if err != nil {
-				resp = errFrame(err)
-				break
-			}
-			if err := blockdev.ReadBlocks(s.dev, start, bufs); err != nil {
-				resp = errFrame(err)
-				break
-			}
-			if s.tap != nil {
-				s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpRead, Block: start, Count: count})
-			}
-			resp = frame{Type: msgOK, Body: slabOf(bufs)}
-		case msgWriteBlocks:
-			d := &decoder{b: req.Body}
-			start, count := d.u64(), d.u64()
-			data, err := s.splitBlocks(d, count)
-			if err != nil {
-				resp = errFrame(err)
-				break
-			}
-			if err := blockdev.WriteBlocks(s.dev, start, data); err != nil {
-				resp = errFrame(err)
-				break
-			}
-			if s.tap != nil {
-				s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpWrite, Block: start, Count: count})
-			}
-			resp = frame{Type: msgOK}
-		case msgReadBlocksAt:
-			d := &decoder{b: req.Body}
-			idx := decodeIndices(d)
-			if d.err != nil {
-				resp = errFrame(d.err)
-				break
-			}
-			bufs, err := s.batchBufs(uint64(len(idx)))
-			if err != nil {
-				resp = errFrame(err)
-				break
-			}
-			if err := blockdev.ReadBlocksAt(s.dev, idx, bufs); err != nil {
-				resp = errFrame(err)
-				break
-			}
-			if s.tap != nil {
-				for _, i := range idx {
-					s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpRead, Block: i})
-				}
-			}
-			resp = frame{Type: msgOK, Body: slabOf(bufs)}
-		case msgWriteBlocksAt:
-			d := &decoder{b: req.Body}
-			idx := decodeIndices(d)
-			data, err := s.splitBlocks(d, uint64(len(idx)))
-			if err != nil {
-				resp = errFrame(err)
-				break
-			}
-			if err := blockdev.WriteBlocksAt(s.dev, idx, data); err != nil {
-				resp = errFrame(err)
-				break
-			}
-			if s.tap != nil {
-				for _, i := range idx {
-					s.tap.Record(blockdev.Event{Seq: bump(seq), Op: blockdev.OpWrite, Block: i})
-				}
-			}
-			resp = frame{Type: msgOK}
-		default:
-			resp = errFrame(fmt.Errorf("wire: unknown message type %#x", req.Type))
+		if err := blockdev.ReadBlocks(s.dev, start, bufs); err != nil {
+			return errFrame(err)
 		}
-		if err := writeFrame(conn, resp); err != nil {
-			return
+		s.record(blockdev.Event{Op: blockdev.OpRead, Block: start, Count: count})
+		return frame{Type: msgOK, Body: slabOf(bufs)}
+	case msgWriteBlocks:
+		d := &decoder{b: req.Body}
+		start, count := d.u64(), d.u64()
+		data, err := s.splitBlocks(d, count, limit)
+		if err != nil {
+			return errFrame(err)
 		}
+		if err := blockdev.WriteBlocks(s.dev, start, data); err != nil {
+			return errFrame(err)
+		}
+		s.record(blockdev.Event{Op: blockdev.OpWrite, Block: start, Count: count})
+		return frame{Type: msgOK}
+	case msgReadBlocksAt:
+		d := &decoder{b: req.Body}
+		idx := decodeIndices(d)
+		if d.err != nil {
+			return errFrame(d.err)
+		}
+		bufs, err := s.batchBufs(uint64(len(idx)), limit)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := blockdev.ReadBlocksAt(s.dev, idx, bufs); err != nil {
+			return errFrame(err)
+		}
+		for _, i := range idx {
+			s.record(blockdev.Event{Op: blockdev.OpRead, Block: i})
+		}
+		return frame{Type: msgOK, Body: slabOf(bufs)}
+	case msgWriteBlocksAt:
+		d := &decoder{b: req.Body}
+		idx := decodeIndices(d)
+		data, err := s.splitBlocks(d, uint64(len(idx)), limit)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := blockdev.WriteBlocksAt(s.dev, idx, data); err != nil {
+			return errFrame(err)
+		}
+		for _, i := range idx {
+			s.record(blockdev.Event{Op: blockdev.OpWrite, Block: i})
+		}
+		return frame{Type: msgOK}
+	default:
+		return errFrame(fmt.Errorf("wire: unknown message type %#x", req.Type))
 	}
 }
 
-func bump(seq *uint64) uint64 {
-	*seq++
-	return *seq
+// record publishes one event to the tap with a fresh sequence number;
+// concurrent workers interleave, so the counter is atomic.
+func (s *StorageServer) record(e blockdev.Event) {
+	if s.tap == nil {
+		return
+	}
+	e.Seq = s.seq.Add(1)
+	s.tap.Record(e)
 }
 
 // batchBufs carves count block buffers out of one reply slab. The
-// count is bounded so the reply frame stays under maxBodySize.
-func (s *StorageServer) batchBufs(count uint64) ([][]byte, error) {
+// count is bounded so the reply frame stays under the connection's
+// negotiated frame limit.
+func (s *StorageServer) batchBufs(count, limit uint64) ([][]byte, error) {
 	bs := s.dev.BlockSize()
-	if count == 0 || count > uint64(maxBodySize/bs) {
+	if count == 0 || count > limit/uint64(bs) {
 		return nil, fmt.Errorf("wire: batch of %d blocks out of bounds", count)
 	}
 	return blockdev.AllocBlocks(int(count), bs), nil
@@ -543,12 +225,12 @@ func slabOf(bufs [][]byte) []byte {
 }
 
 // splitBlocks views the decoder's remaining body as count raw blocks.
-func (s *StorageServer) splitBlocks(d *decoder, count uint64) ([][]byte, error) {
+func (s *StorageServer) splitBlocks(d *decoder, count, limit uint64) ([][]byte, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
 	bs := s.dev.BlockSize()
-	if count == 0 || count > uint64(maxBodySize/bs) {
+	if count == 0 || count > limit/uint64(bs) {
 		return nil, fmt.Errorf("wire: batch of %d blocks out of bounds", count)
 	}
 	if uint64(len(d.b)) != count*uint64(bs) {
@@ -567,12 +249,8 @@ func decodeIndices(d *decoder) []uint64 {
 	if d.err != nil {
 		return nil
 	}
-	if n == 0 || n > maxBodySize/8 {
+	if n == 0 || uint64(len(d.b)) < n*8 || n > maxBodySize/8 {
 		d.err = fmt.Errorf("wire: index set of %d out of bounds", n)
-		return nil
-	}
-	if uint64(len(d.b)) < n*8 {
-		d.err = fmt.Errorf("wire: truncated body")
 		return nil
 	}
 	idx := make([]uint64, n)
@@ -582,43 +260,54 @@ func decodeIndices(d *decoder) []uint64 {
 	return idx
 }
 
-func errFrame(err error) frame {
-	e := &encoder{}
-	e.u64(errCode(err))
-	e.str(err.Error())
-	return frame{Type: msgErr, Body: e.b}
-}
-
 // RemoteDevice is a blockdev.Device backed by a StorageServer. It is
-// safe for concurrent use (requests are serialized on one connection).
+// safe for concurrent use; on a v2 connection concurrent requests
+// pipeline on the one connection instead of serializing.
 type RemoteDevice struct {
-	conn      net.Conn
-	mu        sync.Mutex
+	m         *muxConn
 	blockSize int
 	numBlocks uint64
 }
 
 // DialStorage connects to a storage server and fetches its geometry.
 func DialStorage(addr string) (*RemoteDevice, error) {
-	conn, err := net.Dial("tcp", addr)
+	return dialStorage(context.Background(), addr, false)
+}
+
+// DialStorageV1 connects speaking the lock-step v1 protocol only —
+// the compatibility client for pre-v2 servers (and the lock-step arm
+// of the paired pipelining benchmark).
+func DialStorageV1(addr string) (*RemoteDevice, error) {
+	return dialStorage(context.Background(), addr, true)
+}
+
+func dialStorage(ctx context.Context, addr string, forceV1 bool) (*RemoteDevice, error) {
+	m, err := dialMux(ctx, addr, maxBodySize, forceV1)
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial: %w", err)
+		return nil, err
 	}
-	d := &RemoteDevice{conn: conn}
-	resp, err := call(conn, &d.mu, frame{Type: msgDevInfo})
+	d := &RemoteDevice{m: m}
+	resp, err := m.call(ctx, frame{Type: msgDevInfo})
 	if err != nil {
-		conn.Close()
+		m.close()
 		return nil, err
 	}
 	dec := &decoder{b: resp.Body}
 	d.blockSize = int(dec.u64())
 	d.numBlocks = dec.u64()
 	if dec.err != nil {
-		conn.Close()
+		m.close()
 		return nil, dec.err
+	}
+	if d.blockSize <= 0 {
+		m.close()
+		return nil, fmt.Errorf("wire: bad device geometry (block size %d)", d.blockSize)
 	}
 	return d, nil
 }
+
+// ProtoVersion reports the negotiated protocol version (1 or 2).
+func (d *RemoteDevice) ProtoVersion() int { return d.m.protoVersion() }
 
 // BlockSize implements blockdev.Device.
 func (d *RemoteDevice) BlockSize() int { return d.blockSize }
@@ -633,7 +322,7 @@ func (d *RemoteDevice) ReadBlock(i uint64, buf []byte) error {
 	}
 	e := &encoder{}
 	e.u64(i)
-	resp, err := call(d.conn, &d.mu, frame{Type: msgReadBlock, Body: e.b})
+	resp, err := d.m.call(context.Background(), frame{Type: msgReadBlock, Body: e.b})
 	if err != nil {
 		return err
 	}
@@ -652,21 +341,22 @@ func (d *RemoteDevice) WriteBlock(i uint64, data []byte) error {
 	e := &encoder{}
 	e.u64(i)
 	e.bytes(data)
-	_, err := call(d.conn, &d.mu, frame{Type: msgWriteBlock, Body: e.b})
+	_, err := d.m.call(context.Background(), frame{Type: msgWriteBlock, Body: e.b})
 	return err
 }
 
 // Close implements blockdev.Device.
-func (d *RemoteDevice) Close() error { return d.conn.Close() }
+func (d *RemoteDevice) Close() error { return d.m.close() }
 
 // maxBatch is how many blocks fit one frame with headroom for the
-// index/count fields.
+// index/count fields, under the negotiated frame limit.
 func (d *RemoteDevice) maxBatch() int {
-	n := (maxBodySize - 4096) / (d.blockSize + 8)
+	limit := d.m.maxFrame
+	n := (limit - min(limit/2, 4096)) / uint64(d.blockSize+8)
 	if n < 1 {
 		n = 1
 	}
-	return n
+	return int(n)
 }
 
 // checkBufs validates a batch's buffer vector against the device
@@ -702,7 +392,7 @@ func (d *RemoteDevice) ReadBlocks(start uint64, bufs [][]byte) error {
 		hi := min(off+chunk, len(bufs))
 		e := &encoder{}
 		e.u64(start + uint64(off)).u64(uint64(hi - off))
-		resp, err := call(d.conn, &d.mu, frame{Type: msgReadBlocks, Body: e.b})
+		resp, err := d.m.call(context.Background(), frame{Type: msgReadBlocks, Body: e.b})
 		if err != nil {
 			return err
 		}
@@ -726,7 +416,7 @@ func (d *RemoteDevice) WriteBlocks(start uint64, data [][]byte) error {
 		for _, b := range data[off:hi] {
 			e.b = append(e.b, b...)
 		}
-		if _, err := call(d.conn, &d.mu, frame{Type: msgWriteBlocks, Body: e.b}); err != nil {
+		if _, err := d.m.call(context.Background(), frame{Type: msgWriteBlocks, Body: e.b}); err != nil {
 			return err
 		}
 	}
@@ -749,7 +439,7 @@ func (d *RemoteDevice) ReadBlocksAt(idx []uint64, bufs [][]byte) error {
 		for _, i := range idx[off:hi] {
 			e.u64(i)
 		}
-		resp, err := call(d.conn, &d.mu, frame{Type: msgReadBlocksAt, Body: e.b})
+		resp, err := d.m.call(context.Background(), frame{Type: msgReadBlocksAt, Body: e.b})
 		if err != nil {
 			return err
 		}
@@ -779,7 +469,7 @@ func (d *RemoteDevice) WriteBlocksAt(idx []uint64, data [][]byte) error {
 		for _, b := range data[off:hi] {
 			e.b = append(e.b, b...)
 		}
-		if _, err := call(d.conn, &d.mu, frame{Type: msgWriteBlocksAt, Body: e.b}); err != nil {
+		if _, err := d.m.call(context.Background(), frame{Type: msgWriteBlocksAt, Body: e.b}); err != nil {
 			return err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"steghide/internal/diskmodel"
 	"steghide/internal/oblivious"
 	"steghide/internal/prng"
+	"steghide/internal/wire"
 )
 
 // DiskParams parameterizes the simulated-drive wrapper (WithSim);
@@ -39,6 +40,7 @@ type mountConfig struct {
 	sim          bool
 	simParams    *DiskParams
 	rng          *PRNG
+	volName      string
 }
 
 // Option configures Mount.
@@ -186,6 +188,17 @@ func WithRNG(rng *PRNG) Option {
 	}
 }
 
+// WithVolumeName names the mounted volume for multi-volume serving:
+// Serve registers each stack under its name, and remote clients pick
+// one at login (wire protocol v2's msgLogin volume field). The empty
+// name is the default volume — the only one v1 clients can reach.
+func WithVolumeName(name string) Option {
+	return func(c *mountConfig) error {
+		c.volName = name
+		return nil
+	}
+}
+
 // WithSeed is WithRNG(NewPRNG(seed)).
 func WithSeed(seed []byte) Option {
 	return func(c *mountConfig) error {
@@ -199,6 +212,7 @@ func WithSeed(seed []byte) Option {
 // daemon, journal and oblivious cache — everything the 6-step manual
 // assembly used to hand-wire, with one Close in the right order.
 type Stack struct {
+	name    string // volume name for multi-volume serving
 	dev     Device // as the volume sees it (after sim/trace wrapping)
 	base    Device // the closable storage underneath the wrappers
 	vol     *Volume
@@ -284,7 +298,7 @@ func Mount(dev Device, opts ...Option) (*Stack, error) {
 		rng = prng.New(mountEntropy())
 	}
 	s := &Stack{
-		dev: dev, base: base, vol: vol,
+		name: cfg.volName, dev: dev, base: base, vol: vol,
 		journal: cfg.journal, jpass: cfg.journalPass, secret: cfg.secret,
 	}
 	switch cfg.construction {
@@ -369,6 +383,10 @@ func mountEntropy() []byte {
 	return b
 }
 
+// VolumeName returns the name WithVolumeName gave the stack ("" when
+// unnamed — the default volume on a multi-volume server).
+func (s *Stack) VolumeName() string { return s.name }
+
 // Device returns the stack's device as the volume sees it (after any
 // stripe/sim/trace wrapping).
 func (s *Stack) Device() Device { return s.dev }
@@ -392,6 +410,30 @@ func (s *Stack) ObliviousCache() *ObliviousFS { return s.cache }
 // BootRecovery returns the journal-recovery report Mount produced
 // while bringing a journaled Construction-2 stack up, or nil.
 func (s *Stack) BootRecovery() *JournalReport { return s.bootRec }
+
+// Serve exposes the stacks' agents to remote clients on one TCP
+// address: a single daemon fronting a fleet of mounted volumes, each
+// registered under its WithVolumeName (at most one may be unnamed —
+// it becomes the default volume). Clients route with
+// DialVolumeFS/AgentClient.LoginVolume; every stack must be
+// Construction 2 (the remote agent protocol is the volatile agent's).
+// Closing the server does not close the stacks.
+func Serve(addr string, stacks ...*Stack) (*AgentServer, error) {
+	if len(stacks) == 0 {
+		return nil, errors.New("steghide: Serve needs at least one stack")
+	}
+	vols := make(map[string]*VolatileAgent, len(stacks))
+	for _, s := range stacks {
+		if s.agent2 == nil {
+			return nil, fmt.Errorf("steghide: Serve: volume %q is not Construction 2", s.name)
+		}
+		if _, taken := vols[s.name]; taken {
+			return nil, fmt.Errorf("steghide: Serve: duplicate volume name %q", s.name)
+		}
+		vols[s.name] = s.agent2
+	}
+	return wire.NewMultiAgentServer(addr, vols)
+}
 
 // Login opens the unified FS for one principal. On a Construction-2
 // stack it is a session login (passphrase-derived FAKs, forgotten at
@@ -473,10 +515,8 @@ func (s *Stack) Close() error {
 		}
 	}
 	if s.agent1 != nil {
-		for _, path := range s.agent1.Files() {
-			if err := s.agent1.Close(path); err != nil && firstErr == nil {
-				firstErr = err
-			}
+		if err := s.agent1.CloseAll(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	if c, ok := s.base.(io.Closer); ok {

@@ -392,13 +392,25 @@ func NewTrafficAnalyzer(nBlocks uint64) *TrafficAnalyzer {
 	return attack.NewTrafficAnalyzer(nBlocks)
 }
 
-// Wire layer: serve raw storage or a volatile agent over TCP, per the
-// §3.2 system model.
+// Wire layer: serve raw storage or volatile agents over TCP, per the
+// §3.2 system model. Protocol v2 multiplexes every connection —
+// concurrent calls pipeline, cancellation abandons one request, and
+// one agent daemon serves many volumes — while v1 peers negotiate
+// down to the classic lock-step protocol.
 type (
 	StorageServer = wire.StorageServer
 	AgentServer   = wire.AgentServer
 	AgentClient   = wire.Client
 	RemoteDevice  = wire.RemoteDevice
+)
+
+// ErrConnBroken reports a remote connection desynced by a transport
+// fault (or, on a lock-step v1 connection, an interrupted call);
+// redial to recover. ErrUnknownVolume reports a login naming a
+// volume the agent server does not serve.
+var (
+	ErrConnBroken    = wire.ErrConnBroken
+	ErrUnknownVolume = wire.ErrUnknownVolume
 )
 
 // NewStorageServer serves dev on addr; tap (optional) observes all
@@ -410,9 +422,17 @@ func NewStorageServer(addr string, dev Device, tap Tracer) (*StorageServer, erro
 // DialStorage connects to a remote storage server as a Device.
 func DialStorage(addr string) (*RemoteDevice, error) { return wire.DialStorage(addr) }
 
-// NewAgentServer serves a volatile agent on addr.
+// NewAgentServer serves a volatile agent on addr as the default
+// volume. To serve several mounted volumes from one daemon, use
+// Serve (or wire up NewMultiAgentServer directly).
 func NewAgentServer(addr string, agent *VolatileAgent) (*AgentServer, error) {
 	return wire.NewAgentServer(addr, agent)
+}
+
+// NewMultiAgentServer serves every agent in volumes, keyed by the
+// name clients pass at login ("" is the default volume).
+func NewMultiAgentServer(addr string, volumes map[string]*VolatileAgent) (*AgentServer, error) {
+	return wire.NewMultiAgentServer(addr, volumes)
 }
 
 // DialAgent connects a user to an agent server.
