@@ -12,15 +12,17 @@
 //	    block access is printed — the attacker's wire view.
 //
 //	steghide agent   -storage 127.0.0.1:7070 -addr 127.0.0.1:7071
-//	                 [-dummy-interval 250ms]
+//	                 [-dummy-interval 250ms] [-drain-timeout 10s]
 //	                 [-volume work=127.0.0.1:7070 -volume home=127.0.0.1:7072 ...]
 //	    Run a volatile agent against remote storage, issuing dummy
 //	    updates whenever idle. With -volume flags one daemon mounts
 //	    and serves several volumes; clients pick one at login
-//	    (protocol v2's volume field).
+//	    (protocol v2's volume field). An interrupt drains gracefully:
+//	    in-flight requests finish and v2 clients are told to redial.
 //
 //	steghide client  -agent 127.0.0.1:7071 -user alice -pass pw
-//	                 [-volume work] [-timeout 5s] <op> ...
+//	                 [-volume work] [-timeout 5s] [-retry]
+//	                 [-fallback 127.0.0.1:7072 ...] <op> ...
 //	    One-shot client operations over the unified steghide.FS:
 //	      mkdummy <path> <blocks>     create+disclose a dummy file
 //	      create  <path>              create a hidden file
@@ -29,6 +31,11 @@
 //	      ls                          list the session's files
 //	      rm      <path>              delete a file (blocks stay as cover)
 //	      probe   <path>              report existence/size (deniably)
+//	    With -retry the session self-heals across connection faults
+//	    and daemon restarts; -fallback adds redial addresses.
+//
+//	steghide client  -agent 127.0.0.1:7071 -ping
+//	    Credential-free liveness probe (health checks, fleet routers).
 package main
 
 import (
@@ -252,6 +259,8 @@ func cmdAgent(args []string) error {
 		"idle dummy-update period (0 disables)")
 	journalPass := fs.String("journal-pass", "",
 		"administrator journal passphrase: journal every update intent and recover the ring at boot (needs a volume formatted with -journal)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
+		"graceful-shutdown budget on interrupt: in-flight requests finish, v2 clients are told to redial elsewhere")
 	var volumes volumeFlags
 	fs.Var(&volumes, "volume",
 		"serve an extra named volume, as name=storageAddr (repeatable); clients select it at login")
@@ -331,7 +340,6 @@ func cmdAgent(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
 	fmt.Printf("agent: %d volume(s) %v, clients=%s\n", len(stacks), srv.Volumes(), srv.Addr())
 
 	// Surface daemon failures as they happen, not only at exit: the
@@ -363,6 +371,20 @@ func cmdAgent(args []string) error {
 	}()
 	waitForInterrupt()
 	close(stopMon)
+	// Graceful drain: stop accepting, tell v2 clients to redial
+	// elsewhere (goaway), let in-flight requests finish under the
+	// deadline, then close. A second interrupt — or the deadline —
+	// force-closes the stragglers.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		waitForInterrupt()
+		cancel()
+	}()
+	fmt.Printf("agent: draining (up to %v; interrupt again to force)\n", *drainTimeout)
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "agent: drain cut short: %v\n", err)
+	}
+	cancel()
 	for _, s := range stacks {
 		if d := s.Daemon(); d != nil {
 			if n, lastErr := d.Errors(); n > 0 {
@@ -381,11 +403,14 @@ func cmdClient(args []string) error {
 	pass := fs.String("pass", "", "passphrase")
 	volume := fs.String("volume", "", "volume name on a multi-volume agent (empty = default volume)")
 	timeout := fs.Duration("timeout", 0, "per-invocation deadline (0 = none)")
+	ping := fs.Bool("ping", false, "liveness probe: ping the daemon (no credentials) and exit")
+	retry := fs.Bool("retry", false,
+		"self-healing session: re-dial broken connections with backoff, replay the login, retry idempotent calls")
+	var fallbacks volumeFlags
+	fs.Var(&fallbacks, "fallback",
+		"additional agent address to rotate to on failure or drain (repeatable; implies -retry)")
 	fs.Parse(args)
 	rest := fs.Args()
-	if *user == "" || *pass == "" || len(rest) < 1 {
-		return fmt.Errorf("client needs -user, -pass and an operation (see -h)")
-	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -393,9 +418,37 @@ func cmdClient(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+
+	if *ping {
+		// Health check before (and without) any login — what a fleet
+		// router or a boot script asks a daemon.
+		cli, err := steghide.DialAgent(*agentAddr)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		start := time.Now()
+		if err := cli.PingCtx(ctx); err != nil {
+			return fmt.Errorf("ping %s: %w", *agentAddr, err)
+		}
+		fmt.Printf("%s alive (%v, protocol v%d)\n", *agentAddr, time.Since(start).Round(time.Microsecond), cli.ProtoVersion())
+		return nil
+	}
+
+	if *user == "" || *pass == "" || len(rest) < 1 {
+		return fmt.Errorf("client needs -user, -pass and an operation (see -h)")
+	}
+
+	var opts []steghide.DialOption
+	if *retry || len(fallbacks) > 0 {
+		opts = append(opts, steghide.WithRetry(steghide.RetryPolicy{}))
+	}
+	if len(fallbacks) > 0 {
+		opts = append(opts, steghide.WithRedial(fallbacks...))
+	}
 	// The remote session is the same steghide.FS a local login gets;
 	// the wire round-trips the error taxonomy underneath.
-	vault, err := steghide.DialVolumeFS(ctx, *agentAddr, *volume, *user, *pass)
+	vault, err := steghide.DialVolumeFS(ctx, *agentAddr, *volume, *user, *pass, opts...)
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"net"
+	"time"
 
 	"steghide"
 )
@@ -67,19 +69,26 @@ func main() {
 	defer workSrv.Close()
 	defer work.Close()
 
-	agentSrv, err := steghide.Serve("127.0.0.1:0", personal, work)
+	// A caller-owned listener so the restart below can rebind the same
+	// address the clients already hold.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	agentSrv, err := steghide.ServeListener(ln, personal, work)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer agentSrv.Close()
-	fmt.Printf("agent server on %s serving volumes %v\n\n", agentSrv.Addr(), agentSrv.Volumes())
+	agentAddr := agentSrv.Addr()
+	fmt.Printf("agent server on %s serving volumes %v\n\n", agentAddr, agentSrv.Volumes())
 
 	// --- Alice stores a secret on the personal volume ------------------
 	// DialVolumeFS returns the same steghide.FS a local login would;
 	// the volume name routes the session, and the wire protocol
 	// round-trips the error taxonomy, so nothing below cares that the
 	// agent is remote.
-	alice, err := steghide.DialVolumeFS(ctx, agentSrv.Addr(), "personal", "alice", "alice-passphrase")
+	alice, err := steghide.DialVolumeFS(ctx, agentAddr, "personal", "alice", "alice-passphrase")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +98,7 @@ func main() {
 	fmt.Printf("alice stored %d bytes on %q\n", len(secret), "personal")
 
 	// --- the volumes are disjoint worlds -------------------------------
-	aliceWork, err := steghide.DialVolumeFS(ctx, agentSrv.Addr(), "work", "alice", "alice-passphrase")
+	aliceWork, err := steghide.DialVolumeFS(ctx, agentAddr, "work", "alice", "alice-passphrase")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +108,7 @@ func main() {
 	must(aliceWork.Close())
 
 	// --- Bob cannot see Alice's file even on her volume ----------------
-	bob, err := steghide.DialVolumeFS(ctx, agentSrv.Addr(), "personal", "bob", "bob-passphrase")
+	bob, err := steghide.DialVolumeFS(ctx, agentAddr, "personal", "bob", "bob-passphrase")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,7 +119,7 @@ func main() {
 
 	// --- Alice reads it back from a fresh session ----------------------
 	must(alice.Close())
-	alice2, err := steghide.DialVolumeFS(ctx, agentSrv.Addr(), "personal", "alice", "alice-passphrase")
+	alice2, err := steghide.DialVolumeFS(ctx, agentAddr, "personal", "alice", "alice-passphrase")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,6 +132,48 @@ func main() {
 	}
 	fmt.Printf("alice recovered her secret across sessions: %q\n\n", got)
 	must(alice2.Close())
+
+	// --- the daemon restarts mid-session ---------------------------------
+	// WithRetry makes the session self-healing: when its connection
+	// breaks, the client re-dials with backoff, replays the login and
+	// the session's disclosures, and retries the interrupted read. The
+	// user just sees a slow call, not a dead vault.
+	carol, err := steghide.DialVolumeFS(ctx, agentAddr, "personal", "carol", "carol-passphrase",
+		steghide.WithRetry(steghide.RetryPolicy{MaxRetries: 8, BaseBackoff: 20 * time.Millisecond}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(carol.CreateDummy(ctx, "/carol-cover", 64))
+	note := []byte("remember: the drop is thursday")
+	must(steghide.WriteFile(ctx, carol, "/carol-note", note))
+
+	// Drain and restart the daemon under her feet. Shutdown lets
+	// in-flight requests finish and tells v2 clients to redial; the
+	// dropped connections log their sessions out, which flushes every
+	// saved file to the (still-running) storage servers.
+	dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	must(agentSrv.Shutdown(dctx))
+	cancel()
+	ln2, err := net.Listen("tcp", agentAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agentSrv2, err := steghide.ServeListener(ln2, personal, work)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agentSrv2.Close()
+	fmt.Println("agent daemon drained and restarted on the same address")
+
+	got, err = steghide.ReadFile(ctx, carol, "/carol-note")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, note) {
+		log.Fatal("note corrupted across the restart")
+	}
+	fmt.Printf("carol's session healed across the restart and read back: %q\n\n", got)
+	must(carol.Close())
 
 	// --- what the attacker saw ------------------------------------------
 	events := steghide.ExpandEvents(personalTap.Events())

@@ -111,11 +111,43 @@ func newObliviousFixture(t *testing.T) steghide.FS {
 	return fs
 }
 
+// newWireRetryFixture is newWireFixture with the self-healing client:
+// the whole conformance contract must hold unchanged when the retry
+// layer sits between the FS and the wire.
+func newWireRetryFixture(t *testing.T) steghide.FS {
+	t.Helper()
+	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096),
+		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("conf-retry")}),
+		steghide.WithConstruction2(),
+		steghide.WithSeed([]byte("conf-retry-agent")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := steghide.NewAgentServer("127.0.0.1:0", stack.Agent2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		stack.Close()
+	})
+	fs, err := steghide.DialFS(context.Background(), srv.Addr(), "alice", "alice-pass",
+		steghide.WithRetry(steghide.RetryPolicy{JitterSeed: 17}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CreateDummy(context.Background(), "/cover", 256); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
 func fsFixtures() []fsFixture {
 	return []fsFixture{
 		{name: "c2-session", deniable: true, open: newC2Fixture},
 		{name: "c1-agent", deniable: false, open: newC1Fixture},
 		{name: "wire-client", deniable: true, open: newWireFixture},
+		{name: "wire-retry", deniable: true, open: newWireRetryFixture},
 		{name: "oblivious", deniable: false, open: newObliviousFixture},
 	}
 }

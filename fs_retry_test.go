@@ -1,0 +1,189 @@
+package steghide_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"steghide"
+	"steghide/internal/wire"
+)
+
+// retryTaxonomy reports whether err is inside the self-healing
+// layer's documented failure taxonomy: a typed maybe-applied, a
+// broken-connection sentinel, a peer-reported error, or a raw
+// transport failure. Anything else (hangs are caught by the test
+// timeout) is a contract violation.
+func retryTaxonomy(err error) bool {
+	if errors.Is(err, steghide.ErrMaybeApplied) ||
+		errors.Is(err, steghide.ErrConnBroken) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var pe *steghide.PathError
+	// Remote-reported errors arrive as PathError over the wire
+	// sentinel chain; those are ordinary API failures, always allowed.
+	return errors.As(err, &pe)
+}
+
+// retryStack mounts one Construction-2 stack and serves it on n
+// listeners (the same volume behind several addresses).
+func retryStack(t *testing.T, fill string, lns ...net.Listener) (*steghide.Stack, []*steghide.AgentServer) {
+	t.Helper()
+	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096),
+		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte(fill)}),
+		steghide.WithConstruction2(),
+		steghide.WithSeed([]byte(fill+"-agent")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stack.Close() })
+	srvs := make([]*steghide.AgentServer, len(lns))
+	for i, ln := range lns {
+		srvs[i], err = steghide.ServeListener(ln, stack)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return stack, srvs
+}
+
+// TestDialFSRetrySurvivesDrain is the fleet-handoff story end to end
+// at the facade: a session dialed with WithRetry and a fallback
+// address keeps working — same content, same disclosures — when its
+// server drains via Shutdown.
+func TestDialFSRetrySurvivesDrain(t *testing.T) {
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srvs := retryStack(t, "drain-facade", ln1, ln2)
+	t.Cleanup(func() { srvs[1].Close() })
+
+	ctx := context.Background()
+	fs, err := steghide.DialFS(ctx, srvs[0].Addr(), "alice", "alice-pass",
+		steghide.WithRetry(steghide.RetryPolicy{MaxRetries: 8, BaseBackoff: 2 * time.Millisecond, JitterSeed: 3}),
+		steghide.WithRedial(srvs[1].Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.CreateDummy(ctx, "/cover", 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create(ctx, "/doc"); err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte("drain"), 100)
+	if err := steghide.WriteFile(ctx, fs, "/doc", want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the server the session is on. The client must redial the
+	// fallback, replay login and disclosures, and carry on.
+	dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if err := srvs[0].Shutdown(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	got, err := steghide.ReadFile(ctx, fs, "/doc")
+	if err != nil {
+		t.Fatalf("read after drain: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("content diverged across the drain handoff")
+	}
+	if err := steghide.WriteFile(ctx, fs, "/doc", bytes.Repeat([]byte("after"), 80)); err != nil {
+		t.Fatalf("write after drain: %v", err)
+	}
+}
+
+// TestDialFSChaos drives the facade FS through the wire chaos
+// harness: every operation either succeeds or fails inside the retry
+// taxonomy, the session never latches, and content read back after
+// the chaos matches the last successfully-written value.
+func TestDialFSChaos(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := wire.NewFaultListener(ln, 42) // stock schedule: every 4th conn is clean
+	_, srvs := retryStack(t, "chaos-facade", fln)
+	killed, kill := context.WithCancel(context.Background())
+	kill()
+	t.Cleanup(func() { srvs[0].Shutdown(killed) }) //nolint:errcheck // abrupt teardown
+
+	ctx := context.Background()
+	var fs steghide.FS
+	for attempt := 0; ; attempt++ {
+		fs, err = steghide.DialFS(ctx, srvs[0].Addr(), "alice", "alice-pass",
+			steghide.WithRetry(steghide.RetryPolicy{MaxRetries: 8, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, JitterSeed: 42}))
+		if err == nil {
+			break
+		}
+		if attempt > 20 {
+			t.Fatalf("dial never survived the fault schedule: %v", err)
+		}
+	}
+	defer fs.Close()
+
+	// converge runs op until clean success, requiring every failure to
+	// stay inside the taxonomy. Convergence is the no-latch assertion:
+	// a latched client would fail forever and trip the bound.
+	converge := func(name string, op func() error) {
+		t.Helper()
+		for attempt := 0; ; attempt++ {
+			err := op()
+			if err == nil {
+				return
+			}
+			if !retryTaxonomy(err) {
+				t.Fatalf("%s: error outside the failure taxonomy: %v", name, err)
+			}
+			if attempt > 50 {
+				t.Fatalf("%s never converged: %v", name, err)
+			}
+		}
+	}
+
+	converge("createdummy", func() error { return fs.CreateDummy(ctx, "/cover", 256) })
+	converge("create", func() error {
+		err := fs.Create(ctx, "/doc")
+		if err != nil {
+			if _, serr := fs.Stat(ctx, "/doc"); serr == nil {
+				return nil // the ambiguous create had applied
+			}
+		}
+		return err
+	})
+	var last []byte
+	for i := 0; i < 10; i++ {
+		data := bytes.Repeat([]byte{byte('a' + i)}, 300)
+		// Whole-content rewrites are the documented reconcile for
+		// ErrMaybeApplied: re-issuing the same bytes is always safe.
+		converge("write", func() error { return steghide.WriteFile(ctx, fs, "/doc", data) })
+		last = data
+		var got []byte
+		converge("read", func() error {
+			var rerr error
+			got, rerr = steghide.ReadFile(ctx, fs, "/doc")
+			return rerr
+		})
+		if !bytes.Equal(got, last) {
+			t.Fatalf("round %d: read diverged from last successful write", i)
+		}
+	}
+}

@@ -30,20 +30,68 @@ func NewRemoteFS(c *AgentClient) FS {
 	return &remoteFS{c: c, disclosed: map[string]bool{}}
 }
 
+// dialConfig collects DialFS options.
+type dialConfig struct {
+	retry  bool
+	policy RetryPolicy
+	addrs  []string
+}
+
+// DialOption configures DialFS / DialVolumeFS.
+type DialOption func(*dialConfig)
+
+// WithRetry makes the dialed session self-healing: on a broken
+// connection the client re-dials with backoff under policy, replays
+// the login and the session's disclosures, and transparently retries
+// idempotent calls (reads, stats, lists). Writes and saves are
+// retried only when the request provably never reached the server;
+// otherwise they fail with ErrMaybeApplied and the caller decides
+// (re-issuing a whole-content write is always safe). The zero policy
+// means library defaults.
+func WithRetry(policy RetryPolicy) DialOption {
+	return func(c *dialConfig) {
+		c.retry = true
+		c.policy = policy
+	}
+}
+
+// WithRedial adds fallback addresses the self-healing client rotates
+// through when its current server fails or announces a drain
+// (Shutdown). Implies WithRetry with default policy unless WithRetry
+// sets one.
+func WithRedial(addrs ...string) DialOption {
+	return func(c *dialConfig) {
+		c.retry = true
+		c.addrs = append(c.addrs, addrs...)
+	}
+}
+
 // DialFS dials an agent server, logs user in on the default volume,
 // and returns the remote session as an FS. Close logs out and drops
 // the connection — transport lifetime enforcing the volatility
 // property.
-func DialFS(ctx context.Context, addr, user, passphrase string) (FS, error) {
-	return DialVolumeFS(ctx, addr, "", user, passphrase)
+func DialFS(ctx context.Context, addr, user, passphrase string, opts ...DialOption) (FS, error) {
+	return DialVolumeFS(ctx, addr, "", user, passphrase, opts...)
 }
 
 // DialVolumeFS is DialFS against one named volume of a multi-volume
 // agent server (Serve): the volume field of the v2 login frame routes
 // the session. The empty name is the default volume and works
 // against v1 servers too.
-func DialVolumeFS(ctx context.Context, addr, volume, user, passphrase string) (FS, error) {
-	cli, err := wire.DialAgentCtx(ctx, addr)
+func DialVolumeFS(ctx context.Context, addr, volume, user, passphrase string, opts ...DialOption) (FS, error) {
+	var cfg dialConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var (
+		cli *AgentClient
+		err error
+	)
+	if cfg.retry {
+		cli, err = wire.DialAgentRetry(ctx, cfg.policy, append([]string{addr}, cfg.addrs...)...)
+	} else {
+		cli, err = wire.DialAgentCtx(ctx, addr)
+	}
 	if err != nil {
 		return nil, pathErr("dial", addr, err)
 	}

@@ -55,6 +55,11 @@ var (
 	// ErrNotDisclosed reports an operation on a file that has not been
 	// disclosed in the current session.
 	ErrNotDisclosed = errors.New("steghide: file not disclosed in this session")
+	// ErrUserBusy reports a login for a user who already has an active
+	// session. Over the wire this is usually transient: the user's old
+	// connection died and its implicit logout is still flushing, so a
+	// reconnecting client briefly retries logins that report it.
+	ErrUserBusy = errors.New("steghide: user already logged in")
 )
 
 // UpdateStats aggregates the observable work of an agent. The

@@ -350,7 +350,7 @@ func (a *VolatileAgent) Login(user string, master sealer.Key) (*Session, error) 
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if _, dup := a.sessions[user]; dup {
-		return nil, fmt.Errorf("steghide: user %q already logged in", user)
+		return nil, fmt.Errorf("%w: %q", ErrUserBusy, user)
 	}
 	s := &Session{
 		agent:      a,

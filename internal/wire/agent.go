@@ -2,10 +2,12 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"steghide/internal/steghide"
 )
@@ -35,6 +37,12 @@ type AgentServer struct {
 
 	maxFrame uint64
 	forceV1  bool // interop knob: behave like a pre-v2 server
+
+	// Graceful-drain state: live connections, and whether Shutdown has
+	// begun (after which new connections are refused).
+	cmu   sync.Mutex
+	conns map[*connServer]struct{}
+	down  bool
 }
 
 // NewAgentServer starts serving a single agent on addr as the default
@@ -54,6 +62,28 @@ func NewMultiAgentServer(addr string, volumes map[string]*steghide.VolatileAgent
 // offer, pinned-v1 behavior) must be fixed before the accept loop can
 // hand a connection to them.
 func newAgentServer(addr string, volumes map[string]*steghide.VolatileAgent, maxFrame uint64, forceV1 bool) (*AgentServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	s, err := newAgentServerListener(ln, volumes, maxFrame, forceV1)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewMultiAgentServerListener is NewMultiAgentServer over an already
+// established listener — the injection point a fleet router (or a
+// chaos harness wrapping the listener in fault injection) uses to
+// control the transport the daemon serves on. The server owns ln from
+// here on.
+func NewMultiAgentServerListener(ln net.Listener, volumes map[string]*steghide.VolatileAgent) (*AgentServer, error) {
+	return newAgentServerListener(ln, volumes, maxBodySize, false)
+}
+
+func newAgentServerListener(ln net.Listener, volumes map[string]*steghide.VolatileAgent, maxFrame uint64, forceV1 bool) (*AgentServer, error) {
 	if len(volumes) == 0 {
 		return nil, fmt.Errorf("wire: agent server needs at least one volume")
 	}
@@ -64,11 +94,7 @@ func newAgentServer(addr string, volumes map[string]*steghide.VolatileAgent, max
 		}
 		vols[name] = agent
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("wire: listen: %w", err)
-	}
-	s := &AgentServer{volumes: vols, ln: ln, maxFrame: maxFrame, forceV1: forceV1}
+	s := &AgentServer{volumes: vols, ln: ln, maxFrame: maxFrame, forceV1: forceV1, conns: map[*connServer]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -118,6 +144,52 @@ func (s *AgentServer) Close() error {
 	return err
 }
 
+// Shutdown gracefully drains the server: it stops accepting, tells
+// every v2 connection to take its next call elsewhere (msgGoaway),
+// lets in-flight requests finish and their replies land, then closes
+// the connections and returns. ctx bounds the drain — on expiry the
+// remaining connections are closed abruptly, exactly the semantics a
+// plain close always had, and ctx's error is returned. v1 peers get
+// connection-close semantics unchanged (no goaway exists pre-v2).
+func (s *AgentServer) Shutdown(ctx context.Context) error {
+	s.cmu.Lock()
+	s.down = true
+	conns := make([]*connServer, 0, len(s.conns))
+	for cs := range s.conns {
+		conns = append(conns, cs)
+	}
+	s.cmu.Unlock()
+	s.ln.Close() //nolint:errcheck // re-Shutdown / racing Close
+	var dwg sync.WaitGroup
+	for _, cs := range conns {
+		dwg.Add(1)
+		go func(cs *connServer) {
+			defer dwg.Done()
+			cs.drain(ctx)
+		}(cs)
+	}
+	dwg.Wait()
+	s.wg.Wait()
+	return ctx.Err()
+}
+
+// track registers a live connection, refusing once Shutdown began.
+func (s *AgentServer) track(cs *connServer) bool {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if s.down {
+		return false
+	}
+	s.conns[cs] = struct{}{}
+	return true
+}
+
+func (s *AgentServer) untrack(cs *connServer) {
+	s.cmu.Lock()
+	delete(s.conns, cs)
+	s.cmu.Unlock()
+}
+
 func (s *AgentServer) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -131,6 +203,10 @@ func (s *AgentServer) acceptLoop() {
 			defer conn.Close()
 			st := &connSession{}
 			cs := &connServer{conn: conn, maxFrame: s.maxFrame, forceV1: s.forceV1}
+			if !s.track(cs) {
+				return // raced Shutdown: the listener is already closed
+			}
+			defer s.untrack(cs)
 			cs.serve(func(ctx context.Context, req frame, limit uint64) frame {
 				return s.handle(ctx, req, st, limit)
 			})
@@ -326,8 +402,29 @@ func (s *AgentServer) handle(ctx context.Context, req frame, st *connSession, li
 // abandons just that request — the connection stays healthy. On a v1
 // (lock-step) connection calls serialize, and an interrupted call
 // latches the connection broken (ErrConnBroken) exactly as before.
+//
+// A client dialed with DialAgentRetry self-heals instead of latching:
+// a transport fault redials with backoff, replays the login and every
+// disclosure (credentials are retained client-side for exactly this),
+// and retries the interrupted call if it is read-class. A mutating
+// call (create, write, save, delete, truncate) is retried only when
+// the fault provably preceded its first byte on the wire; otherwise
+// it fails with ErrMaybeApplied and the caller must reconcile.
 type Client struct {
-	m *muxConn
+	m  *muxConn  // direct mode; nil in retry mode
+	rd *Redialer // retry mode; nil in direct mode
+
+	// Session replay state (retry mode only): the credentials and the
+	// disclosed working set, re-established on every reconnect. The
+	// server's session died with the old connection — volatility by
+	// transport lifetime — so the client rebuilds it before the retried
+	// call runs.
+	smu       sync.Mutex
+	loggedIn  bool
+	volume    string
+	user      string
+	pass      string
+	disclosed map[string]struct{}
 }
 
 // DialAgent connects to an agent server.
@@ -356,16 +453,141 @@ func DialAgentV1(addr string) (*Client, error) {
 	return &Client{m: m}, nil
 }
 
-// ProtoVersion reports the negotiated protocol version (1 or 2).
-func (c *Client) ProtoVersion() int { return c.m.protoVersion() }
+// DialAgentRetry connects with self-healing: transport faults redial
+// (rotating through addrs — extra addresses are fleet replicas or the
+// same daemon's next incarnation) with backoff under policy's budget,
+// and the session replays on every reconnect. The initial dial
+// retries too, so a client can be started before its daemon is up.
+func DialAgentRetry(ctx context.Context, policy RetryPolicy, addrs ...string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("wire: no agent addresses")
+	}
+	c := &Client{disclosed: map[string]struct{}{}}
+	rd := newRedialer(policy, maxBodySize, false, addrs...)
+	rd.onConnect = c.onConnect
+	c.rd = rd
+	for attempt := 0; ; attempt++ {
+		_, err := rd.acquire(ctx)
+		if err == nil {
+			return c, nil
+		}
+		if !transient(err) || attempt >= rd.policy.MaxRetries {
+			rd.close() //nolint:errcheck // nothing live yet
+			return nil, err
+		}
+		if serr := rd.sleep(ctx, attempt); serr != nil {
+			rd.close() //nolint:errcheck // nothing live yet
+			return nil, serr
+		}
+	}
+}
 
-// do runs one exchange on the mux.
-func (c *Client) do(ctx context.Context, req frame) (frame, error) {
+// onConnect replays the session onto a fresh connection: login, then
+// every disclosed path, in sorted order (stable replay order, like
+// every other deliberate ordering in this codebase). A disclosure the
+// server now cleanly refuses (the file is gone) is dropped from the
+// replay set rather than failing the reconnect — the next direct use
+// of that path reports the refusal to its caller.
+func (c *Client) onConnect(ctx context.Context, m *muxConn) error {
+	c.smu.Lock()
+	loggedIn, volume, user, pass := c.loggedIn, c.volume, c.user, c.pass
+	paths := make([]string, 0, len(c.disclosed))
+	for p := range c.disclosed {
+		paths = append(paths, p)
+	}
+	c.smu.Unlock()
+	if !loggedIn {
+		return nil
+	}
+	if volume != "" && m.v1 {
+		return fmt.Errorf("wire: volume login requires protocol v2 (peer speaks v1)")
+	}
+	sort.Strings(paths)
+	if err := c.replayLogin(ctx, m, volume, user, pass); err != nil {
+		return err
+	}
+	for _, p := range paths {
+		if _, err := m.call(ctx, discloseFrame(p)); err != nil {
+			if errors.Is(err, ErrRemote) {
+				c.smu.Lock()
+				delete(c.disclosed, p)
+				c.smu.Unlock()
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// replayLogin re-authenticates on a fresh connection. The old
+// connection's death triggers a server-side implicit logout (flushing
+// the user's files), and the replayed login can race ahead of that
+// flush — the server reports ErrUserBusy while it lasts — so busy
+// answers are retried briefly before giving up.
+func (c *Client) replayLogin(ctx context.Context, m *muxConn, volume, user, pass string) error {
+	var err error
+	for i := 0; i < 200; i++ {
+		_, err = m.call(ctx, loginFrame(volume, user, pass))
+		if err == nil || !errors.Is(err, steghide.ErrUserBusy) {
+			return err
+		}
+		t := time.NewTimer(5 * time.Millisecond)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("wire: %w", ctx.Err())
+		}
+	}
+	return err
+}
+
+// ProtoVersion reports the negotiated protocol version (1 or 2).
+func (c *Client) ProtoVersion() int {
+	if c.rd != nil {
+		if m := c.rd.current(); m != nil {
+			return m.protoVersion()
+		}
+		return protoV2 // retry mode always negotiates
+	}
+	return c.m.protoVersion()
+}
+
+// v1Pinned reports whether the client speaks lock-step v1.
+func (c *Client) v1Pinned() bool { return c.rd == nil && c.m.v1 }
+
+// do runs one exchange on the mux. idempotent marks requests the
+// retry layer may re-send even if the server already executed them;
+// it is ignored in direct (non-retry) mode.
+func (c *Client) do(ctx context.Context, req frame, idempotent bool) (frame, error) {
+	if c.rd != nil {
+		return c.rd.call(ctx, req, idempotent)
+	}
 	return c.m.call(ctx, req)
 }
 
 // Close drops the connection (logging the user out server-side).
-func (c *Client) Close() error { return c.m.close() }
+// Idempotent and safe to call concurrently with in-flight calls,
+// which fail cleanly instead of racing the teardown.
+func (c *Client) Close() error {
+	if c.rd != nil {
+		return c.rd.close()
+	}
+	return c.m.close()
+}
+
+// Ping probes the server's liveness: one round trip, answered before
+// any login — a load balancer or fleet router can health-check a
+// daemon without credentials. Against a genuine pre-v2 server the
+// probe fails with ErrRemote (the frame type predates it).
+func (c *Client) Ping() error { return c.PingCtx(context.Background()) }
+
+// PingCtx is Ping honoring the context at the wire wait point.
+func (c *Client) PingCtx(ctx context.Context) error {
+	_, err := c.do(ctx, frame{Type: msgPing}, true)
+	return err
+}
 
 // Every operation has a context-honoring form; the plain methods are
 // the same call under context.Background(). The context's deadline
@@ -394,18 +616,58 @@ func (c *Client) LoginVolume(volume, user, passphrase string) error {
 // stay byte-compatible with v1 servers; a named volume requires a v2
 // server and fails with ErrRemote against a v1 peer.
 func (c *Client) LoginVolumeCtx(ctx context.Context, volume, user, passphrase string) error {
-	if volume != "" && c.m.v1 {
+	if volume != "" && c.v1Pinned() {
 		// A v1 server would silently ignore the trailing volume field
 		// and log the user into the default volume — refuse instead.
 		return fmt.Errorf("wire: volume login requires protocol v2 (peer speaks v1)")
 	}
+	// Safe to retry: a retried login lands on a fresh connection, whose
+	// server-side session cannot already be logged in.
+	_, err := c.do(ctx, loginFrame(volume, user, passphrase), true)
+	if err == nil && c.rd != nil {
+		c.smu.Lock()
+		c.loggedIn = true
+		c.volume, c.user, c.pass = volume, user, passphrase
+		c.smu.Unlock()
+	}
+	return err
+}
+
+// loginFrame encodes a login request.
+func loginFrame(volume, user, passphrase string) frame {
 	e := &encoder{}
 	e.str(user).str(passphrase)
 	if volume != "" {
 		e.str(volume)
 	}
-	_, err := c.do(ctx, frame{Type: msgLogin, Body: e.b})
-	return err
+	return frame{Type: msgLogin, Body: e.b}
+}
+
+// discloseFrame encodes a disclosure request.
+func discloseFrame(path string) frame {
+	e := &encoder{}
+	e.str(path)
+	return frame{Type: msgDisclose, Body: e.b}
+}
+
+// remember records path into the replay set (retry mode only).
+func (c *Client) remember(path string) {
+	if c.rd == nil {
+		return
+	}
+	c.smu.Lock()
+	c.disclosed[path] = struct{}{}
+	c.smu.Unlock()
+}
+
+// forget removes path from the replay set (retry mode only).
+func (c *Client) forget(path string) {
+	if c.rd == nil {
+		return
+	}
+	c.smu.Lock()
+	delete(c.disclosed, path)
+	c.smu.Unlock()
 }
 
 // Logout ends the session, flushing disclosed files.
@@ -413,7 +675,16 @@ func (c *Client) Logout() error { return c.LogoutCtx(context.Background()) }
 
 // LogoutCtx is Logout honoring the context at the wire wait point.
 func (c *Client) LogoutCtx(ctx context.Context) error {
-	_, err := c.do(ctx, frame{Type: msgLogout})
+	// Safe to retry: a retried logout lands on a replayed session and
+	// ends it just the same.
+	_, err := c.do(ctx, frame{Type: msgLogout}, true)
+	if err == nil && c.rd != nil {
+		c.smu.Lock()
+		c.loggedIn = false
+		c.volume, c.user, c.pass = "", "", ""
+		c.disclosed = map[string]struct{}{}
+		c.smu.Unlock()
+	}
 	return err
 }
 
@@ -424,7 +695,12 @@ func (c *Client) Create(path string) error { return c.CreateCtx(context.Backgrou
 func (c *Client) CreateCtx(ctx context.Context, path string) error {
 	e := &encoder{}
 	e.str(path)
-	_, err := c.do(ctx, frame{Type: msgCreate, Body: e.b})
+	// Mutating: retried only when provably unsent (ErrMaybeApplied
+	// otherwise — the file may exist now).
+	_, err := c.do(ctx, frame{Type: msgCreate, Body: e.b}, false)
+	if err == nil {
+		c.remember(path) // a created file is open in the session
+	}
 	return err
 }
 
@@ -439,7 +715,10 @@ func (c *Client) CreateDummyCtx(ctx context.Context, path string, blocks uint64)
 	e := &encoder{}
 	e.str(path)
 	e.u64(blocks)
-	_, err := c.do(ctx, frame{Type: msgCreateDummy, Body: e.b})
+	_, err := c.do(ctx, frame{Type: msgCreateDummy, Body: e.b}, false)
+	if err == nil {
+		c.remember(path)
+	}
 	return err
 }
 
@@ -451,12 +730,11 @@ func (c *Client) Disclose(path string) (isDummy bool, size uint64, err error) {
 
 // DiscloseCtx is Disclose honoring the context at the wire wait point.
 func (c *Client) DiscloseCtx(ctx context.Context, path string) (isDummy bool, size uint64, err error) {
-	e := &encoder{}
-	e.str(path)
-	resp, err := c.do(ctx, frame{Type: msgDisclose, Body: e.b})
+	resp, err := c.do(ctx, discloseFrame(path), true)
 	if err != nil {
 		return false, 0, err
 	}
+	c.remember(path)
 	d := &decoder{b: resp.Body}
 	dummy := d.u64()
 	size = d.u64()
@@ -477,7 +755,7 @@ func (c *Client) ReadCtx(ctx context.Context, path string, p []byte, off uint64)
 	e.str(path)
 	e.u64(off)
 	e.u64(uint64(len(p)))
-	resp, err := c.do(ctx, frame{Type: msgRead, Body: e.b})
+	resp, err := c.do(ctx, frame{Type: msgRead, Body: e.b}, true)
 	if err != nil {
 		return 0, err
 	}
@@ -495,7 +773,7 @@ func (c *Client) WriteCtx(ctx context.Context, path string, data []byte, off uin
 	e.str(path)
 	e.u64(off)
 	e.bytes(data)
-	_, err := c.do(ctx, frame{Type: msgWrite, Body: e.b})
+	_, err := c.do(ctx, frame{Type: msgWrite, Body: e.b}, false)
 	return err
 }
 
@@ -506,7 +784,7 @@ func (c *Client) Save(path string) error { return c.SaveCtx(context.Background()
 func (c *Client) SaveCtx(ctx context.Context, path string) error {
 	e := &encoder{}
 	e.str(path)
-	_, err := c.do(ctx, frame{Type: msgSave, Body: e.b})
+	_, err := c.do(ctx, frame{Type: msgSave, Body: e.b}, false)
 	return err
 }
 
@@ -518,7 +796,10 @@ func (c *Client) Delete(path string) error { return c.DeleteCtx(context.Backgrou
 func (c *Client) DeleteCtx(ctx context.Context, path string) error {
 	e := &encoder{}
 	e.str(path)
-	_, err := c.do(ctx, frame{Type: msgDelete, Body: e.b})
+	_, err := c.do(ctx, frame{Type: msgDelete, Body: e.b}, false)
+	if err == nil {
+		c.forget(path)
+	}
 	return err
 }
 
@@ -533,7 +814,7 @@ func (c *Client) TruncateCtx(ctx context.Context, path string, size uint64) erro
 	e := &encoder{}
 	e.str(path)
 	e.u64(size)
-	_, err := c.do(ctx, frame{Type: msgTruncate, Body: e.b})
+	_, err := c.do(ctx, frame{Type: msgTruncate, Body: e.b}, false)
 	return err
 }
 
@@ -542,7 +823,7 @@ func (c *Client) Files() ([]string, error) { return c.FilesCtx(context.Backgroun
 
 // FilesCtx is Files honoring the context at the wire wait point.
 func (c *Client) FilesCtx(ctx context.Context) ([]string, error) {
-	resp, err := c.do(ctx, frame{Type: msgList})
+	resp, err := c.do(ctx, frame{Type: msgList}, true)
 	if err != nil {
 		return nil, err
 	}

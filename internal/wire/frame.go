@@ -42,6 +42,16 @@ const (
 	// abandon in its header ID and carries no body.
 	msgHello  = 0x40
 	msgCancel = 0x41
+	// Self-healing control plane. msgPing is a liveness probe answered
+	// with msgOK before any login — load balancers and fleet routers
+	// health-check a daemon without credentials. msgGoaway is sent by a
+	// draining server (Shutdown) to v2 clients: in-flight requests will
+	// still be answered, but the next call should go to a fresh
+	// connection (a redial-enabled client dials its next address).
+	// Both are unknown to genuine pre-v2 peers, which answer msgErr in
+	// frame sync — exactly the degradation the callers handle.
+	msgPing   = 0x42
+	msgGoaway = 0x43
 	// Replies.
 	msgOK  = 0x70
 	msgErr = 0x7F
@@ -67,6 +77,7 @@ const (
 	codeUnknownUser   = 5
 	codeUnknownVolume = 6
 	codeCanceled      = 7
+	codeUserBusy      = 8
 )
 
 // errCode tags err with the sentinel code the peer should rebuild.
@@ -86,6 +97,8 @@ func errCode(err error) uint64 {
 		return codeUnknownUser
 	case errors.Is(err, ErrUnknownVolume):
 		return codeUnknownVolume
+	case errors.Is(err, steghide.ErrUserBusy):
+		return codeUserBusy
 	default:
 		return codeGeneric
 	}
@@ -106,6 +119,8 @@ func codeSentinel(code uint64) error {
 		return steghide.ErrUnknownUser
 	case codeUnknownVolume:
 		return ErrUnknownVolume
+	case codeUserBusy:
+		return steghide.ErrUserBusy
 	case codeCanceled:
 		// A server-side cancellation (this request's msgCancel landed
 		// mid-handler) reports as the context error the caller expects.

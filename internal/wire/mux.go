@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,6 +24,31 @@ var errConnClosed = errors.New("wire: connection closed")
 // muxSendQueue bounds the writer goroutine's mailbox; callers block
 // (honoring their contexts) when it is full.
 const muxSendQueue = 64
+
+// Send states of one queued request, for the retry layer's
+// "provably never reached the server" decision. The caller and the
+// writer race on a CAS: whoever moves the state first wins, so a
+// request is either provably abandoned before any byte was written
+// (caller won) or possibly on the wire (writer won) — never both.
+const (
+	sendQueued    = int32(0) // in the mailbox, no byte written
+	sendStarted   = int32(1) // writer claimed it; bytes may be on the wire
+	sendAbandoned = int32(2) // caller reclaimed it; writer will skip it
+)
+
+// muxReq is one frame in the writer's mailbox. state is nil for
+// fire-and-forget control frames (msgCancel), which no caller tracks.
+type muxReq struct {
+	f     frame
+	state *atomic.Int32
+}
+
+// abandon tries to reclaim a queued request before the writer starts
+// it, reporting success. A true return proves no byte of the frame was
+// ever written — the request is safe to retry even when it mutates.
+func (r muxReq) abandon() bool {
+	return r.state != nil && r.state.CompareAndSwap(sendQueued, sendAbandoned)
+}
 
 // muxConn is one client connection to a wire server, in either of two
 // modes decided by the hello handshake at dial time:
@@ -45,8 +71,17 @@ type muxConn struct {
 	lmu     sync.Mutex
 	lbroken bool // guarded by lmu — a queued call must see the latch
 
+	// brokenHint mirrors lbroken for lock-free health checks: lmu is
+	// held across whole round trips, so a prober must not take it.
+	brokenHint atomic.Bool
+
+	// goaway is set when the server announced a drain (msgGoaway): the
+	// connection still answers its in-flight requests, but a
+	// redial-capable caller should place its next call elsewhere.
+	goaway atomic.Bool
+
 	// --- v2 mux state --------------------------------------------
-	sendq    chan frame
+	sendq    chan muxReq
 	quit     chan struct{} // closed by Close
 	dead     chan struct{} // closed when reader/writer hit a fault
 	deadOnce sync.Once
@@ -113,7 +148,7 @@ func newMux(ctx context.Context, conn net.Conn, proposeMax uint64, forceV1 bool)
 		m := &muxConn{
 			conn:     conn,
 			maxFrame: min(proposeMax, theirMax),
-			sendq:    make(chan frame, muxSendQueue),
+			sendq:    make(chan muxReq, muxSendQueue),
 			quit:     make(chan struct{}),
 			dead:     make(chan struct{}),
 			pending:  map[uint32]chan frame{},
@@ -146,49 +181,60 @@ func (m *muxConn) protoVersion() int {
 // a v1 connection it is the classic lock-step round trip with the
 // broken-connection latch.
 func (m *muxConn) call(ctx context.Context, req frame) (frame, error) {
+	resp, _, err := m.callT(ctx, req)
+	return resp, err
+}
+
+// callT is call with send tracking for the retry layer: on failure,
+// sent=false proves no byte of the request ever hit the wire, so even
+// a mutating request is safe to resend. sent=true means the request
+// may have reached (and been applied by) the server. On success sent
+// is always true.
+func (m *muxConn) callT(ctx context.Context, req frame) (resp frame, sent bool, err error) {
 	if uint64(len(req.Body)) > m.maxFrame {
 		// Refuse before anything hits the wire: the peer would reject
 		// the frame unread and drop the connection, killing every
 		// other in-flight call for one oversized request.
-		return frame{}, fmt.Errorf("%w: request of %d bytes (limit %d)", ErrFrameTooBig, len(req.Body), m.maxFrame)
+		return frame{}, false, fmt.Errorf("%w: request of %d bytes (limit %d)", ErrFrameTooBig, len(req.Body), m.maxFrame)
 	}
 	if m.v1 {
 		return m.callV1(ctx, req)
 	}
 	if err := ctx.Err(); err != nil {
-		return frame{}, fmt.Errorf("wire: %w", err)
+		return frame{}, false, fmt.Errorf("wire: %w", err)
 	}
 	ch := make(chan frame, 1)
 	id, err := m.register(ch)
 	if err != nil {
-		return frame{}, err
+		return frame{}, false, err
 	}
 	req.ID = id
+	mr := muxReq{f: req, state: new(atomic.Int32)}
 	select {
-	case m.sendq <- req:
+	case m.sendq <- mr:
 	case <-ctx.Done():
 		m.unregister(id)
-		return frame{}, fmt.Errorf("wire: %w", ctx.Err())
+		return frame{}, false, fmt.Errorf("wire: %w", ctx.Err())
 	case <-m.dead:
 		m.unregister(id)
-		return frame{}, m.brokenErr()
+		return frame{}, false, m.brokenErr()
 	case <-m.quit:
 		m.unregister(id)
-		return frame{}, errConnClosed
+		return frame{}, false, errConnClosed
 	}
 	select {
 	case resp := <-ch:
 		if resp.Type == msgErr {
-			return frame{}, decodeRemoteError(resp.Body)
+			return frame{}, true, decodeRemoteError(resp.Body)
 		}
-		return resp, nil
+		return resp, true, nil
 	case <-ctx.Done():
 		// Abandon this request only: drop the pending entry (the
 		// demux reader discards the late reply by ID) and tell the
 		// server, best effort, to stop working on it.
 		if m.unregister(id) {
 			select {
-			case m.sendq <- frame{Type: msgCancel, ID: id}:
+			case m.sendq <- muxReq{f: frame{Type: msgCancel, ID: id}}:
 			default: // writer saturated — the reply will be discarded anyway
 			}
 		}
@@ -196,20 +242,22 @@ func (m *muxConn) call(ctx context.Context, req frame) (frame, error) {
 		// completed intact, but the operation still reports the
 		// cancellation (matching the v1 semantics for a round trip
 		// that finished as the context fired).
-		return frame{}, fmt.Errorf("wire: %w", ctx.Err())
+		return frame{}, !mr.abandon(), fmt.Errorf("wire: %w", ctx.Err())
 	case <-m.dead:
 		// The reader may have delivered the reply just before dying.
 		if resp, ok := m.take(ch); ok {
 			if resp.Type == msgErr {
-				return frame{}, decodeRemoteError(resp.Body)
+				return frame{}, true, decodeRemoteError(resp.Body)
 			}
-			return resp, nil
+			return resp, true, nil
 		}
 		m.unregister(id)
-		return frame{}, m.brokenErr()
+		// If the abandon CAS wins, the dying writer never claimed this
+		// frame: the request provably never left the mailbox.
+		return frame{}, !mr.abandon(), m.brokenErr()
 	case <-m.quit:
 		m.unregister(id)
-		return frame{}, errConnClosed
+		return frame{}, !mr.abandon(), errConnClosed
 	}
 }
 
@@ -256,11 +304,17 @@ func (m *muxConn) unregister(id uint32) bool {
 
 // writeLoop is the single writer: it serializes frames from every
 // caller onto the socket, so concurrent calls never interleave bytes.
+// Before writing a tracked frame it claims it (queued→started); a
+// frame the caller already abandoned is skipped, so a true abandon is
+// a proof that no byte was written.
 func (m *muxConn) writeLoop() {
 	for {
 		select {
-		case f := <-m.sendq:
-			if err := writeFrame(m.conn, f); err != nil {
+		case r := <-m.sendq:
+			if r.state != nil && !r.state.CompareAndSwap(sendQueued, sendStarted) {
+				continue // caller abandoned it before any byte hit the wire
+			}
+			if err := writeFrame(m.conn, r.f); err != nil {
 				m.fail(err)
 				return
 			}
@@ -281,6 +335,13 @@ func (m *muxConn) readLoop() {
 			m.fail(err)
 			return
 		}
+		if f.Type == msgGoaway {
+			// Drain announcement: in-flight replies still arrive, but a
+			// redial-capable caller should place its next call on a
+			// fresh connection.
+			m.goaway.Store(true)
+			continue
+		}
 		m.mu.Lock()
 		ch := m.pending[f.ID]
 		delete(m.pending, f.ID)
@@ -298,6 +359,7 @@ func (m *muxConn) fail(err error) {
 		m.err = err
 	}
 	m.mu.Unlock()
+	m.brokenHint.Store(true)
 	m.deadOnce.Do(func() { close(m.dead) })
 	m.conn.Close() // unblock the sibling loop
 }
@@ -315,14 +377,43 @@ func (m *muxConn) brokenErr() error {
 	return fmt.Errorf("%w: %v", ErrConnBroken, m.err)
 }
 
-// close tears the connection down; in v2 mode the loops exit via the
-// quit channel and the socket close.
-func (m *muxConn) close() error {
-	if m.v1 {
-		return m.conn.Close()
+// healthy reports whether the connection can still carry calls: no
+// transport fault latched, not locally closed, and the server has not
+// announced a drain. Lock-free — safe from any goroutine, including
+// while calls are in flight.
+func (m *muxConn) healthy() bool {
+	if m.brokenHint.Load() || m.goaway.Load() {
+		return false
 	}
-	m.quitOnce.Do(func() { close(m.quit) })
-	return m.conn.Close()
+	if m.v1 {
+		return true
+	}
+	select {
+	case <-m.dead:
+		return false
+	case <-m.quit:
+		return false
+	default:
+		return true
+	}
+}
+
+// draining reports whether the server announced a drain (msgGoaway).
+func (m *muxConn) draining() bool { return m.goaway.Load() }
+
+// close tears the connection down; in v2 mode the loops exit via the
+// quit channel and the socket close. Idempotent and safe to call
+// concurrently with in-flight calls: every path closes the socket
+// exactly once and later calls observe the quit latch.
+func (m *muxConn) close() error {
+	var err error
+	m.quitOnce.Do(func() {
+		if !m.v1 {
+			close(m.quit)
+		}
+		err = m.conn.Close()
+	})
+	return err
 }
 
 // --- v1 lock-step ------------------------------------------------------
@@ -331,17 +422,24 @@ func (m *muxConn) close() error {
 // checked and set inside the connection's critical section: a call
 // that was queued behind an interrupted one re-checks after acquiring
 // the mutex, so it cannot run on the desynced stream.
-func (m *muxConn) callV1(ctx context.Context, req frame) (frame, error) {
+func (m *muxConn) callV1(ctx context.Context, req frame) (frame, bool, error) {
 	m.lmu.Lock()
 	defer m.lmu.Unlock()
 	if m.lbroken {
-		return frame{}, ErrConnBroken
+		// The request never touched the wire: the latch precedes it.
+		return frame{}, false, ErrConnBroken
 	}
 	resp, desynced, err := callLocked(ctx, m.conn, req)
 	if desynced {
 		m.lbroken = true
+		m.brokenHint.Store(true)
 	}
-	return resp, err
+	// In lock-step mode the round trip runs inline: any failure after
+	// callLocked started may have put bytes on the wire, except a
+	// pre-send context check — callLocked reports that as !desynced
+	// with a ctx error, but distinguishing it is not worth the plumbing;
+	// the conservative sent=true only matters for mutating retries.
+	return resp, true, err
 }
 
 // callLocked is one lock-step round trip; the caller holds the

@@ -1,0 +1,499 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/prng"
+	"steghide/internal/stegfs"
+	"steghide/internal/steghide"
+)
+
+// testAgent builds a fresh volatile agent over a small formatted
+// volume (fast KDF — these are protocol tests, not KDF tests).
+func testAgent(t *testing.T, seed uint64) *steghide.VolatileAgent {
+	t.Helper()
+	vol, err := stegfs.Format(blockdev.NewMem(256, 2048),
+		stegfs.FormatOptions{KDFIterations: 4, FillSeed: []byte("redial")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return steghide.NewVolatile(vol, prng.NewFromUint64(seed))
+}
+
+// quickRetry is a retry policy tuned for tests: generous budget, tiny
+// backoff, deterministic jitter.
+func quickRetry() RetryPolicy {
+	return RetryPolicy{MaxRetries: 8, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond, JitterSeed: 11}
+}
+
+// TestPing probes liveness across the protocol matrix: answered
+// before login on v2 and on a modern server's v1 connections, and
+// refused (msgErr in frame sync) by a genuine pre-v2 server.
+func TestPing(t *testing.T) {
+	agent := testAgent(t, 1)
+	srv, err := NewAgentServer("127.0.0.1:0", agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := DialAgent(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("v2 ping before login: %v", err)
+	}
+
+	// A modern server answers pings on its lock-step connections too.
+	v1cli, err := DialAgentV1(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1cli.Close()
+	if err := v1cli.Ping(); err != nil {
+		t.Fatalf("v1-connection ping: %v", err)
+	}
+
+	// A genuine pre-v2 server does not know the frame type; the probe
+	// fails cleanly as a remote error, the connection stays in sync.
+	old, err := newAgentServer("127.0.0.1:0",
+		map[string]*steghide.VolatileAgent{"": testAgent(t, 2)}, maxBodySize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	oldCli, err := DialAgent(old.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldCli.Close()
+	if err := oldCli.Ping(); !errors.Is(err, ErrRemote) {
+		t.Fatalf("pre-v2 ping: want ErrRemote, got %v", err)
+	}
+	if err := oldCli.Login("alice", "pw"); err != nil {
+		t.Fatalf("connection desynced by refused ping: %v", err)
+	}
+}
+
+// TestCloseIdempotentConcurrent pins the Close contract: double
+// Close, Close from many goroutines, and Close racing in-flight calls
+// must neither panic nor double-close (run under -race).
+func TestCloseIdempotentConcurrent(t *testing.T) {
+	agent := testAgent(t, 3)
+	srv, err := NewAgentServer("127.0.0.1:0", agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, mode := range []string{"direct", "v1", "retry"} {
+		t.Run(mode, func(t *testing.T) {
+			var cli *Client
+			var err error
+			switch mode {
+			case "direct":
+				cli, err = DialAgent(srv.Addr())
+			case "v1":
+				cli, err = DialAgentV1(srv.Addr())
+			case "retry":
+				cli, err = DialAgentRetry(context.Background(), quickRetry(), srv.Addr())
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					cli.Ping() //nolint:errcheck // racing Close; any outcome is fine
+				}()
+			}
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := cli.Close(); err != nil {
+						t.Errorf("Close: %v", err)
+					}
+				}()
+			}
+			wg.Wait()
+			if err := cli.Close(); err != nil {
+				t.Errorf("re-Close: %v", err)
+			}
+		})
+	}
+
+	// RemoteDevice has the same contract.
+	mem := blockdev.NewMem(256, 64)
+	ssrv, err := NewStorageServer("127.0.0.1:0", mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ssrv.Close()
+	dev, err := DialStorage(ssrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dev.Close() //nolint:errcheck // concurrent Close is the point
+		}()
+	}
+	wg.Wait()
+	if err := dev.Close(); err != nil {
+		t.Errorf("device re-Close: %v", err)
+	}
+}
+
+// fakeV2Server accepts one connection, completes the v2 handshake,
+// answers logins with msgOK, and on the first mutating frame reads it
+// FULLY and then drops the connection without replying — the
+// maybe-applied scenario: the request reached the server, the client
+// cannot know whether it executed.
+func fakeV2Server(t *testing.T, ln net.Listener) {
+	t.Helper()
+	conn, err := ln.Accept()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	first, err := readFrame(conn, maxBodySize)
+	if err != nil || first.Type != msgHello {
+		return
+	}
+	if err := writeFrame(conn, frame{Type: msgHello, ID: first.ID, Body: helloBody(protoV2, maxBodySize)}); err != nil {
+		return
+	}
+	for {
+		req, err := readFrame(conn, maxBodySize)
+		if err != nil {
+			return
+		}
+		switch req.Type {
+		case msgLogin, msgDisclose, msgPing:
+			if err := writeFrame(conn, frame{Type: msgOK, ID: req.ID, Body: []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}}); err != nil {
+				return
+			}
+		default:
+			return // whole frame consumed; vanish without an answer
+		}
+	}
+}
+
+// TestMaybeApplied pins the non-retry contract for mutating calls: a
+// write whose frame was fully sent before the transport died fails
+// with ErrMaybeApplied — never a silent transparent retry.
+func TestMaybeApplied(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go fakeV2Server(t, ln)
+
+	cli, err := DialAgentRetry(context.Background(), quickRetry(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Login("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	err = cli.Create("/f")
+	if !errors.Is(err, ErrMaybeApplied) {
+		t.Fatalf("want ErrMaybeApplied, got %v", err)
+	}
+	if !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("ErrMaybeApplied should wrap the transport fault, got %v", err)
+	}
+}
+
+// TestReadRetriesTransparently is the idempotent counterpart: the
+// same mid-call connection loss on a read-class call redials and
+// retries without surfacing anything.
+func TestReadRetriesTransparently(t *testing.T) {
+	agent := testAgent(t, 4)
+	srv, err := NewAgentServer("127.0.0.1:0", agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := DialAgentRetry(context.Background(), quickRetry(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Login("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.CreateDummy("/cover", 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	msg := prng.NewFromUint64(7).Bytes(300)
+	if err := cli.Write("/f", msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Save("/f"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the live connection out from under the client.
+	cli.rd.current().conn.Close()
+
+	buf := make([]byte, len(msg))
+	n, err := cli.Read("/f", buf, 0)
+	if err != nil {
+		t.Fatalf("read across reconnect: %v", err)
+	}
+	if n != len(msg) || string(buf) != string(msg) {
+		t.Fatalf("read %d bytes across reconnect, content match=%v", n, string(buf) == string(msg))
+	}
+	// The session was replayed: listing still works and names /f.
+	files, err := cli.Files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0] != "/f" {
+		t.Fatalf("replayed session files = %v", files)
+	}
+}
+
+// TestDrainHandsOffToNextAddress runs the drain choreography end to
+// end: a server Shutdown lets the in-flight call finish, the goaway
+// sends the client's next call to the next address, and the session
+// replays there.
+func TestDrainHandsOffToNextAddress(t *testing.T) {
+	agent := testAgent(t, 5)
+	srv1, err := NewAgentServer("127.0.0.1:0", agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewAgentServer("127.0.0.1:0", agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	cli, err := DialAgentRetry(context.Background(), quickRetry(), srv1.Addr(), srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Login("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.CreateDummy("/cover", 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	msg := prng.NewFromUint64(8).Bytes(200)
+	if err := cli.Write("/f", msg, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// The next calls land on srv2 with the session replayed; the write
+	// above was flushed by the drain-triggered logout.
+	buf := make([]byte, len(msg))
+	if n, err := cli.Read("/f", buf, 0); err != nil || n != len(msg) {
+		t.Fatalf("read after drain: %d, %v", n, err)
+	}
+	if string(buf) != string(msg) {
+		t.Fatal("content lost across drain handoff")
+	}
+	if err := cli.Write("/f", msg, uint64(len(msg))); err != nil {
+		t.Fatalf("write after drain: %v", err)
+	}
+}
+
+// TestDrainLetsInflightFinish pins the drain ordering for a plain
+// (non-retry) v2 client: a call in flight when Shutdown begins still
+// gets its reply.
+func TestDrainLetsInflightFinish(t *testing.T) {
+	mem := blockdev.NewMem(256, 64)
+	slow := &slowDevice{Device: mem, delay: 50 * time.Millisecond}
+	srv, err := newStorageServer("127.0.0.1:0", slow, nil, maxBodySize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := DialStorage(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 256)
+		errc <- dev.ReadBlock(1, buf)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the read reach the worker
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("in-flight read during drain: %v", err)
+	}
+	// After the drain the connection is gone: the next call fails with
+	// the broken-connection taxonomy, not a hang.
+	if err := dev.ReadBlock(2, make([]byte, 256)); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("post-drain call: want ErrConnBroken, got %v", err)
+	}
+}
+
+// TestRetrySurvivesServerRestart kills a daemon abruptly and restarts
+// it on the same address; the retrying client's next call redials
+// until the new incarnation is up. This is the examples/remote-vault
+// scenario.
+func TestRetrySurvivesServerRestart(t *testing.T) {
+	agent := testAgent(t, 6)
+	srv, err := NewAgentServer("127.0.0.1:0", agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	policy := RetryPolicy{MaxRetries: 20, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, JitterSeed: 3}
+	cli, err := DialAgentRetry(context.Background(), policy, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Login("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.CreateDummy("/cover", 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	msg := prng.NewFromUint64(9).Bytes(128)
+	if err := cli.Write("/f", msg, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill abruptly: an already-expired drain context closes every
+	// connection without waiting (Close would block until the retry
+	// client hangs up, which it never does).
+	killCtx, killCancel := context.WithCancel(context.Background())
+	killCancel()
+	srv.Shutdown(killCtx) //nolint:errcheck // the expired ctx is the point
+
+	restarted := make(chan struct{})
+	go func() {
+		// Rebind the same address a beat later, while the client is
+		// already failing and backing off against it.
+		time.Sleep(30 * time.Millisecond)
+		srv2, err := NewAgentServer(addr, agent)
+		if err != nil {
+			t.Errorf("rebind %s: %v", addr, err)
+			close(restarted)
+			return
+		}
+		t.Cleanup(func() { srv2.Close() })
+		close(restarted)
+	}()
+
+	buf := make([]byte, len(msg))
+	n, err := cli.Read("/f", buf, 0)
+	<-restarted
+	if err != nil {
+		t.Fatalf("read across restart: %v", err)
+	}
+	if n != len(msg) || string(buf) != string(msg) {
+		t.Fatal("content lost across restart")
+	}
+}
+
+// TestCancelDuringReconnect pins two things about a context cancelled
+// mid-backoff: the call abandons promptly, and nothing keeps redialing
+// in the background afterwards (goroutine-count assertion).
+func TestCancelDuringReconnect(t *testing.T) {
+	// An address that refuses instantly: a bound-then-closed port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	before := runtime.NumGoroutine()
+
+	policy := RetryPolicy{MaxRetries: 1 << 20, BaseBackoff: 50 * time.Millisecond, MaxBackoff: time.Second, JitterSeed: 5}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond) // land mid-backoff
+		cancel()
+	}()
+	start := time.Now()
+	_, err = DialAgentRetry(ctx, policy, deadAddr)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+
+	// No redial machinery may survive the abandoned call.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 64<<10)
+	t.Fatalf("leaked goroutines: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestRetryBudgetExhausts pins that a permanently dead address fails
+// with the transport taxonomy after the budget, instead of retrying
+// forever.
+func TestRetryBudgetExhausts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	policy := RetryPolicy{MaxRetries: 3, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, JitterSeed: 7}
+	_, err = DialAgentRetry(context.Background(), policy, deadAddr)
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) && !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("want a dial error, got %v", err)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Worker-pool geometry shared by both servers: each connection gets
@@ -33,6 +35,11 @@ type connServer struct {
 	forceV1  bool   // interop knob: behave like a pre-v2 server
 
 	wmu sync.Mutex // one reply frame at a time on the socket
+
+	// Drain bookkeeping: requests dispatched but not yet replied, and
+	// whether the negotiated protocol understands msgGoaway.
+	inflightN atomic.Int64
+	isV2      atomic.Bool
 }
 
 // job is one dispatched request with its cancellation handle.
@@ -64,6 +71,7 @@ func (cs *connServer) serve(handle handlerFunc) {
 			if err := cs.write(frame{Type: msgHello, ID: first.ID, Body: helloBody(protoV2, negotiated)}); err != nil {
 				return
 			}
+			cs.isV2.Store(true)
 			cs.serveV2(handle)
 			return
 		}
@@ -93,9 +101,7 @@ func (cs *connServer) serve(handle handlerFunc) {
 func (cs *connServer) serveV1(first *frame, handle handlerFunc) {
 	ctx := context.Background()
 	if first != nil {
-		resp := handle(ctx, *first, maxBodySize)
-		resp.ID = first.ID
-		if err := cs.write(resp); err != nil {
+		if err := cs.serveOne(ctx, *first, handle); err != nil {
 			return
 		}
 	}
@@ -104,12 +110,28 @@ func (cs *connServer) serveV1(first *frame, handle handlerFunc) {
 		if err != nil {
 			return
 		}
-		resp := handle(ctx, req, maxBodySize)
-		resp.ID = req.ID
-		if err := cs.write(resp); err != nil {
+		if err := cs.serveOne(ctx, req, handle); err != nil {
 			return
 		}
 	}
+}
+
+// serveOne answers a single lock-step request. msgPing is a protocol
+// liveness probe, answered before (and without) any handler state —
+// no login, no volume, no device.
+func (cs *connServer) serveOne(ctx context.Context, req frame, handle handlerFunc) error {
+	if req.Type == msgPing && !cs.forceV1 {
+		// forceV1 keeps the pre-v2 emulation honest: a genuine old
+		// server answers the unknown type with msgErr via the handler's
+		// default arm, and so does the emulation.
+		return cs.write(frame{Type: msgOK, ID: req.ID})
+	}
+	cs.inflightN.Add(1)
+	resp := handle(ctx, req, maxBodySize)
+	resp.ID = req.ID
+	err := cs.write(resp)
+	cs.inflightN.Add(-1)
+	return err
 }
 
 // serveV2 is the pipelined loop: the reader dispatches requests to a
@@ -149,6 +171,7 @@ func (cs *connServer) serveV2(handle handlerFunc) {
 					cancelAll()
 					cs.conn.Close()
 				}
+				cs.inflightN.Add(-1)
 			}
 		}()
 	}
@@ -169,6 +192,14 @@ func (cs *connServer) serveV2(handle handlerFunc) {
 			}
 			continue // cancels get no reply; the request itself answers
 		}
+		if req.Type == msgPing {
+			// Liveness probe: answered inline on the reader, before any
+			// handler state — no login, no queueing, no worker slot.
+			if err := cs.write(frame{Type: msgOK, ID: req.ID}); err != nil {
+				return
+			}
+			continue
+		}
 		jctx, jcancel := context.WithCancel(connCtx)
 		imu.Lock()
 		_, dup := inflight[req.ID]
@@ -186,9 +217,11 @@ func (cs *connServer) serveV2(handle handlerFunc) {
 			jcancel()
 			return
 		}
+		cs.inflightN.Add(1)
 		select {
 		case jobs <- job{req: req, ctx: jctx, cancel: jcancel}:
 		case <-connCtx.Done():
+			cs.inflightN.Add(-1)
 			jcancel()
 			return
 		}
@@ -200,6 +233,33 @@ func (cs *connServer) write(f frame) error {
 	cs.wmu.Lock()
 	defer cs.wmu.Unlock()
 	return writeFrame(cs.conn, f)
+}
+
+// drain gracefully winds the connection down: a v2 peer is told to
+// take its next call elsewhere (msgGoaway), in-flight requests finish
+// and their replies are written, then the connection closes. ctx
+// bounds the wait — on expiry the connection closes with requests
+// still in flight, which is exactly the abrupt-close behavior a
+// non-draining shutdown always had. v1 peers get no announcement
+// (there is no frame for it pre-v2): their in-flight request drains
+// and the close itself is the signal, unchanged semantics.
+func (cs *connServer) drain(ctx context.Context) {
+	if cs.isV2.Load() {
+		// Best effort: a peer that already hung up just fails the
+		// write, and the close below is a no-op on a dead socket.
+		cs.write(frame{Type: msgGoaway}) //nolint:errcheck
+	}
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for cs.inflightN.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			cs.conn.Close()
+			return
+		case <-t.C:
+		}
+	}
+	cs.conn.Close()
 }
 
 // errFrameID is errFrame with the reply ID stamped.

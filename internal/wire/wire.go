@@ -47,12 +47,29 @@ type StorageServer struct {
 
 	maxFrame uint64
 	forceV1  bool // interop knob: behave like a pre-v2 server
+
+	// Graceful-drain state: live connections, and whether Shutdown has
+	// begun (after which new connections are refused).
+	cmu   sync.Mutex
+	conns map[*connServer]struct{}
+	down  bool
 }
 
 // NewStorageServer starts serving dev on addr (e.g. "127.0.0.1:0").
 // tap may be nil.
 func NewStorageServer(addr string, dev blockdev.Device, tap blockdev.Tracer) (*StorageServer, error) {
 	return newStorageServer(addr, dev, tap, maxBodySize, false)
+}
+
+// NewStorageServerListener is NewStorageServer over an already
+// established listener — the injection point for fault-injecting
+// transports (the chaos harness) and custom routing. The server owns
+// ln from here on.
+func NewStorageServerListener(ln net.Listener, dev blockdev.Device, tap blockdev.Tracer) (*StorageServer, error) {
+	s := &StorageServer{dev: dev, tap: tap, ln: ln, maxFrame: maxBodySize, conns: map[*connServer]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
 }
 
 // newStorageServer is the option-carrying core; the knobs (frame
@@ -63,7 +80,7 @@ func newStorageServer(addr string, dev blockdev.Device, tap blockdev.Tracer, max
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
-	s := &StorageServer{dev: dev, tap: tap, ln: ln, maxFrame: maxFrame, forceV1: forceV1}
+	s := &StorageServer{dev: dev, tap: tap, ln: ln, maxFrame: maxFrame, forceV1: forceV1, conns: map[*connServer]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -79,6 +96,48 @@ func (s *StorageServer) Close() error {
 	return err
 }
 
+// Shutdown gracefully drains the server: stop accepting, goaway every
+// v2 connection, let in-flight requests reply, then close. See
+// AgentServer.Shutdown for the full contract.
+func (s *StorageServer) Shutdown(ctx context.Context) error {
+	s.cmu.Lock()
+	s.down = true
+	conns := make([]*connServer, 0, len(s.conns))
+	for cs := range s.conns {
+		conns = append(conns, cs)
+	}
+	s.cmu.Unlock()
+	s.ln.Close() //nolint:errcheck // re-Shutdown / racing Close
+	var dwg sync.WaitGroup
+	for _, cs := range conns {
+		dwg.Add(1)
+		go func(cs *connServer) {
+			defer dwg.Done()
+			cs.drain(ctx)
+		}(cs)
+	}
+	dwg.Wait()
+	s.wg.Wait()
+	return ctx.Err()
+}
+
+// track registers a live connection, refusing once Shutdown began.
+func (s *StorageServer) track(cs *connServer) bool {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if s.down {
+		return false
+	}
+	s.conns[cs] = struct{}{}
+	return true
+}
+
+func (s *StorageServer) untrack(cs *connServer) {
+	s.cmu.Lock()
+	delete(s.conns, cs)
+	s.cmu.Unlock()
+}
+
 func (s *StorageServer) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -91,6 +150,10 @@ func (s *StorageServer) acceptLoop() {
 			defer s.wg.Done()
 			defer conn.Close()
 			cs := &connServer{conn: conn, maxFrame: s.maxFrame, forceV1: s.forceV1}
+			if !s.track(cs) {
+				return // raced Shutdown: the listener is already closed
+			}
+			defer s.untrack(cs)
 			cs.serve(s.handle)
 		}()
 	}
@@ -263,10 +326,20 @@ func decodeIndices(d *decoder) []uint64 {
 // RemoteDevice is a blockdev.Device backed by a StorageServer. It is
 // safe for concurrent use; on a v2 connection concurrent requests
 // pipeline on the one connection instead of serializing.
+//
+// A device dialed with DialStorageRetry self-heals: block and batch
+// reads retry transparently across reconnects; block and batch writes
+// retry only when the fault provably preceded the request's first
+// byte on the wire, and otherwise fail with ErrMaybeApplied (the
+// write may have landed — the caller must re-read to reconcile).
 type RemoteDevice struct {
-	m         *muxConn
-	blockSize int
-	numBlocks uint64
+	m  *muxConn  // direct mode; nil in retry mode
+	rd *Redialer // retry mode; nil in direct mode
+
+	blockSize  int
+	numBlocks  uint64
+	frameLimit uint64 // negotiated at first connect; batches size to it
+	protoVer   int
 }
 
 // DialStorage connects to a storage server and fetches its geometry.
@@ -281,33 +354,96 @@ func DialStorageV1(addr string) (*RemoteDevice, error) {
 	return dialStorage(context.Background(), addr, true)
 }
 
+// DialStorageRetry connects with self-healing: transport faults
+// redial (rotating through addrs) with backoff under policy's budget,
+// and the geometry handshake replays on every reconnect. The initial
+// dial itself retries too, so a device can be dialed while its server
+// is still coming up.
+func DialStorageRetry(ctx context.Context, policy RetryPolicy, addrs ...string) (*RemoteDevice, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("wire: no storage addresses")
+	}
+	d := &RemoteDevice{}
+	rd := newRedialer(policy, maxBodySize, false, addrs...)
+	rd.onConnect = d.onConnect
+	d.rd = rd
+	for attempt := 0; ; attempt++ {
+		_, err := rd.acquire(ctx)
+		if err == nil {
+			return d, nil
+		}
+		if !transient(err) || attempt >= rd.policy.MaxRetries {
+			rd.close() //nolint:errcheck // nothing live yet
+			return nil, err
+		}
+		if serr := rd.sleep(ctx, attempt); serr != nil {
+			rd.close() //nolint:errcheck // nothing live yet
+			return nil, serr
+		}
+	}
+}
+
+// onConnect fetches the geometry on a fresh connection. The first
+// connect fixes it (before the device escapes to any caller); every
+// reconnect must present the same device — a changed geometry means
+// we reached a different (or reformatted) store, where resuming block
+// I/O would corrupt silently.
+func (d *RemoteDevice) onConnect(ctx context.Context, m *muxConn) error {
+	resp, err := m.call(ctx, frame{Type: msgDevInfo})
+	if err != nil {
+		return err
+	}
+	dec := &decoder{b: resp.Body}
+	bs := int(dec.u64())
+	nb := dec.u64()
+	if dec.err != nil {
+		return dec.err
+	}
+	if bs <= 0 {
+		return fmt.Errorf("wire: bad device geometry (block size %d)", bs)
+	}
+	if d.blockSize == 0 {
+		d.blockSize = bs
+		d.numBlocks = nb
+		d.frameLimit = m.maxFrame
+		d.protoVer = m.protoVersion()
+		return nil
+	}
+	if bs != d.blockSize || nb != d.numBlocks {
+		return fmt.Errorf("wire: device geometry changed across reconnect (%d×%d -> %d×%d)",
+			d.blockSize, d.numBlocks, bs, nb)
+	}
+	if m.maxFrame < d.frameLimit {
+		// In-flight batch sizing assumed the original limit; a smaller
+		// renegotiated frame would make those batches oversized.
+		return fmt.Errorf("wire: frame limit shrank across reconnect (%d -> %d)", d.frameLimit, m.maxFrame)
+	}
+	return nil
+}
+
+// do routes one exchange through the retry layer when enabled.
+func (d *RemoteDevice) do(ctx context.Context, req frame, idempotent bool) (frame, error) {
+	if d.rd != nil {
+		return d.rd.call(ctx, req, idempotent)
+	}
+	return d.m.call(ctx, req)
+}
+
 func dialStorage(ctx context.Context, addr string, forceV1 bool) (*RemoteDevice, error) {
 	m, err := dialMux(ctx, addr, maxBodySize, forceV1)
 	if err != nil {
 		return nil, err
 	}
 	d := &RemoteDevice{m: m}
-	resp, err := m.call(ctx, frame{Type: msgDevInfo})
-	if err != nil {
+	if err := d.onConnect(ctx, m); err != nil {
 		m.close()
 		return nil, err
-	}
-	dec := &decoder{b: resp.Body}
-	d.blockSize = int(dec.u64())
-	d.numBlocks = dec.u64()
-	if dec.err != nil {
-		m.close()
-		return nil, dec.err
-	}
-	if d.blockSize <= 0 {
-		m.close()
-		return nil, fmt.Errorf("wire: bad device geometry (block size %d)", d.blockSize)
 	}
 	return d, nil
 }
 
 // ProtoVersion reports the negotiated protocol version (1 or 2).
-func (d *RemoteDevice) ProtoVersion() int { return d.m.protoVersion() }
+func (d *RemoteDevice) ProtoVersion() int { return d.protoVer }
 
 // BlockSize implements blockdev.Device.
 func (d *RemoteDevice) BlockSize() int { return d.blockSize }
@@ -322,7 +458,7 @@ func (d *RemoteDevice) ReadBlock(i uint64, buf []byte) error {
 	}
 	e := &encoder{}
 	e.u64(i)
-	resp, err := d.m.call(context.Background(), frame{Type: msgReadBlock, Body: e.b})
+	resp, err := d.do(context.Background(), frame{Type: msgReadBlock, Body: e.b}, true)
 	if err != nil {
 		return err
 	}
@@ -341,17 +477,23 @@ func (d *RemoteDevice) WriteBlock(i uint64, data []byte) error {
 	e := &encoder{}
 	e.u64(i)
 	e.bytes(data)
-	_, err := d.m.call(context.Background(), frame{Type: msgWriteBlock, Body: e.b})
+	_, err := d.do(context.Background(), frame{Type: msgWriteBlock, Body: e.b}, false)
 	return err
 }
 
-// Close implements blockdev.Device.
-func (d *RemoteDevice) Close() error { return d.m.close() }
+// Close implements blockdev.Device. Idempotent and safe to call
+// concurrently with in-flight calls, which fail cleanly.
+func (d *RemoteDevice) Close() error {
+	if d.rd != nil {
+		return d.rd.close()
+	}
+	return d.m.close()
+}
 
 // maxBatch is how many blocks fit one frame with headroom for the
 // index/count fields, under the negotiated frame limit.
 func (d *RemoteDevice) maxBatch() int {
-	limit := d.m.maxFrame
+	limit := d.frameLimit
 	n := (limit - min(limit/2, 4096)) / uint64(d.blockSize+8)
 	if n < 1 {
 		n = 1
@@ -392,7 +534,7 @@ func (d *RemoteDevice) ReadBlocks(start uint64, bufs [][]byte) error {
 		hi := min(off+chunk, len(bufs))
 		e := &encoder{}
 		e.u64(start + uint64(off)).u64(uint64(hi - off))
-		resp, err := d.m.call(context.Background(), frame{Type: msgReadBlocks, Body: e.b})
+		resp, err := d.do(context.Background(), frame{Type: msgReadBlocks, Body: e.b}, true)
 		if err != nil {
 			return err
 		}
@@ -416,7 +558,7 @@ func (d *RemoteDevice) WriteBlocks(start uint64, data [][]byte) error {
 		for _, b := range data[off:hi] {
 			e.b = append(e.b, b...)
 		}
-		if _, err := d.m.call(context.Background(), frame{Type: msgWriteBlocks, Body: e.b}); err != nil {
+		if _, err := d.do(context.Background(), frame{Type: msgWriteBlocks, Body: e.b}, false); err != nil {
 			return err
 		}
 	}
@@ -439,7 +581,7 @@ func (d *RemoteDevice) ReadBlocksAt(idx []uint64, bufs [][]byte) error {
 		for _, i := range idx[off:hi] {
 			e.u64(i)
 		}
-		resp, err := d.m.call(context.Background(), frame{Type: msgReadBlocksAt, Body: e.b})
+		resp, err := d.do(context.Background(), frame{Type: msgReadBlocksAt, Body: e.b}, true)
 		if err != nil {
 			return err
 		}
@@ -469,7 +611,7 @@ func (d *RemoteDevice) WriteBlocksAt(idx []uint64, data [][]byte) error {
 		for _, b := range data[off:hi] {
 			e.b = append(e.b, b...)
 		}
-		if _, err := d.m.call(context.Background(), frame{Type: msgWriteBlocksAt, Body: e.b}); err != nil {
+		if _, err := d.do(context.Background(), frame{Type: msgWriteBlocksAt, Body: e.b}, false); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"time"
 
 	"steghide/internal/diskmodel"
@@ -419,6 +420,26 @@ func (s *Stack) BootRecovery() *JournalReport { return s.bootRec }
 // Construction 2 (the remote agent protocol is the volatile agent's).
 // Closing the server does not close the stacks.
 func Serve(addr string, stacks ...*Stack) (*AgentServer, error) {
+	vols, err := serveVolumes(stacks)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewMultiAgentServer(addr, vols)
+}
+
+// ServeListener is Serve over a caller-provided listener: systemd
+// socket activation, in-process test listeners, or a fault-injecting
+// wrapper. The server takes ownership of ln.
+func ServeListener(ln net.Listener, stacks ...*Stack) (*AgentServer, error) {
+	vols, err := serveVolumes(stacks)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewMultiAgentServerListener(ln, vols)
+}
+
+// serveVolumes validates and collects the stacks' volatile agents.
+func serveVolumes(stacks []*Stack) (map[string]*VolatileAgent, error) {
 	if len(stacks) == 0 {
 		return nil, errors.New("steghide: Serve needs at least one stack")
 	}
@@ -432,7 +453,7 @@ func Serve(addr string, stacks ...*Stack) (*AgentServer, error) {
 		}
 		vols[s.name] = s.agent2
 	}
-	return wire.NewMultiAgentServer(addr, vols)
+	return vols, nil
 }
 
 // Login opens the unified FS for one principal. On a Construction-2

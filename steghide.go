@@ -69,6 +69,7 @@
 package steghide
 
 import (
+	"context"
 	"time"
 
 	"steghide/internal/attack"
@@ -412,6 +413,40 @@ var (
 	ErrConnBroken    = wire.ErrConnBroken
 	ErrUnknownVolume = wire.ErrUnknownVolume
 )
+
+// Self-healing remote layer. A retry-enabled client (DialAgentRetry,
+// DialStorageRetry, or DialFS with WithRetry) re-dials broken
+// connections with exponential backoff, replays its session, and
+// transparently retries idempotent calls. RetryPolicy bounds that
+// loop; the zero value means library defaults.
+type RetryPolicy = wire.RetryPolicy
+
+// ErrMaybeApplied reports a non-idempotent call (write, save, create,
+// delete) whose connection broke after the request may have reached
+// the server: the retry layer refuses to guess, because re-executing
+// could double-apply. The caller reconciles — re-issuing a
+// whole-content write or checking state first is always safe.
+// ErrUserBusy reports a login for a user some live session already
+// holds (sessions are exclusive per user; a crashed client's session
+// clears as soon as its connection drops).
+var (
+	ErrMaybeApplied = wire.ErrMaybeApplied
+	ErrUserBusy     = steghide.ErrUserBusy
+)
+
+// DialAgentRetry is DialAgent with self-healing: the client rotates
+// through addrs on dial failure and goaway (a draining server),
+// re-dials broken connections under policy, and replays the session
+// (login plus disclosures) before retrying.
+func DialAgentRetry(ctx context.Context, policy RetryPolicy, addrs ...string) (*AgentClient, error) {
+	return wire.DialAgentRetry(ctx, policy, addrs...)
+}
+
+// DialStorageRetry is DialStorage with self-healing; reconnects
+// verify the device geometry is unchanged before any retried I/O.
+func DialStorageRetry(ctx context.Context, policy RetryPolicy, addrs ...string) (*RemoteDevice, error) {
+	return wire.DialStorageRetry(ctx, policy, addrs...)
+}
 
 // NewStorageServer serves dev on addr; tap (optional) observes all
 // traffic like a wire attacker would.
