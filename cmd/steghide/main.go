@@ -13,12 +13,16 @@
 //
 //	steghide agent   -storage 127.0.0.1:7070 -addr 127.0.0.1:7071
 //	                 [-dummy-interval 250ms] [-drain-timeout 10s]
+//	                 [-seal-workers -1] [-pprof localhost:6060]
 //	                 [-volume work=127.0.0.1:7070 -volume home=127.0.0.1:7072 ...]
 //	    Run a volatile agent against remote storage, issuing dummy
 //	    updates whenever idle. With -volume flags one daemon mounts
 //	    and serves several volumes; clients pick one at login
 //	    (protocol v2's volume field). An interrupt drains gracefully:
 //	    in-flight requests finish and v2 clients are told to redial.
+//	    -seal-workers pipelines burst sealing across cores (the
+//	    observable stream is unchanged); -pprof serves the standard
+//	    net/http/pprof pages for profiling the seal hot loop.
 //
 //	steghide client  -agent 127.0.0.1:7071 -user alice -pass pw
 //	                 [-volume work] [-timeout 5s] [-retry]
@@ -43,6 +47,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof endpoint on the agent subcommand
 	"os"
 	"os/signal"
 	"strconv"
@@ -261,6 +267,10 @@ func cmdAgent(args []string) error {
 		"administrator journal passphrase: journal every update intent and recover the ring at boot (needs a volume formatted with -journal)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
 		"graceful-shutdown budget on interrupt: in-flight requests finish, v2 clients are told to redial elsewhere")
+	sealWorkers := fs.Int("seal-workers", 0,
+		"pipeline dummy-burst sealing across this many workers (-1 = GOMAXPROCS, 0 disables); the observable update stream is unchanged")
+	pprofAddr := fs.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	var volumes volumeFlags
 	fs.Var(&volumes, "volume",
 		"serve an extra named volume, as name=storageAddr (repeatable); clients select it at login")
@@ -280,7 +290,21 @@ func cmdAgent(args []string) error {
 		if *dummyInterval > 0 {
 			opts = append(opts, steghide.WithDaemon(*dummyInterval))
 		}
+		if *sealWorkers != 0 {
+			opts = append(opts, steghide.WithPipeline(*sealWorkers))
+		}
 		return opts, nil
+	}
+
+	// Profiling endpoint for the seal/burst hot loop; see
+	// EXPERIMENTS.md ("profiling the hot loop").
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "agent: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("agent: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	// Mount replaces the old hand-wired assembly: open each remote

@@ -1,0 +1,226 @@
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Async submit/complete plane. Synchronous Device calls alternate CPU
+// with I/O: the caller seals a block, then sits idle while the write
+// lands, then seals the next. The Async ring decouples the two — the
+// caller submits operations tagged for later completion and keeps
+// computing while ring workers drive the device — the io_uring shape,
+// built from goroutines.
+//
+// How "native" the overlap is depends on the wrapped device:
+//
+//   - File: positional pread/pwrite are independent syscalls, so ring
+//     workers genuinely overlap in the kernel's I/O queue.
+//   - wire.RemoteDevice on a v2 connection: each in-flight op is an
+//     outstanding request ID on the one connection — the ring drives
+//     the mux's existing pipelining, turning submission depth directly
+//     into wire depth.
+//   - Memory-speed devices (Mem, Sim, …): pure emulation; ops complete
+//     at memcpy speed and the ring only buys the submit/complete
+//     calling convention.
+//
+// Ordering: a ring with Workers()==1 executes operations strictly in
+// submission order (one FIFO worker), which is what makes it usable on
+// an *observed* device — the trace and the on-disk write order are
+// exactly what a serial caller would have produced, while the
+// submitter's CPU work overlaps the queue. This is the mode the update
+// scheduler uses, because Definition 1's regression oracle compares
+// the observable stream bit for bit. Rings with more workers complete
+// out of order and must stay off tap-audited paths.
+//
+// Backpressure: Submit blocks once queue-capacity operations are
+// waiting to execute; the caller can never run unboundedly ahead of
+// the device. Completions, by contrast, accumulate without bound until
+// reaped, so a caller may submit an entire batch before its first
+// Complete — workers never stall on an unreaped completion.
+type Async struct {
+	dev     Device
+	workers int
+
+	ops chan asyncOp
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	completed []Completion
+
+	nextTag   atomic.Uint64
+	inflight  atomic.Int64
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// AsyncOp is one asynchronous block transfer: a single block (Bufs nil) or
+// a scattered batch (Bufs set, paired with Idx exactly like
+// ReadBlocksAt/WriteBlocksAt). The buffers belong to the ring from
+// Submit until the op's Completion is returned.
+type AsyncOp struct {
+	// Write selects the transfer direction.
+	Write bool
+	// Block and Buf describe a single-block op (used when Bufs is nil).
+	Block uint64
+	Buf   []byte
+	// Idx and Bufs describe a scattered batch op.
+	Idx  []uint64
+	Bufs [][]byte
+}
+
+// Completion reports one finished op.
+type Completion struct {
+	// Tag is the value Submit returned for the op.
+	Tag uint64
+	// Err is the device error, or nil.
+	Err error
+}
+
+type asyncOp struct {
+	tag uint64
+	op  AsyncOp
+}
+
+// AsyncDevice is the submit/complete view of a device. *Async is the
+// one implementation; the interface is what schedulers and pipelines
+// program against.
+type AsyncDevice interface {
+	Device
+	// Submit enqueues op and returns its tag, blocking for
+	// backpressure when the ring is full.
+	Submit(op AsyncOp) uint64
+	// Complete blocks until an op finishes and returns its tag and
+	// error. With one worker, completions arrive in submission order.
+	Complete() (uint64, error)
+}
+
+// ErrAsyncClosed reports use of a closed ring.
+var ErrAsyncClosed = errors.New("blockdev: async ring closed")
+
+// NewAsync builds a submit/complete ring over dev: `workers` goroutines
+// drain a queue of `queue` pending ops (workers <= 0 and queue <= 0
+// select 1 and 2×workers). workers == 1 gives the deterministic FIFO
+// ring; more workers trade ordering for overlap on devices with real
+// parallelism. The wrapped device's own methods must be safe for
+// concurrent use (every Device in this package is).
+func NewAsync(dev Device, workers, queue int) *Async {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	a := &Async{
+		dev:     dev,
+		workers: workers,
+		ops:     make(chan asyncOp, queue),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	for i := 0; i < workers; i++ {
+		a.wg.Add(1)
+		go a.worker()
+	}
+	return a
+}
+
+func (a *Async) worker() {
+	defer a.wg.Done()
+	for pending := range a.ops {
+		var err error
+		op := pending.op
+		switch {
+		case op.Bufs != nil && op.Write:
+			err = WriteBlocksAt(a.dev, op.Idx, op.Bufs)
+		case op.Bufs != nil:
+			err = ReadBlocksAt(a.dev, op.Idx, op.Bufs)
+		case op.Write:
+			err = a.dev.WriteBlock(op.Block, op.Buf)
+		default:
+			err = a.dev.ReadBlock(op.Block, op.Buf)
+		}
+		a.mu.Lock()
+		a.completed = append(a.completed, Completion{Tag: pending.tag, Err: err})
+		a.mu.Unlock()
+		a.cond.Signal()
+	}
+}
+
+// Workers returns the ring's worker count (1 means FIFO-ordered).
+func (a *Async) Workers() int { return a.workers }
+
+// Submit implements AsyncDevice. Tags count up from 1 in submission
+// order. Submitting to a closed ring panics (like sending on a closed
+// channel — a caller bug, not a runtime condition).
+func (a *Async) Submit(op AsyncOp) uint64 {
+	tag := a.nextTag.Add(1)
+	a.inflight.Add(1)
+	a.ops <- asyncOp{tag: tag, op: op}
+	return tag
+}
+
+// Complete implements AsyncDevice.
+func (a *Async) Complete() (uint64, error) {
+	a.mu.Lock()
+	for len(a.completed) == 0 {
+		a.cond.Wait()
+	}
+	c := a.completed[0]
+	a.completed = a.completed[1:]
+	a.mu.Unlock()
+	a.inflight.Add(-1)
+	return c.Tag, c.Err
+}
+
+// Drain completes every outstanding op and returns the first error.
+// Intended for the submitting goroutine once it has stopped
+// submitting.
+func (a *Async) Drain() error {
+	var first error
+	for a.inflight.Load() > 0 {
+		if _, err := a.Complete(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// BlockSize implements Device.
+func (a *Async) BlockSize() int { return a.dev.BlockSize() }
+
+// NumBlocks implements Device.
+func (a *Async) NumBlocks() uint64 { return a.dev.NumBlocks() }
+
+// ReadBlock implements Device — the synchronous path stays available
+// and runs inline, not through the ring.
+func (a *Async) ReadBlock(i uint64, buf []byte) error { return a.dev.ReadBlock(i, buf) }
+
+// WriteBlock implements Device.
+func (a *Async) WriteBlock(i uint64, data []byte) error { return a.dev.WriteBlock(i, data) }
+
+// Close shuts the ring down after draining outstanding ops. It does
+// not close the wrapped device (the ring is a view, like SubDevice).
+func (a *Async) Close() error {
+	err := a.Drain()
+	a.closeOnce.Do(func() {
+		close(a.ops)
+		a.wg.Wait()
+	})
+	return err
+}
+
+// AsAsync returns d's submit/complete view: d itself when it already
+// is one, otherwise a fresh ring of the given geometry.
+func AsAsync(d Device, workers, queue int) AsyncDevice {
+	if ad, ok := d.(AsyncDevice); ok {
+		return ad
+	}
+	return NewAsync(d, workers, queue)
+}
+
+// String aids debugging.
+func (a *Async) String() string {
+	return fmt.Sprintf("async(workers=%d, inflight=%d)", a.workers, a.inflight.Load())
+}

@@ -9,7 +9,9 @@
 // throughput at 1/4/16/64 concurrent sessions) — plus the wire
 // protocol's paired pipelining benchmark (wire-pipeline/lockstep-N vs
 // /pipelined-N: the same N-session × 8-deep read workload through the
-// v1 lock-step client and the v2 mux).
+// v1 lock-step client and the v2 mux) and the staged seal pipeline's
+// paired arms (seal-pipeline/serial-N vs /pipelined-N, and the
+// burst-level pair over a live scheduler).
 package microbench
 
 import (
@@ -62,7 +64,8 @@ func suite() []bench {
 		{"journal/recover", journalRecover},
 	}
 	s = append(s, ConcurrentClientSuite()...)
-	return append(s, PipelineSuite()...)
+	s = append(s, PipelineSuite()...)
+	return append(s, SealPipelineSuite()...)
 }
 
 // Run executes the whole suite and returns the results.

@@ -1,0 +1,84 @@
+package microbench
+
+import (
+	"fmt"
+	"testing"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/prng"
+	"steghide/internal/sealer"
+	"steghide/internal/stegfs"
+	"steghide/internal/steghide"
+)
+
+// SealPipelineSuite is the paired serial-vs-pipelined benchmark of the
+// staged seal pipeline, at two levels: the raw sealer batch (pure
+// AES-CBC, where multi-core speedup shows directly) and a full
+// scheduler dummy burst (crypto overlapped with device I/O through
+// the FIFO async ring). Both pipelined arms produce bit-identical
+// output to their serial partners — only wall-clock may differ, and
+// on a single-core host the pair should read roughly even.
+func SealPipelineSuite() []bench {
+	const n = 256
+	const burst = 64
+	return []bench{
+		{fmt.Sprintf("seal-pipeline/serial-%d", n), func(b *testing.B) { sealBatch(b, n, false) }},
+		{fmt.Sprintf("seal-pipeline/pipelined-%d", n), func(b *testing.B) { sealBatch(b, n, true) }},
+		{fmt.Sprintf("seal-pipeline/burst-serial-%d", burst), func(b *testing.B) { dummyBurst(b, burst, false) }},
+		{fmt.Sprintf("seal-pipeline/burst-pipelined-%d", burst), func(b *testing.B) { dummyBurst(b, burst, true) }},
+	}
+}
+
+// sealBatch seals n fresh 4 KiB blocks per iteration, serially or
+// across the worker pool.
+func sealBatch(b *testing.B, n int, pipelined bool) {
+	s, err := sealer.New(sealer.DeriveKey([]byte("bench"), "sealpipe"), benchBS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payloads := blockdev.AllocBlocks(n, s.DataSize())
+	rng := prng.NewFromUint64(5)
+	for _, p := range payloads {
+		rng.Read(p)
+	}
+	nextIV := func(iv []byte) { rng.Read(iv) }
+	raws := blockdev.AllocBlocks(n, benchBS)
+	pipe := sealer.NewPipeline(0)
+	b.SetBytes(int64(n * benchBS))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if pipelined {
+			err = pipe.SealMany(s, raws, nextIV, payloads)
+		} else {
+			err = s.SealMany(raws, nextIV, payloads)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// dummyBurst runs scheduler dummy bursts over a Construction-1 agent
+// on an in-memory volume, serial or through the staged pipeline.
+func dummyBurst(b *testing.B, burst int, pipelined bool) {
+	vol, err := stegfs.Format(blockdev.NewMem(benchBS, 1<<11),
+		stegfs.FormatOptions{KDFIterations: 4, FillSeed: []byte("sp")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent, err := steghide.NewNonVolatile(vol, []byte("bench-secret"), prng.NewFromUint64(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if pipelined {
+		agent.EnablePipeline(0)
+	}
+	b.SetBytes(int64(2 * burst * benchBS)) // one read + one write per block
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.DummyUpdateBurst(burst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

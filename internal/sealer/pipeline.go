@@ -1,0 +1,148 @@
+package sealer
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pipeline fans the batched seal operations out over a bounded pool of
+// workers, one batch at a time. It exists because the update path of
+// the constructions is pure CPU — one AES-CBC pass per block — and the
+// serial SealMany/OpenMany/ResealMany loops cap a session at one core.
+//
+// Bit-identity contract: every Pipeline method produces byte-for-byte
+// the output of its serial Sealer counterpart, and consumes the
+// caller's IV source in exactly the serial order. IVs are drawn
+// through nextIV serially, in index order, *before* any worker runs —
+// parallelism never reorders the RNG stream — and each block's
+// transform depends only on its own buffers, so the scatter across
+// workers is invisible in the result. That is what lets the scheduler
+// flip the pipeline on and off without moving a single observable
+// byte (the regression oracle of Definition 1).
+//
+// Error semantics differ from the serial methods in one way: a serial
+// loop stops at the first bad block, leaving a well-defined prefix
+// transformed, while a parallel batch may have transformed an
+// arbitrary subset when it reports the error. All length validation
+// happens up front (no buffer is touched on a malformed batch), so in
+// practice the divergence is unreachable for well-formed batches.
+//
+// A Pipeline is stateless (a worker count) and safe for concurrent use
+// by any number of batches; workers are spawned per batch, bounded by
+// the pool size, so an idle Pipeline costs nothing.
+type Pipeline struct {
+	workers int
+}
+
+// NewPipeline returns a pipeline of the given width; workers <= 0
+// selects GOMAXPROCS. Width 1 degenerates to the serial loops (used by
+// the GOMAXPROCS=1 CI lane to pin that the parallel and serial paths
+// are the same code shape).
+func NewPipeline(workers int) *Pipeline {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pipeline{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pipeline) Workers() int { return p.workers }
+
+// Each runs fn(i) for every i in [0, n) across the pipeline's workers
+// and returns the first error. It is the primitive the batch methods
+// are built on, exported for callers whose batches mix sealers (the
+// scheduler's dummy bursts reseal each block under its own key). fn
+// must be safe to call from multiple goroutines on distinct indices;
+// after an error the remaining indices may or may not run.
+func (p *Pipeline) Each(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := min(p.workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		first   error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { first = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// drawIVs consumes n IVs from nextIV serially, in index order, into
+// one slab — the whole trick that keeps parallel sealing bit-identical
+// to the serial loops: the RNG stream is drained exactly as the serial
+// code would drain it, before any worker touches a block.
+func drawIVs(n int, nextIV func(iv []byte)) []byte {
+	ivs := make([]byte, n*IVSize)
+	for i := 0; i < n; i++ {
+		nextIV(ivs[i*IVSize : (i+1)*IVSize])
+	}
+	return ivs
+}
+
+// SealMany is Sealer.SealMany across the pool: IVs are drawn serially
+// in index order, then datas[i] seals into dsts[i] on whichever worker
+// picks i up. Output is bit-identical to the serial method.
+func (p *Pipeline) SealMany(s *Sealer, dsts [][]byte, nextIV func(iv []byte), datas [][]byte) error {
+	if err := s.checkSealBatch(dsts, datas); err != nil {
+		return err
+	}
+	ivs := drawIVs(len(dsts), nextIV)
+	return p.Each(len(dsts), func(i int) error {
+		return s.Seal(dsts[i], ivs[i*IVSize:(i+1)*IVSize], datas[i])
+	})
+}
+
+// OpenMany is Sealer.OpenMany across the pool.
+func (p *Pipeline) OpenMany(s *Sealer, dsts, raws [][]byte) error {
+	if err := s.checkOpenBatch(dsts, raws); err != nil {
+		return err
+	}
+	return p.Each(len(dsts), func(i int) error {
+		return s.Open(dsts[i], raws[i])
+	})
+}
+
+// ResealMany is Sealer.ResealMany across the pool: IVs serial, the
+// decrypt/re-encrypt of each block parallel, every worker borrowing
+// scratch from the sealer's existing pool (at most `workers` buffers
+// live at once, whatever the batch size).
+func (p *Pipeline) ResealMany(s *Sealer, raws [][]byte, nextIV func(iv []byte)) error {
+	if err := s.checkResealBatch(raws); err != nil {
+		return err
+	}
+	ivs := drawIVs(len(raws), nextIV)
+	return p.Each(len(raws), func(i int) error {
+		scratch := s.getScratch()
+		defer s.putScratch(scratch)
+		return s.Reseal(raws[i], ivs[i*IVSize:(i+1)*IVSize], *scratch)
+	})
+}

@@ -81,14 +81,19 @@ type Sealer struct {
 }
 
 // getScratch borrows a DataSize-byte buffer from the sealer's pool.
-func (s *Sealer) getScratch() []byte {
+// It traffics in *[]byte so the round trip through the pool reuses one
+// header allocation per pooled buffer instead of boxing a fresh slice
+// header on every Put — the Reseal hot path must stay at zero
+// allocations per operation.
+func (s *Sealer) getScratch() *[]byte {
 	if v := s.scratch.Get(); v != nil {
-		return *(v.(*[]byte))
+		return v.(*[]byte)
 	}
-	return make([]byte, s.DataSize())
+	b := make([]byte, s.DataSize())
+	return &b
 }
 
-func (s *Sealer) putScratch(b []byte) { s.scratch.Put(&b) }
+func (s *Sealer) putScratch(b *[]byte) { s.scratch.Put(b) }
 
 // New returns a Sealer for devices with the given on-disk block size.
 // The data field (blockSize − IVSize) must be a positive multiple of
@@ -150,8 +155,9 @@ func (s *Sealer) Open(dst, raw []byte) error {
 // buffer is used, so no allocation happens either way after warm-up.
 func (s *Sealer) Reseal(raw, newIV, scratch []byte) error {
 	if scratch == nil {
-		scratch = s.getScratch()
-		defer s.putScratch(scratch)
+		p := s.getScratch()
+		defer s.putScratch(p)
+		scratch = *p
 	}
 	if err := s.Open(scratch, raw); err != nil {
 		return err
@@ -159,12 +165,62 @@ func (s *Sealer) Reseal(raw, newIV, scratch []byte) error {
 	return s.Seal(raw, newIV, scratch)
 }
 
-// SealMany seals datas[i] into dsts[i] for every i, drawing each
-// block's IV through nextIV. It is the batched companion of Seal for
-// bulk writers (formats, reshuffles, flushes).
-func (s *Sealer) SealMany(dsts [][]byte, nextIV func(iv []byte), datas [][]byte) error {
+// checkSealBatch validates a SealMany request up front, so a malformed
+// batch fails before any buffer is touched or any IV is drawn — the
+// same whole-batch-first contract the block I/O plane gives, and what
+// lets the pipelined variant fan out with no per-block error paths.
+func (s *Sealer) checkSealBatch(dsts [][]byte, datas [][]byte) error {
 	if len(dsts) != len(datas) {
 		return fmt.Errorf("sealer: %d destinations for %d payloads", len(dsts), len(datas))
+	}
+	for _, dst := range dsts {
+		if len(dst) != s.blockSize {
+			return fmt.Errorf("sealer: dst length %d, want %d", len(dst), s.blockSize)
+		}
+	}
+	for _, data := range datas {
+		if len(data) != s.DataSize() {
+			return fmt.Errorf("sealer: data length %d, want %d", len(data), s.DataSize())
+		}
+	}
+	return nil
+}
+
+// checkOpenBatch validates an OpenMany request up front.
+func (s *Sealer) checkOpenBatch(dsts, raws [][]byte) error {
+	if len(dsts) != len(raws) {
+		return fmt.Errorf("sealer: %d destinations for %d raw blocks", len(dsts), len(raws))
+	}
+	for _, raw := range raws {
+		if len(raw) != s.blockSize {
+			return fmt.Errorf("sealer: raw length %d, want %d", len(raw), s.blockSize)
+		}
+	}
+	for _, dst := range dsts {
+		if len(dst) != s.DataSize() {
+			return fmt.Errorf("sealer: dst length %d, want %d", len(dst), s.DataSize())
+		}
+	}
+	return nil
+}
+
+// checkResealBatch validates a ResealMany request up front.
+func (s *Sealer) checkResealBatch(raws [][]byte) error {
+	for _, raw := range raws {
+		if len(raw) != s.blockSize {
+			return fmt.Errorf("sealer: raw length %d, want %d", len(raw), s.blockSize)
+		}
+	}
+	return nil
+}
+
+// SealMany seals datas[i] into dsts[i] for every i, drawing each
+// block's IV through nextIV. It is the batched companion of Seal for
+// bulk writers (formats, reshuffles, flushes). The batch is validated
+// whole before any IV is drawn.
+func (s *Sealer) SealMany(dsts [][]byte, nextIV func(iv []byte), datas [][]byte) error {
+	if err := s.checkSealBatch(dsts, datas); err != nil {
+		return err
 	}
 	var iv [IVSize]byte
 	for i, dst := range dsts {
@@ -179,8 +235,8 @@ func (s *Sealer) SealMany(dsts [][]byte, nextIV func(iv []byte), datas [][]byte)
 // OpenMany decrypts raws[i] into dsts[i] for every i — the batched
 // companion of Open for bulk readers.
 func (s *Sealer) OpenMany(dsts, raws [][]byte) error {
-	if len(dsts) != len(raws) {
-		return fmt.Errorf("sealer: %d destinations for %d raw blocks", len(dsts), len(raws))
+	if err := s.checkOpenBatch(dsts, raws); err != nil {
+		return err
 	}
 	for i, dst := range dsts {
 		if err := s.Open(dst, raws[i]); err != nil {
@@ -194,12 +250,15 @@ func (s *Sealer) OpenMany(dsts, raws [][]byte) error {
 // drawn through nextIV, sharing one pooled scratch buffer across the
 // whole batch instead of allocating per block.
 func (s *Sealer) ResealMany(raws [][]byte, nextIV func(iv []byte)) error {
-	scratch := s.getScratch()
-	defer s.putScratch(scratch)
+	if err := s.checkResealBatch(raws); err != nil {
+		return err
+	}
+	p := s.getScratch()
+	defer s.putScratch(p)
 	var iv [IVSize]byte
 	for _, raw := range raws {
 		nextIV(iv[:])
-		if err := s.Reseal(raw, iv[:], scratch); err != nil {
+		if err := s.Reseal(raw, iv[:], *p); err != nil {
 			return err
 		}
 	}

@@ -118,6 +118,11 @@ func (a *NonVolatileAgent) ResetStats() { a.sched.ResetStats() }
 // the activity signal the adaptive dummy-traffic daemon watches.
 func (a *NonVolatileAgent) DataSeq() uint64 { return a.sched.DataSeq() }
 
+// EnablePipeline switches the agent's dummy bursts to the staged seal
+// pipeline (workers <= 0 selects GOMAXPROCS); the observable update
+// stream is unchanged. Call before concurrent use.
+func (a *NonVolatileAgent) EnablePipeline(workers int) { a.sched.EnablePipeline(workers) }
+
 // fileFAK builds the FAK for Construction 1: the locator comes from
 // the user's secret (so only the user can find the header), while the
 // header and content keys are the agent's global block key (§4.1.2:

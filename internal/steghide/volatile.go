@@ -105,6 +105,11 @@ func (a *VolatileAgent) ResetStats() { a.sched.ResetStats() }
 // the activity signal the adaptive dummy-traffic daemon watches.
 func (a *VolatileAgent) DataSeq() uint64 { return a.sched.DataSeq() }
 
+// EnablePipeline switches the agent's dummy bursts to the staged seal
+// pipeline (workers <= 0 selects GOMAXPROCS); the observable update
+// stream is unchanged. Call before concurrent use.
+func (a *VolatileAgent) EnablePipeline(workers int) { a.sched.EnablePipeline(workers) }
+
 // KnownBlocks returns how many blocks the agent currently knows.
 func (a *VolatileAgent) KnownBlocks() int {
 	a.mu.Lock()

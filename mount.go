@@ -36,6 +36,8 @@ type mountConfig struct {
 	daemon       bool
 	daemonPeriod time.Duration
 	daemonBurst  int
+	pipeline     bool
+	pipeWorkers  int
 	trace        Tracer
 	stripe       []Device
 	sim          bool
@@ -121,6 +123,21 @@ func WithDaemon(period time.Duration) Option {
 	return func(c *mountConfig) error {
 		c.daemon = true
 		c.daemonPeriod = period
+		return nil
+	}
+}
+
+// WithPipeline switches the mounted agent's dummy bursts to the
+// staged seal pipeline: block reads and writes flow through a FIFO
+// async ring over the device while the per-block crypto fans out over
+// `workers` goroutines (<= 0 selects GOMAXPROCS). The observable
+// update stream — every draw, IV and block write, in order — is
+// bit-identical to the serial path, so Definition-1 verdicts and
+// figure metrics are unaffected; only wall-clock time moves.
+func WithPipeline(workers int) Option {
+	return func(c *mountConfig) error {
+		c.pipeline = true
+		c.pipeWorkers = workers
 		return nil
 	}
 }
@@ -315,6 +332,13 @@ func Mount(dev Device, opts ...Option) (*Stack, error) {
 		s.agent2 = NewVolatileAgent(vol, rng)
 	default:
 		return nil, fmt.Errorf("steghide: unknown construction %d", cfg.construction)
+	}
+	if cfg.pipeline {
+		if s.agent1 != nil {
+			s.agent1.EnablePipeline(cfg.pipeWorkers)
+		} else {
+			s.agent2.EnablePipeline(cfg.pipeWorkers)
+		}
 	}
 
 	// Journal: enable, and recover where no out-of-band state is

@@ -393,6 +393,16 @@ func NewTrafficAnalyzer(nBlocks uint64) *TrafficAnalyzer {
 	return attack.NewTrafficAnalyzer(nBlocks)
 }
 
+// CompareStreams is the operational form of Definition 1 (§3.2.4):
+// given the write-address sets of an idle (dummy-only) interval and
+// an active interval, decide whether an observer can tell them apart.
+// A secure deployment yields Detected == false for any workload; the
+// regression oracles use it to pin that optimizations (the seal
+// pipeline among them) move no observable byte.
+func CompareStreams(idle, active []uint64, nBlocks uint64, bins int) (Verdict, error) {
+	return attack.CompareStreams(idle, active, nBlocks, bins)
+}
+
 // Wire layer: serve raw storage or volatile agents over TCP, per the
 // §3.2 system model. Protocol v2 multiplexes every connection —
 // concurrent calls pipeline, cancellation abandons one request, and
