@@ -13,7 +13,7 @@
 //
 //	steghide agent   -storage 127.0.0.1:7070 -addr 127.0.0.1:7071
 //	                 [-dummy-interval 250ms] [-drain-timeout 10s]
-//	                 [-seal-workers -1] [-pprof localhost:6060]
+//	                 [-seal-workers -1] [-http localhost:6060] [-log]
 //	                 [-volume work=127.0.0.1:7070 -volume home=127.0.0.1:7072 ...]
 //	    Run a volatile agent against remote storage, issuing dummy
 //	    updates whenever idle. With -volume flags one daemon mounts
@@ -21,8 +21,12 @@
 //	    (protocol v2's volume field). An interrupt drains gracefully:
 //	    in-flight requests finish and v2 clients are told to redial.
 //	    -seal-workers pipelines burst sealing across cores (the
-//	    observable stream is unchanged); -pprof serves the standard
-//	    net/http/pprof pages for profiling the seal hot loop.
+//	    observable stream is unchanged); -http serves the ops endpoint
+//	    (/metrics, /healthz, /debug/vars and the net/http/pprof pages;
+//	    -pprof is a deprecated alias); -log prints structured
+//	    connection-lifecycle events. Every exported metric and log
+//	    field is leakage-audited in DESIGN.md — hidden pathnames,
+//	    locator secrets and real-vs-dummy classification never appear.
 //
 //	steghide client  -agent 127.0.0.1:7071 -user alice -pass pw
 //	                 [-volume work] [-timeout 5s] [-retry]
@@ -47,8 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof" // -pprof endpoint on the agent subcommand
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -269,12 +272,27 @@ func cmdAgent(args []string) error {
 		"graceful-shutdown budget on interrupt: in-flight requests finish, v2 clients are told to redial elsewhere")
 	sealWorkers := fs.Int("seal-workers", 0,
 		"pipeline dummy-burst sealing across this many workers (-1 = GOMAXPROCS, 0 disables); the observable update stream is unchanged")
+	httpAddr := fs.String("http", "",
+		"serve the ops endpoint on this address: /metrics, /healthz, /debug/vars, /debug/pprof (e.g. localhost:6060; empty disables)")
 	pprofAddr := fs.String("pprof", "",
-		"serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+		"deprecated alias for -http (kept for existing profiling scripts)")
+	logConns := fs.Bool("log", false,
+		"log structured connection-lifecycle events (accept, hello, login, drain, faults) to stderr")
 	var volumes volumeFlags
 	fs.Var(&volumes, "volume",
 		"serve an extra named volume, as name=storageAddr (repeatable); clients select it at login")
 	fs.Parse(args)
+	if *httpAddr == "" {
+		*httpAddr = *pprofAddr
+	}
+
+	// The ops endpoint implies metrics; without it there is no scrape
+	// surface and the registry would just burn atomics. Every mounted
+	// stack shares the one registry, distinguished by volume label.
+	var metrics *steghide.Metrics
+	if *httpAddr != "" {
+		metrics = steghide.NewMetrics()
+	}
 
 	// Shared mount options: every served volume gets its own RNG
 	// seed, journal and dummy-traffic daemon.
@@ -293,18 +311,10 @@ func cmdAgent(args []string) error {
 		if *sealWorkers != 0 {
 			opts = append(opts, steghide.WithPipeline(*sealWorkers))
 		}
+		if metrics != nil {
+			opts = append(opts, steghide.WithMetrics(metrics))
+		}
 		return opts, nil
-	}
-
-	// Profiling endpoint for the seal/burst hot loop; see
-	// EXPERIMENTS.md ("profiling the hot loop").
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "agent: pprof server: %v\n", err)
-			}
-		}()
-		fmt.Printf("agent: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	// Mount replaces the old hand-wired assembly: open each remote
@@ -360,11 +370,24 @@ func cmdAgent(args []string) error {
 			fmt.Printf("agent: volume %q: %v\n", tg.name, rep)
 		}
 	}
-	srv, err := steghide.Serve(*addr, stacks...)
+	var logger *slog.Logger
+	if *logConns {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv, err := steghide.NewServer(steghide.ServerConfig{
+		Addr:         *addr,
+		HTTPAddr:     *httpAddr,
+		DrainTimeout: *drainTimeout,
+		Metrics:      metrics,
+		Logger:       logger,
+	}, stacks...)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("agent: %d volume(s) %v, clients=%s\n", len(stacks), srv.Volumes(), srv.Addr())
+	if ops := srv.HTTPAddr(); ops != "" {
+		fmt.Printf("agent: ops on http://%s (/metrics /healthz /debug/vars /debug/pprof)\n", ops)
+	}
 
 	// Surface daemon failures as they happen, not only at exit: the
 	// daemon swallows ErrNoDummySpace (normal at boot) but anything
@@ -399,7 +422,9 @@ func cmdAgent(args []string) error {
 	// elsewhere (goaway), let in-flight requests finish under the
 	// deadline, then close. A second interrupt — or the deadline —
 	// force-closes the stragglers.
-	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	// The drain deadline lives in the ServerConfig; this context only
+	// carries the force-close signal (a second interrupt).
+	dctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		waitForInterrupt()
 		cancel()

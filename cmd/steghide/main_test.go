@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildBinary compiles the CLI once per test run.
@@ -75,5 +79,109 @@ func TestCLIStorageOpensFormattedImage(t *testing.T) {
 	out, err := exec.Command(bin, "storage", "-img", filepath.Join(t.TempDir(), "missing.img")).CombinedOutput()
 	if err == nil {
 		t.Fatalf("missing image accepted: %s", out)
+	}
+}
+
+// daemonProc is a CLI daemon under test with line-scanned stdout.
+type daemonProc struct {
+	cmd   *exec.Cmd
+	lines chan string
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) *daemonProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %v: %v", args, err)
+	}
+	d := &daemonProc{cmd: cmd, lines: make(chan string, 64)}
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			d.lines <- sc.Text()
+		}
+		close(d.lines)
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+	})
+	return d
+}
+
+// waitLine blocks until the daemon prints a line containing substr.
+func (d *daemonProc) waitLine(t *testing.T, substr string) string {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case line, ok := <-d.lines:
+			if !ok {
+				t.Fatalf("daemon exited before printing %q", substr)
+			}
+			if strings.Contains(line, substr) {
+				return line
+			}
+		case <-deadline:
+			t.Fatalf("timeout waiting for %q", substr)
+		}
+	}
+}
+
+// TestCLIAgentOpsEndpoint boots the full storage → agent daemon pair
+// from the built binary with -http and scrapes the ops endpoint the
+// way a monitoring system would.
+func TestCLIAgentOpsEndpoint(t *testing.T) {
+	bin := buildBinary(t)
+	img := filepath.Join(t.TempDir(), "vol.img")
+	if out, err := exec.Command(bin, "format", "-img", img, "-blocks", "128", "-bs", "1024").CombinedOutput(); err != nil {
+		t.Fatalf("format: %v\n%s", err, out)
+	}
+
+	storage := startDaemon(t, bin, "storage", "-img", img, "-bs", "1024", "-addr", "127.0.0.1:0")
+	line := storage.waitLine(t, "storage: serving")
+	storageAddr := line[strings.LastIndex(line, " on ")+len(" on "):]
+
+	agent := startDaemon(t, bin, "agent",
+		"-storage", storageAddr, "-addr", "127.0.0.1:0",
+		"-http", "127.0.0.1:0", "-dummy-interval", "20ms")
+	line = agent.waitLine(t, "agent: ops on http://")
+	opsAddr := strings.TrimPrefix(line, "agent: ops on http://")
+	opsAddr = opsAddr[:strings.Index(opsAddr, " ")]
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + opsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	// Let the dummy daemon issue a few updates, then scrape.
+	time.Sleep(150 * time.Millisecond)
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"steghide_daemon_issued_total",
+		"steghide_sched_dummy_updates_total",
+		"steghide_wire_active_connections",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
 	}
 }

@@ -5,11 +5,24 @@ import (
 	"context"
 	"errors"
 	"io"
+	"os"
 	"sort"
 	"testing"
 
 	"steghide"
 )
+
+// metricsOptsFromEnv honours the STEGHIDE_METRICS knob the CI matrix
+// sets: with STEGHIDE_METRICS=1 every conformance fixture mounts with
+// a live metric registry attached, so the whole contract suite
+// doubles as an instrumentation soak — identical behavior required
+// with the observability plane on.
+func metricsOptsFromEnv(base ...steghide.Option) []steghide.Option {
+	if os.Getenv("STEGHIDE_METRICS") != "1" {
+		return base
+	}
+	return append(base, steghide.WithMetrics(steghide.NewMetrics()))
+}
 
 // fsFixture builds one FS implementation and hands back a cleanup.
 type fsFixture struct {
@@ -27,10 +40,10 @@ type fsFixture struct {
 // newC2Fixture mounts a Construction-2 stack and logs one user in.
 func newC2Fixture(t *testing.T) steghide.FS {
 	t.Helper()
-	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096),
+	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096), metricsOptsFromEnv(
 		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("conf-c2")}),
 		steghide.WithConstruction2(),
-		steghide.WithSeed([]byte("conf-c2-agent")))
+		steghide.WithSeed([]byte("conf-c2-agent")))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,10 +61,10 @@ func newC2Fixture(t *testing.T) steghide.FS {
 // newC1Fixture mounts a Construction-1 stack.
 func newC1Fixture(t *testing.T) steghide.FS {
 	t.Helper()
-	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096),
+	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096), metricsOptsFromEnv(
 		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("conf-c1")}),
 		steghide.WithConstruction1([]byte("conf-c1-secret")),
-		steghide.WithSeed([]byte("conf-c1-agent")))
+		steghide.WithSeed([]byte("conf-c1-agent")))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,10 +79,10 @@ func newC1Fixture(t *testing.T) steghide.FS {
 // newWireFixture serves a Construction-2 stack over TCP and dials it.
 func newWireFixture(t *testing.T) steghide.FS {
 	t.Helper()
-	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096),
+	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096), metricsOptsFromEnv(
 		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("conf-wire")}),
 		steghide.WithConstruction2(),
-		steghide.WithSeed([]byte("conf-wire-agent")))
+		steghide.WithSeed([]byte("conf-wire-agent")))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +108,11 @@ func newWireFixture(t *testing.T) steghide.FS {
 // cache in front.
 func newObliviousFixture(t *testing.T) steghide.FS {
 	t.Helper()
-	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096),
+	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096), metricsOptsFromEnv(
 		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("conf-obli")}),
 		steghide.WithConstruction1([]byte("conf-obli-secret")),
 		steghide.WithObliviousCache(16, 4), // caches up to 128 distinct blocks
-		steghide.WithSeed([]byte("conf-obli-agent")))
+		steghide.WithSeed([]byte("conf-obli-agent")))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,10 +129,10 @@ func newObliviousFixture(t *testing.T) steghide.FS {
 // layer sits between the FS and the wire.
 func newWireRetryFixture(t *testing.T) steghide.FS {
 	t.Helper()
-	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096),
+	stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096), metricsOptsFromEnv(
 		steghide.WithFormat(steghide.FormatOptions{FillSeed: []byte("conf-retry")}),
 		steghide.WithConstruction2(),
-		steghide.WithSeed([]byte("conf-retry-agent")))
+		steghide.WithSeed([]byte("conf-retry-agent")))...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"steghide/internal/obs"
 )
 
 // Async submit/complete plane. Synchronous Device calls alternate CPU
@@ -54,6 +56,23 @@ type Async struct {
 	inflight  atomic.Int64
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// Observability hooks, nil until Instrument. Rings are often
+	// ephemeral (one per scheduler burst), so they report into
+	// caller-owned series rather than registering their own.
+	submits   *obs.Counter
+	completes *obs.Counter
+	depth     *obs.Gauge
+}
+
+// Instrument attaches submit/complete counters and a queue-depth
+// gauge, typically shared across many short-lived rings. Install
+// before the first Submit; nil hooks stay silent. Only op counts and
+// queue depth are reported — block addresses never leave the ring.
+func (a *Async) Instrument(submits, completes *obs.Counter, depth *obs.Gauge) {
+	a.submits = submits
+	a.completes = completes
+	a.depth = depth
 }
 
 // AsyncOp is one asynchronous block transfer: a single block (Bufs nil) or
@@ -157,6 +176,10 @@ func (a *Async) Workers() int { return a.workers }
 func (a *Async) Submit(op AsyncOp) uint64 {
 	tag := a.nextTag.Add(1)
 	a.inflight.Add(1)
+	if a.submits != nil {
+		a.submits.Inc()
+		a.depth.Inc()
+	}
 	a.ops <- asyncOp{tag: tag, op: op}
 	return tag
 }
@@ -171,6 +194,10 @@ func (a *Async) Complete() (uint64, error) {
 	a.completed = a.completed[1:]
 	a.mu.Unlock()
 	a.inflight.Add(-1)
+	if a.completes != nil {
+		a.completes.Inc()
+		a.depth.Dec()
+	}
 	return c.Tag, c.Err
 }
 

@@ -53,6 +53,7 @@ import (
 	"sync"
 
 	"steghide/internal/blockdev"
+	"steghide/internal/obs"
 	"steghide/internal/prng"
 	"steghide/internal/sealer"
 	"steghide/internal/stegfs"
@@ -285,6 +286,29 @@ func (j *Journal) tag(data []byte) uint64 {
 
 // Slots returns the ring capacity in records.
 func (j *Journal) Slots() uint64 { return j.slots }
+
+// EnableMetrics registers the ring's occupancy series with reg,
+// sampled at scrape time (the gauges take j.mu briefly; the append
+// path is untouched). Occupancy and sequence numbers mirror the slot
+// writes an attacker already counts on the device — which slots hold
+// live records vs noise stays invisible without the key, and no
+// record content, address, or real-vs-filler split is exported.
+func (j *Journal) EnableMetrics(reg *obs.Registry, volume string) {
+	l := []string{"volume", volume}
+	reg.GaugeFunc("steghide_journal_ring_slots",
+		"journal ring capacity in records", func() float64 {
+			return float64(j.slots)
+		}, l...)
+	reg.GaugeFunc("steghide_journal_ring_occupancy",
+		"ring slots written at least once (saturates at capacity)",
+		func() float64 {
+			return float64(min(j.Seq(), j.slots))
+		}, l...)
+	reg.GaugeFunc("steghide_journal_seq",
+		"sequence number the next journal append will use", func() float64 {
+			return float64(j.Seq())
+		}, l...)
+}
 
 // Seq returns the sequence number the next append will use.
 func (j *Journal) Seq() uint64 {

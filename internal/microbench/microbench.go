@@ -9,9 +9,11 @@
 // throughput at 1/4/16/64 concurrent sessions) — plus the wire
 // protocol's paired pipelining benchmark (wire-pipeline/lockstep-N vs
 // /pipelined-N: the same N-session × 8-deep read workload through the
-// v1 lock-step client and the v2 mux) and the staged seal pipeline's
+// v1 lock-step client and the v2 mux), the staged seal pipeline's
 // paired arms (seal-pipeline/serial-N vs /pipelined-N, and the
-// burst-level pair over a live scheduler).
+// burst-level pair over a live scheduler), and the observability
+// plane's paired overhead arms (obs/update-metrics-off vs /on: the
+// same update burst with and without the metric registry attached).
 package microbench
 
 import (
@@ -65,7 +67,8 @@ func suite() []bench {
 	}
 	s = append(s, ConcurrentClientSuite()...)
 	s = append(s, PipelineSuite()...)
-	return append(s, SealPipelineSuite()...)
+	s = append(s, SealPipelineSuite()...)
+	return append(s, ObsSuite()...)
 }
 
 // Run executes the whole suite and returns the results.

@@ -1,0 +1,13 @@
+package microbench
+
+import "testing"
+
+// BenchmarkObsOverhead is the go-test entry point for the paired
+// observability-overhead arms benchrunner emits into
+// BENCH_results.json: the identical scheduler update burst with the
+// metric registry detached and attached. The on/off ratio is the
+// whole cost of the observability plane on the update hot path.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("update-metrics-off", func(b *testing.B) { metricsBurst(b, 64, false) })
+	b.Run("update-metrics-on", func(b *testing.B) { metricsBurst(b, 64, true) })
+}

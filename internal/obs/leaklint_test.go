@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// forbiddenIdent matches identifier fragments that name hidden-volume
+// material: pathnames, locator/access keys, passphrases, real-vs-dummy
+// classification. None of these may flow into a log call or a metric
+// label — the observability plane's privacy contract (DESIGN.md,
+// "Observability plane").
+var forbiddenIdent = regexp.MustCompile(`(?i)(passphrase|passwd|password|locator|secret|fak\b|hiddenpath|pathname|isreal|isdummy)`)
+
+// logFuncs are call targets whose arguments become operator-visible
+// log output or metric label values.
+var logFuncs = map[string]bool{
+	"Info": true, "Warn": true, "Error": true, "Debug": true,
+	"logEvent": true,
+	// obs.Registry label-bearing constructors: variadic tail is
+	// "key", value, ... label pairs.
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"GaugeFunc": true, "RegisterCounter": true,
+}
+
+// TestNoSecretFlowsIntoLogsOrLabels walks every non-test Go file in
+// the module and inspects each call site that feeds the operator
+// surface (slog methods, logEvent, registry label arguments). Any
+// argument expression mentioning an identifier that names secret
+// material fails the build. This is a static complement to the
+// dynamic invariance oracle: the oracle proves one workload leaks
+// nothing, this proves no call site CAN route the usual suspects out.
+func TestNoSecretFlowsIntoLogsOrLabels(t *testing.T) {
+	root := "../.." // module root from internal/obs
+	fset := token.NewFileSet()
+	var checked int
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || name == "related" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		checked++
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if !logFuncs[name] {
+				return true
+			}
+			// err.Error() and friends: no arguments, nothing flows.
+			for _, arg := range call.Args {
+				for _, ident := range identsIn(arg) {
+					if forbiddenIdent.MatchString(ident) {
+						pos := fset.Position(call.Pos())
+						t.Errorf("%s: %s(...) argument mentions forbidden identifier %q — secret material must not reach logs or metric labels",
+							pos, name, ident)
+					}
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked < 20 {
+		t.Fatalf("walked only %d Go files — lint is not seeing the module", checked)
+	}
+}
+
+// calleeName extracts the called function's final name.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// identsIn collects every identifier, selector field and string
+// literal inside an argument expression.
+func identsIn(expr ast.Expr) []string {
+	var out []string
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			out = append(out, v.Name)
+		case *ast.BasicLit:
+			if v.Kind == token.STRING {
+				out = append(out, v.Value)
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -40,9 +40,10 @@ package sched
 import (
 	"context"
 	"errors"
-	"sync/atomic"
+	"time"
 
 	"steghide/internal/blockdev"
+	"steghide/internal/obs"
 	"steghide/internal/sealer"
 	"steghide/internal/stegfs"
 )
@@ -153,12 +154,36 @@ type Scheduler struct {
 	scratch *blockdev.BufPool // single-block scratch buffers
 	pipe    *sealer.Pipeline  // nil → serial bursts (the default)
 
-	dataUpdates  atomic.Uint64
-	iterations   atomic.Uint64
-	relocations  atomic.Uint64
-	inPlace      atomic.Uint64
-	camouflage   atomic.Uint64
-	dummyUpdates atomic.Uint64
+	// Stream counters are obs.Counter so a registry can export the
+	// same atomics Stats reads — one source of truth, no second copy.
+	// They count regardless of whether a registry is attached (the
+	// cost is the identical atomic add as before).
+	dataUpdates  obs.Counter
+	iterations   obs.Counter
+	relocations  obs.Counter
+	inPlace      obs.Counter
+	camouflage   obs.Counter
+	dummyUpdates obs.Counter
+
+	metrics *metricsState // nil → no latency/shape instrumentation
+}
+
+// metricsState is the nil-gated extra instrumentation a registry
+// attaches: latency and shape histograms plus the shared counters the
+// per-burst async rings report into. Everything here describes the
+// observable stream only — timings and counts of updates the attacker
+// already sees — never which updates were real (see DESIGN.md,
+// "Observability plane").
+type metricsState struct {
+	updateSeconds  *obs.Histogram // data-update draw-loop latency
+	updateIters    *obs.Histogram // Figure-6 iterations per data update
+	burstSeconds   *obs.Histogram // dummy-burst latency
+	asyncSubmits   *obs.Counter
+	asyncCompletes *obs.Counter
+	asyncDepth     *obs.Gauge
+
+	reg    *obs.Registry // kept so EnablePipeline can instrument late
+	volume string
 }
 
 // Stats is a snapshot of the scheduler's counters; the field meanings
@@ -203,10 +228,80 @@ func (s *Scheduler) SetIntentLog(il IntentLog) { s.intents = il }
 // use.
 func (s *Scheduler) EnablePipeline(workers int) {
 	s.pipe = sealer.NewPipeline(workers)
+	if s.metrics != nil {
+		s.instrumentPipe(s.metrics.reg, s.metrics.volume)
+	}
 }
 
 // Pipelined reports whether bursts run the staged pipeline.
 func (s *Scheduler) Pipelined() bool { return s.pipe != nil }
+
+// EnableMetrics exports the scheduler's stream counters through reg
+// and attaches latency/shape histograms to the update paths. Like
+// EnablePipeline, install before concurrent use. Every series is
+// labeled by volume name only; block addresses, pathnames and the
+// real-vs-dummy split of individual elements never reach the
+// registry.
+func (s *Scheduler) EnableMetrics(reg *obs.Registry, volume string) {
+	l := []string{"volume", volume}
+	reg.RegisterCounter("steghide_sched_data_updates_total",
+		"data updates emitted on the observable stream", &s.dataUpdates, l...)
+	reg.RegisterCounter("steghide_sched_iterations_total",
+		"Figure-6 draw-loop iterations across all data updates", &s.iterations, l...)
+	reg.RegisterCounter("steghide_sched_relocations_total",
+		"data updates that relocated to a drawn dummy block", &s.relocations, l...)
+	reg.RegisterCounter("steghide_sched_in_place_total",
+		"data updates whose draw hit the block itself", &s.inPlace, l...)
+	reg.RegisterCounter("steghide_sched_camouflage_total",
+		"camouflage dummy updates issued by the draw loop", &s.camouflage, l...)
+	reg.RegisterCounter("steghide_sched_dummy_updates_total",
+		"idle-time dummy updates emitted", &s.dummyUpdates, l...)
+	s.metrics = &metricsState{
+		updateSeconds: reg.Histogram("steghide_sched_update_seconds",
+			"data-update draw-loop latency", obs.LatencyBuckets, l...),
+		updateIters: reg.Histogram("steghide_sched_update_iterations",
+			"Figure-6 iterations per data update", obs.IterationBuckets, l...),
+		burstSeconds: reg.Histogram("steghide_sched_burst_seconds",
+			"dummy-burst latency", obs.LatencyBuckets, l...),
+		asyncSubmits: reg.Counter("steghide_async_submits_total",
+			"batched ops submitted to per-burst async device rings", l...),
+		asyncCompletes: reg.Counter("steghide_async_completes_total",
+			"batched ops completed by per-burst async device rings", l...),
+		asyncDepth: reg.Gauge("steghide_async_queue_depth",
+			"ops in flight on per-burst async device rings", l...),
+		reg:    reg,
+		volume: volume,
+	}
+	if s.pipe != nil {
+		s.instrumentPipe(reg, volume)
+	}
+}
+
+// instrumentPipe wires the staged seal pipeline's throughput counters
+// into reg; split out so EnablePipeline-after-EnableMetrics still gets
+// covered.
+func (s *Scheduler) instrumentPipe(reg *obs.Registry, volume string) {
+	l := []string{"volume", volume}
+	s.pipe.Instrument(
+		reg.Counter("steghide_seal_batches_total",
+			"batches fanned out over the seal pipeline", l...),
+		reg.Counter("steghide_seal_blocks_total",
+			"blocks sealed/resealed through the pipeline", l...),
+		reg.Gauge("steghide_seal_inflight",
+			"blocks currently inside the seal pipeline", l...),
+	)
+}
+
+// observeUpdate records one successful data update's latency and
+// iteration count; nil-safe and free when no registry is attached.
+func (s *Scheduler) observeUpdate(start time.Time, iters int) {
+	m := s.metrics
+	if m == nil {
+		return
+	}
+	m.updateSeconds.Observe(time.Since(start).Seconds())
+	m.updateIters.Observe(float64(iters))
+}
 
 // Stats returns a snapshot of the counters.
 func (s *Scheduler) Stats() Stats {
@@ -220,14 +315,16 @@ func (s *Scheduler) Stats() Stats {
 	}
 }
 
-// ResetStats zeroes the counters.
+// ResetStats zeroes the counters. A registry exporting them sees the
+// reset as a counter restart, which Prometheus-style scrapers already
+// handle (it looks like a process restart).
 func (s *Scheduler) ResetStats() {
-	s.dataUpdates.Store(0)
-	s.iterations.Store(0)
-	s.relocations.Store(0)
-	s.inPlace.Store(0)
-	s.camouflage.Store(0)
-	s.dummyUpdates.Store(0)
+	s.dataUpdates.Reset()
+	s.iterations.Reset()
+	s.relocations.Reset()
+	s.inPlace.Reset()
+	s.camouflage.Reset()
+	s.dummyUpdates.Reset()
 }
 
 // DataSeq returns a monotonically increasing count of data updates —
@@ -271,6 +368,11 @@ func (s *Scheduler) Update(loc uint64, seal *sealer.Sealer, payload []byte) (uin
 // I/O lands after the abort, so the block being updated keeps its
 // pre-call content.
 func (s *Scheduler) UpdateCtx(ctx context.Context, loc uint64, seal *sealer.Sealer, payload []byte) (uint64, error) {
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
+	iters := 0
 	counted := false
 	for {
 		if err := ctx.Err(); err != nil {
@@ -289,6 +391,7 @@ func (s *Scheduler) UpdateCtx(ctx context.Context, loc uint64, seal *sealer.Seal
 			counted = true
 		}
 		s.iterations.Add(1)
+		iters++
 		switch t.Kind {
 		case Redraw:
 			continue
@@ -316,6 +419,7 @@ func (s *Scheduler) UpdateCtx(ctx context.Context, loc uint64, seal *sealer.Seal
 				return 0, err
 			}
 			s.inPlace.Add(1)
+			s.observeUpdate(start, iters)
 			return loc, nil
 
 		case Relocate:
@@ -345,6 +449,7 @@ func (s *Scheduler) UpdateCtx(ctx context.Context, loc uint64, seal *sealer.Seal
 			s.putBuf(raw)
 			unlock()
 			s.relocations.Add(1)
+			s.observeUpdate(start, iters)
 			return t.Loc, nil
 
 		case Camouflage:
@@ -465,12 +570,19 @@ func (s *Scheduler) DummyUpdateBurst(n int) (int, error) {
 		}
 	}
 
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
 	if s.pipe != nil {
 		if err := s.burstPipelined(elig, seals); err != nil {
 			return 0, err
 		}
 	} else if err := s.burstSerial(elig, seals); err != nil {
 		return 0, err
+	}
+	if m := s.metrics; m != nil {
+		m.burstSeconds.Observe(time.Since(start).Seconds())
 	}
 	s.dummyUpdates.Add(uint64(len(elig)))
 	return len(elig), nil
@@ -549,6 +661,12 @@ func (s *Scheduler) burstPipelined(elig []uint64, seals []*sealer.Sealer) error 
 	chunks := (n + burstChunk - 1) / burstChunk
 	ring := blockdev.NewAsync(s.dev, 1, 2*chunks)
 	defer ring.Close()
+	if m := s.metrics; m != nil {
+		// Per-burst rings are ephemeral; they report into the
+		// scheduler's shared series so queue depth and throughput
+		// survive the ring.
+		ring.Instrument(m.asyncSubmits, m.asyncCompletes, m.asyncDepth)
+	}
 
 	// All reads up front, in eligible order (fact 2); the queue is
 	// sized for the whole burst so no Submit ever blocks.

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"steghide/internal/obs"
 )
 
 // Pipeline fans the batched seal operations out over a bounded pool of
@@ -33,6 +35,22 @@ import (
 // the pool size, so an idle Pipeline costs nothing.
 type Pipeline struct {
 	workers int
+
+	// Observability hooks, nil until Instrument: batch/block
+	// throughput counters and an in-flight gauge. They record batch
+	// sizes and counts only — never which blocks a batch touched.
+	batches  *obs.Counter
+	blocks   *obs.Counter
+	inflight *obs.Gauge
+}
+
+// Instrument attaches throughput counters and an in-flight gauge,
+// updated by Each (the primitive every batch method routes through).
+// Install before concurrent use; nil hooks stay silent.
+func (p *Pipeline) Instrument(batches, blocks *obs.Counter, inflight *obs.Gauge) {
+	p.batches = batches
+	p.blocks = blocks
+	p.inflight = inflight
 }
 
 // NewPipeline returns a pipeline of the given width; workers <= 0
@@ -58,6 +76,12 @@ func (p *Pipeline) Workers() int { return p.workers }
 func (p *Pipeline) Each(n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
+	}
+	if p.batches != nil {
+		p.batches.Inc()
+		p.blocks.Add(uint64(n))
+		p.inflight.Add(int64(n))
+		defer p.inflight.Add(int64(-n))
 	}
 	workers := min(p.workers, n)
 	if workers <= 1 {

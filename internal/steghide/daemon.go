@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"steghide/internal/obs"
 )
 
 // DummySource is anything that can emit one dummy update — both agent
@@ -55,10 +57,13 @@ type Daemon struct {
 	stop    chan struct{}
 	done    chan struct{}
 	lastSeq uint64
-	issued  uint64
-	skipped uint64
-	errs    uint64
-	lastErr error
+	lastErr error // most recent tick error, guarded by mu
+
+	// Tick counters are obs.Counter so EnableMetrics can export the
+	// same atomics the accessors read — one source of truth.
+	issued  obs.Counter
+	skipped obs.Counter
+	errs    obs.Counter
 }
 
 // NewDaemon prepares (but does not start) a dummy-traffic daemon.
@@ -125,20 +130,20 @@ func (d *Daemon) loop(stop, done chan struct{}) {
 			return
 		case <-ticker.C:
 			issued, skipped, err := d.tick()
-			d.mu.Lock()
-			d.issued += issued // partial bursts still count what went out
+			d.issued.Add(issued) // partial bursts still count what went out
 			if skipped {
-				d.skipped++
+				d.skipped.Inc()
 			}
 			switch {
 			case err == nil:
 			case errors.Is(err, ErrNoDummySpace):
 				// Nothing disclosed yet — normal at boot; keep ticking.
 			default:
-				d.errs++
+				d.errs.Inc()
+				d.mu.Lock()
 				d.lastErr = err
+				d.mu.Unlock()
 			}
-			d.mu.Unlock()
 		}
 	}
 }
@@ -191,23 +196,31 @@ func (d *Daemon) Stop() {
 }
 
 // Issued returns how many dummy updates the daemon has emitted.
-func (d *Daemon) Issued() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.issued
-}
+func (d *Daemon) Issued() uint64 { return d.issued.Load() }
 
 // Skipped returns how many ticks the adaptive daemon suppressed
 // because real updates already kept the stream busy.
-func (d *Daemon) Skipped() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.skipped
-}
+func (d *Daemon) Skipped() uint64 { return d.skipped.Load() }
 
 // Errors returns the failure count and the most recent error.
 func (d *Daemon) Errors() (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.errs, d.lastErr
+	return d.errs.Load(), d.lastErr
+}
+
+// EnableMetrics exports the daemon's tick counters through reg. The
+// counters describe dummy traffic cadence — something the attacker
+// watching the device already sees in full — and the skip counter
+// only reveals that *some* real traffic flowed in a period, which the
+// stream's own cadence reveals identically. Safe to call while the
+// daemon runs.
+func (d *Daemon) EnableMetrics(reg *obs.Registry, volume string) {
+	l := []string{"volume", volume}
+	reg.RegisterCounter("steghide_daemon_issued_total",
+		"dummy updates the idle daemon has emitted", &d.issued, l...)
+	reg.RegisterCounter("steghide_daemon_skipped_total",
+		"adaptive ticks suppressed because real traffic kept the stream busy", &d.skipped, l...)
+	reg.RegisterCounter("steghide_daemon_errors_total",
+		"daemon ticks that failed", &d.errs, l...)
 }

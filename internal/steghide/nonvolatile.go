@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"steghide/internal/obs"
 	"steghide/internal/prng"
 	"steghide/internal/sched"
 	"steghide/internal/sealer"
@@ -122,6 +123,20 @@ func (a *NonVolatileAgent) DataSeq() uint64 { return a.sched.DataSeq() }
 // pipeline (workers <= 0 selects GOMAXPROCS); the observable update
 // stream is unchanged. Call before concurrent use.
 func (a *NonVolatileAgent) EnablePipeline(workers int) { a.sched.EnablePipeline(workers) }
+
+// EnableMetrics exports the agent's observability series through reg:
+// the scheduler's stream counters and histograms plus the journal
+// ring's occupancy when journaled. Call after EnableJournal /
+// EnablePipeline, before concurrent use. Deliberately absent: any
+// open-file or known-file count — for Construction 1 that number is
+// exactly what the volume hides, and no attacker position observes
+// it, so it must not surface on an ops endpoint either.
+func (a *NonVolatileAgent) EnableMetrics(reg *obs.Registry, volume string) {
+	a.sched.EnableMetrics(reg, volume)
+	if a.intents != nil {
+		a.intents.j.EnableMetrics(reg, volume)
+	}
+}
 
 // fileFAK builds the FAK for Construction 1: the locator comes from
 // the user's secret (so only the user can find the header), while the

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"steghide/internal/obs"
 	"steghide/internal/prng"
 	"steghide/internal/sched"
 	"steghide/internal/sealer"
@@ -109,6 +110,28 @@ func (a *VolatileAgent) DataSeq() uint64 { return a.sched.DataSeq() }
 // pipeline (workers <= 0 selects GOMAXPROCS); the observable update
 // stream is unchanged. Call before concurrent use.
 func (a *VolatileAgent) EnablePipeline(workers int) { a.sched.EnablePipeline(workers) }
+
+// EnableMetrics exports the agent's observability series through reg:
+// the scheduler's stream counters and histograms, the journal ring's
+// occupancy (when journaled), and a live session-count gauge. Call
+// after EnableJournal/EnablePipeline so every layer is covered, and
+// before concurrent use. Series are labeled by volume name only —
+// usernames, pathnames and locator material never reach the registry
+// (the session gauge is a count; login frames are wire-visible
+// anyway, their number discloses nothing new).
+func (a *VolatileAgent) EnableMetrics(reg *obs.Registry, volume string) {
+	a.sched.EnableMetrics(reg, volume)
+	a.mu.Lock()
+	jc := a.jc2
+	a.mu.Unlock()
+	if jc != nil {
+		jc.j.EnableMetrics(reg, volume)
+	}
+	reg.GaugeFunc("steghide_sessions",
+		"users currently logged in", func() float64 {
+			return float64(len(a.Users()))
+		}, "volume", volume)
+}
 
 // KnownBlocks returns how many blocks the agent currently knows.
 func (a *VolatileAgent) KnownBlocks() int {

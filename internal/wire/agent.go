@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -37,6 +38,10 @@ type AgentServer struct {
 
 	maxFrame uint64
 	forceV1  bool // interop knob: behave like a pre-v2 server
+
+	// Observability attachments (ServeOptions); both nil-safe.
+	log     *slog.Logger
+	metrics *serverMetrics
 
 	// Graceful-drain state: live connections, and whether Shutdown has
 	// begun (after which new connections are refused).
@@ -83,7 +88,21 @@ func NewMultiAgentServerListener(ln net.Listener, volumes map[string]*steghide.V
 	return newAgentServerListener(ln, volumes, maxBodySize, false)
 }
 
+// NewMultiAgentServerListenerOpts is NewMultiAgentServerListener with
+// observability attachments: a structured lifecycle logger and/or a
+// metrics registry (see ServeOptions for the privacy contract both
+// honor). Attachments are fixed at construction — the accept loop
+// starts before the constructor returns, so there is no later moment
+// to install them race-free.
+func NewMultiAgentServerListenerOpts(ln net.Listener, volumes map[string]*steghide.VolatileAgent, opts ServeOptions) (*AgentServer, error) {
+	return newAgentServerListenerOpts(ln, volumes, maxBodySize, false, opts)
+}
+
 func newAgentServerListener(ln net.Listener, volumes map[string]*steghide.VolatileAgent, maxFrame uint64, forceV1 bool) (*AgentServer, error) {
+	return newAgentServerListenerOpts(ln, volumes, maxFrame, forceV1, ServeOptions{})
+}
+
+func newAgentServerListenerOpts(ln net.Listener, volumes map[string]*steghide.VolatileAgent, maxFrame uint64, forceV1 bool, opts ServeOptions) (*AgentServer, error) {
 	if len(volumes) == 0 {
 		return nil, fmt.Errorf("wire: agent server needs at least one volume")
 	}
@@ -94,10 +113,57 @@ func newAgentServerListener(ln net.Listener, volumes map[string]*steghide.Volati
 		}
 		vols[name] = agent
 	}
-	s := &AgentServer{volumes: vols, ln: ln, maxFrame: maxFrame, forceV1: forceV1, conns: map[*connServer]struct{}{}}
+	s := &AgentServer{
+		volumes:  vols,
+		ln:       ln,
+		maxFrame: maxFrame,
+		forceV1:  forceV1,
+		log:      opts.Logger,
+		metrics:  newServerMetrics(opts.Metrics),
+		conns:    map[*connServer]struct{}{},
+	}
+	if reg := opts.Metrics; reg != nil {
+		// Scrape-time gauges over the connection table. The counts are
+		// facts the network side already exposes (TCP connections and
+		// outstanding frames are visible on the path); nothing about
+		// what the requests do is sampled.
+		reg.GaugeFunc("steghide_wire_active_connections",
+			"connections currently served", func() float64 {
+				s.cmu.Lock()
+				defer s.cmu.Unlock()
+				return float64(len(s.conns))
+			})
+		reg.GaugeFunc("steghide_wire_inflight_requests",
+			"requests dispatched but not yet replied, across all connections",
+			func() float64 {
+				s.cmu.Lock()
+				defer s.cmu.Unlock()
+				var n int64
+				for cs := range s.conns {
+					n += cs.inflightN.Load()
+				}
+				return float64(n)
+			})
+		reg.GaugeFunc("steghide_wire_draining",
+			"1 while Shutdown is draining connections, else 0", func() float64 {
+				if s.Draining() {
+					return 1
+				}
+				return 0
+			})
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// Draining reports whether Shutdown has begun — the bit an ops
+// health endpoint turns into a 503 so load balancers steer away
+// while in-flight requests finish.
+func (s *AgentServer) Draining() bool {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.down
 }
 
 // AddVolume registers another mounted volume under name while the
@@ -159,6 +225,9 @@ func (s *AgentServer) Shutdown(ctx context.Context) error {
 		conns = append(conns, cs)
 	}
 	s.cmu.Unlock()
+	if s.log != nil {
+		s.log.Info("wire: shutdown draining", "connections", len(conns))
+	}
 	s.ln.Close() //nolint:errcheck // re-Shutdown / racing Close
 	var dwg sync.WaitGroup
 	for _, cs := range conns {
@@ -170,6 +239,9 @@ func (s *AgentServer) Shutdown(ctx context.Context) error {
 	}
 	dwg.Wait()
 	s.wg.Wait()
+	if s.log != nil {
+		s.log.Info("wire: shutdown complete")
+	}
 	return ctx.Err()
 }
 
@@ -201,12 +273,17 @@ func (s *AgentServer) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			st := &connSession{}
-			cs := &connServer{conn: conn, maxFrame: s.maxFrame, forceV1: s.forceV1}
+			st := &connSession{remote: conn.RemoteAddr().String()}
+			cs := &connServer{conn: conn, maxFrame: s.maxFrame, forceV1: s.forceV1,
+				log: s.log, metrics: s.metrics}
 			if !s.track(cs) {
 				return // raced Shutdown: the listener is already closed
 			}
 			defer s.untrack(cs)
+			if s.metrics != nil {
+				s.metrics.connections.Inc()
+			}
+			cs.logEvent("wire: connection accepted")
 			cs.serve(func(ctx context.Context, req frame, limit uint64) frame {
 				return s.handle(ctx, req, st, limit)
 			})
@@ -224,6 +301,8 @@ func (s *AgentServer) acceptLoop() {
 // session object itself is safe for concurrent use (PR 2's scheduler
 // merges all its I/O into the volume's update stream).
 type connSession struct {
+	remote string // peer address, fixed at accept (for log correlation)
+
 	mu    sync.Mutex
 	sess  *steghide.Session
 	user  string
@@ -270,6 +349,13 @@ func (s *AgentServer) handle(ctx context.Context, req frame, st *connSession, li
 		st.sess = sess
 		st.user = u
 		st.agent = agent
+		s.metrics.login(volume)
+		if s.log != nil {
+			// Username and volume name ride the login frame in the
+			// clear — already wire-visible. The passphrase is not
+			// logged, here or anywhere.
+			s.log.Info("wire: login", "user", u, "volume", volume, "remote", st.remote)
+		}
 		return frame{Type: msgOK}
 
 	case msgLogout:
@@ -278,12 +364,16 @@ func (s *AgentServer) handle(ctx context.Context, req frame, st *connSession, li
 		if st.sess == nil {
 			return errFrame(steghide.ErrUnknownUser)
 		}
+		user := st.user
 		err := st.agent.Logout(st.user)
 		st.sess = nil
 		st.user = ""
 		st.agent = nil
 		if err != nil {
 			return errFrame(err)
+		}
+		if s.log != nil {
+			s.log.Info("wire: logout", "user", user, "remote", st.remote)
 		}
 		return frame{Type: msgOK}
 	}

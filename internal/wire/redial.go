@@ -140,6 +140,9 @@ func transient(err error) bool {
 // fault.
 func (r *Redialer) call(ctx context.Context, req frame, idempotent bool) (frame, error) {
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			clientRetries.Inc()
+		}
 		m, err := r.acquire(ctx)
 		if err == nil {
 			var resp frame
@@ -153,6 +156,7 @@ func (r *Redialer) call(ctx context.Context, req frame, idempotent bool) (frame,
 			}
 			r.invalidate(m)
 			if sent && !idempotent {
+				clientMaybeApplied.Inc()
 				return frame{}, fmt.Errorf("%w: %w", ErrMaybeApplied, err)
 			}
 		} else if !transient(err) {
@@ -259,6 +263,7 @@ func (r *Redialer) acquire(ctx context.Context) (*muxConn, error) {
 // dialOne establishes and initializes one connection: dial, hello
 // negotiation, then the onConnect session replay.
 func (r *Redialer) dialOne(ctx context.Context, addr string) (*muxConn, error) {
+	clientRedials.Inc()
 	m, err := dialMux(ctx, addr, r.proposeMax, r.forceV1)
 	if err != nil {
 		return nil, err

@@ -2,7 +2,10 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -34,12 +37,56 @@ type connServer struct {
 	maxFrame uint64 // server's offer; lowered to the negotiated value
 	forceV1  bool   // interop knob: behave like a pre-v2 server
 
+	// Observability attachments, both nil-safe (see ServeOptions).
+	log     *slog.Logger
+	metrics *serverMetrics
+
 	wmu sync.Mutex // one reply frame at a time on the socket
 
 	// Drain bookkeeping: requests dispatched but not yet replied, and
 	// whether the negotiated protocol understands msgGoaway.
 	inflightN atomic.Int64
 	isV2      atomic.Bool
+}
+
+// logEvent emits one lifecycle record tagged with the peer address —
+// a fact the network already shows anyone on the path.
+func (cs *connServer) logEvent(msg string, attrs ...any) {
+	if cs.log == nil {
+		return
+	}
+	cs.log.Info(msg, append([]any{"remote", cs.conn.RemoteAddr().String()}, attrs...)...)
+}
+
+// countRequest bumps the dispatched-request counter.
+func (cs *connServer) countRequest() {
+	if cs.metrics != nil {
+		cs.metrics.requests.Inc()
+	}
+}
+
+// closedByPeer reports whether a read-loop error is a clean
+// teardown — EOF from the peer hanging up, or our own side closing
+// the socket (drain, Shutdown) — as opposed to a transport fault.
+func closedByPeer(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)
+}
+
+// finishRead classifies the read-loop error that ended the
+// connection: clean closes log as disconnects, anything else counts
+// and logs as a transport fault.
+func (cs *connServer) finishRead(err error) {
+	if closedByPeer(err) {
+		cs.logEvent("wire: connection closed")
+		return
+	}
+	if cs.metrics != nil {
+		cs.metrics.faults.Inc()
+	}
+	if cs.log != nil {
+		cs.log.Warn("wire: transport fault",
+			"remote", cs.conn.RemoteAddr().String(), "err", err.Error())
+	}
 }
 
 // job is one dispatched request with its cancellation handle.
@@ -57,6 +104,7 @@ func (cs *connServer) serve(handle handlerFunc) {
 	// full-size batch write.
 	first, err := readFrame(cs.conn, maxBodySize)
 	if err != nil {
+		cs.finishRead(err)
 		return
 	}
 	if first.Type == msgHello && !cs.forceV1 {
@@ -72,6 +120,7 @@ func (cs *connServer) serve(handle handlerFunc) {
 				return
 			}
 			cs.isV2.Store(true)
+			cs.logEvent("wire: hello negotiated", "version", 2, "max_frame", negotiated)
 			cs.serveV2(handle)
 			return
 		}
@@ -80,6 +129,7 @@ func (cs *connServer) serve(handle handlerFunc) {
 		if err := cs.write(frame{Type: msgHello, ID: first.ID, Body: helloBody(protoV1, maxBodySize)}); err != nil {
 			return
 		}
+		cs.logEvent("wire: hello negotiated", "version", 1, "max_frame", uint64(maxBodySize))
 		cs.serveV1(nil, handle)
 		return
 	}
@@ -108,6 +158,7 @@ func (cs *connServer) serveV1(first *frame, handle handlerFunc) {
 	for {
 		req, err := readFrame(cs.conn, maxBodySize)
 		if err != nil {
+			cs.finishRead(err)
 			return
 		}
 		if err := cs.serveOne(ctx, req, handle); err != nil {
@@ -126,6 +177,7 @@ func (cs *connServer) serveOne(ctx context.Context, req frame, handle handlerFun
 		// default arm, and so does the emulation.
 		return cs.write(frame{Type: msgOK, ID: req.ID})
 	}
+	cs.countRequest()
 	cs.inflightN.Add(1)
 	resp := handle(ctx, req, maxBodySize)
 	resp.ID = req.ID
@@ -181,6 +233,7 @@ func (cs *connServer) serveV2(handle handlerFunc) {
 	for {
 		req, err := readFrame(cs.conn, cs.maxFrame)
 		if err != nil {
+			cs.finishRead(err)
 			return
 		}
 		if req.Type == msgCancel {
@@ -217,6 +270,7 @@ func (cs *connServer) serveV2(handle handlerFunc) {
 			jcancel()
 			return
 		}
+		cs.countRequest()
 		cs.inflightN.Add(1)
 		select {
 		case jobs <- job{req: req, ctx: jctx, cancel: jcancel}:
@@ -244,10 +298,15 @@ func (cs *connServer) write(f frame) error {
 // (there is no frame for it pre-v2): their in-flight request drains
 // and the close itself is the signal, unchanged semantics.
 func (cs *connServer) drain(ctx context.Context) {
+	cs.logEvent("wire: draining connection", "inflight", cs.inflightN.Load())
 	if cs.isV2.Load() {
 		// Best effort: a peer that already hung up just fails the
 		// write, and the close below is a no-op on a dead socket.
 		cs.write(frame{Type: msgGoaway}) //nolint:errcheck
+		if cs.metrics != nil {
+			cs.metrics.goaways.Inc()
+		}
+		cs.logEvent("wire: goaway sent")
 	}
 	t := time.NewTicker(2 * time.Millisecond)
 	defer t.Stop()

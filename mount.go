@@ -44,6 +44,7 @@ type mountConfig struct {
 	simParams    *DiskParams
 	rng          *PRNG
 	volName      string
+	metrics      *Metrics
 }
 
 // Option configures Mount.
@@ -217,6 +218,26 @@ func WithVolumeName(name string) Option {
 	}
 }
 
+// WithMetrics exports the stack's observability series through m:
+// the scheduler's stream counters and latency/shape histograms, seal
+// pipeline and async ring throughput, journal ring occupancy, daemon
+// tick counters, and (Construction 2) a session-count gauge — all
+// labeled by the stack's volume name. One registry may serve many
+// stacks; series stay distinct per volume. Attaching a registry does
+// not move a single observable byte (pinned by the metrics invariance
+// oracle), and no hidden pathname, locator secret or real-vs-dummy
+// classification ever reaches a series or label (DESIGN.md carries
+// the per-metric leakage argument).
+func WithMetrics(m *Metrics) Option {
+	return func(c *mountConfig) error {
+		if m == nil {
+			return errors.New("steghide: WithMetrics needs a registry")
+		}
+		c.metrics = m
+		return nil
+	}
+}
+
 // WithSeed is WithRNG(NewPRNG(seed)).
 func WithSeed(seed []byte) Option {
 	return func(c *mountConfig) error {
@@ -242,6 +263,7 @@ type Stack struct {
 	jpass   string
 	secret  []byte
 	bootRec *JournalReport
+	metrics *Metrics
 }
 
 // Mount assembles a stack on dev. With no options it opens an
@@ -379,6 +401,19 @@ func Mount(dev Device, opts ...Option) (*Stack, error) {
 		}
 	}
 
+	// Metrics: attached after pipeline and journal exist (so their
+	// series register) but before the daemon starts — the scheduler's
+	// instrumentation pointer must be in place before anything drives
+	// concurrent updates.
+	if cfg.metrics != nil {
+		s.metrics = cfg.metrics
+		if s.agent1 != nil {
+			s.agent1.EnableMetrics(cfg.metrics, s.name)
+		} else {
+			s.agent2.EnableMetrics(cfg.metrics, s.name)
+		}
+	}
+
 	// Dummy-traffic daemon.
 	if cfg.daemon {
 		var src DummySource = s.agent2
@@ -388,6 +423,9 @@ func Mount(dev Device, opts ...Option) (*Stack, error) {
 		s.daemon = NewDummyDaemon(src, cfg.daemonPeriod)
 		if cfg.daemonBurst > 1 {
 			s.daemon.WithBurst(cfg.daemonBurst)
+		}
+		if cfg.metrics != nil {
+			s.daemon.EnableMetrics(cfg.metrics, s.name)
 		}
 		s.daemon.Start()
 	}
@@ -435,6 +473,9 @@ func (s *Stack) ObliviousCache() *ObliviousFS { return s.cache }
 // BootRecovery returns the journal-recovery report Mount produced
 // while bringing a journaled Construction-2 stack up, or nil.
 func (s *Stack) BootRecovery() *JournalReport { return s.bootRec }
+
+// Metrics returns the registry WithMetrics attached, or nil.
+func (s *Stack) Metrics() *Metrics { return s.metrics }
 
 // Serve exposes the stacks' agents to remote clients on one TCP
 // address: a single daemon fronting a fleet of mounted volumes, each

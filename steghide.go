@@ -77,6 +77,7 @@ import (
 	"steghide/internal/diskmodel"
 	"steghide/internal/journal"
 	"steghide/internal/oblivious"
+	"steghide/internal/obs"
 	"steghide/internal/prng"
 	"steghide/internal/sealer"
 	"steghide/internal/stegfs"
@@ -328,6 +329,28 @@ var (
 	ErrNoDummySpace = steghide.ErrNoDummySpace
 	ErrCacheFull    = oblivious.ErrCacheFull
 )
+
+// Metrics is the leakage-audited metrics registry of the
+// observability plane: zero-dependency atomic counters, gauges and
+// fixed-bucket histograms with Prometheus-text and JSON exposition.
+// Attach one to a stack with WithMetrics and to a server with
+// ServerConfig.Metrics; every exported series carries a leakage
+// argument in DESIGN.md ("Observability plane"), and attaching a
+// registry is proven not to move a single observable byte by the
+// metrics invariance oracle. MetricValue is one series' state in a
+// Snapshot.
+type (
+	Metrics     = obs.Registry
+	MetricValue = obs.Value
+)
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// RegisterClientMetrics exports the self-healing wire client's
+// redial/retry/maybe-applied counters through m (process-wide totals
+// shared by every Redialer-backed client in the process).
+func RegisterClientMetrics(m *Metrics) { wire.RegisterClientMetrics(m) }
 
 // NonVolatileAgent is Construction 1 (§4.1, "StegHide*"): the agent
 // keeps a global block key and the data/dummy bitmap in persistent
