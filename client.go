@@ -1,0 +1,77 @@
+package steghide
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ClientConfig gathers one client-side connection's knobs the way
+// ServerConfig gathers the daemon's: everything cmd/steghide client
+// (and any embedding program) needs to reach a session FS — one
+// agent, a named volume, or a whole sharded fleet — without flag
+// sprawl. The zero value of every optional field means "off".
+type ClientConfig struct {
+	// Agent is the agent daemon's address. Ignored when Cluster is
+	// set; required otherwise.
+	Agent string
+	// Cluster lists the shard daemon addresses of a fleet. When
+	// non-empty the dial returns a Cluster FS over all of them (the
+	// default volume of each) and Agent/Volume are ignored.
+	Cluster []string
+	// Volume selects a named volume on a multi-volume agent; empty is
+	// the default volume.
+	Volume string
+	// User and Passphrase are the login credentials (required).
+	User string
+	// Passphrase derives the login's FAKs — and, for a fleet, the
+	// placement key (ClusterKey); it never crosses the wire itself.
+	Passphrase string
+	// Timeout bounds the dial and login; 0 means none. It does not
+	// govern later FS calls — pass per-call contexts for that.
+	Timeout time.Duration
+	// Retry makes the session self-healing (WithRetry semantics).
+	// Implied by Fallbacks or a non-zero Policy.
+	Retry bool
+	// Policy tunes the retry backoff; the zero value means library
+	// defaults.
+	Policy RetryPolicy
+	// Fallbacks are additional addresses the self-healing client
+	// rotates through on failure or drain (WithRedial semantics). For
+	// a cluster they apply to every shard connection.
+	Fallbacks []string
+}
+
+// options translates the config to DialOptions.
+func (c ClientConfig) options() []DialOption {
+	var opts []DialOption
+	if c.Retry || len(c.Fallbacks) > 0 || c.Policy != (RetryPolicy{}) {
+		opts = append(opts, WithRetry(c.Policy))
+	}
+	if len(c.Fallbacks) > 0 {
+		opts = append(opts, WithRedial(c.Fallbacks...))
+	}
+	return opts
+}
+
+// Dial connects per the config and returns the session FS: a Cluster
+// over Cluster addresses when set, otherwise a remote session on
+// Agent/Volume. The context bounds dial and login (tightened by
+// Timeout); the returned FS outlives it.
+func (c ClientConfig) Dial(ctx context.Context) (FS, error) {
+	if c.User == "" || c.Passphrase == "" {
+		return nil, pathErr("dial", "", errors.New("steghide: ClientConfig needs User and Passphrase"))
+	}
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	if len(c.Cluster) > 0 {
+		return DialClusterFS(ctx, c.Cluster, c.User, c.Passphrase, c.options()...)
+	}
+	if c.Agent == "" {
+		return nil, pathErr("dial", "", errors.New("steghide: ClientConfig needs Agent or Cluster addresses"))
+	}
+	return DialVolumeFS(ctx, c.Agent, c.Volume, c.User, c.Passphrase, c.options()...)
+}

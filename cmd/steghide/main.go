@@ -29,7 +29,8 @@
 //	    locator secrets and real-vs-dummy classification never appear.
 //
 //	steghide client  -agent 127.0.0.1:7071 -user alice -pass pw
-//	                 [-volume work] [-timeout 5s] [-retry]
+//	                 [-volume work] [-cluster a:7071,b:7071,...]
+//	                 [-timeout 5s] [-retry]
 //	                 [-fallback 127.0.0.1:7072 ...] <op> ...
 //	    One-shot client operations over the unified steghide.FS:
 //	      mkdummy <path> <blocks>     create+disclose a dummy file
@@ -40,7 +41,10 @@
 //	      rm      <path>              delete a file (blocks stay as cover)
 //	      probe   <path>              report existence/size (deniably)
 //	    With -retry the session self-heals across connection faults
-//	    and daemon restarts; -fallback adds redial addresses.
+//	    and daemon restarts; -fallback adds redial addresses. With
+//	    -cluster the ops run against one deniable namespace sharded
+//	    over every listed daemon (keyed consistent hashing; the
+//	    file→shard map derives from the login secret).
 //
 //	steghide client  -agent 127.0.0.1:7071 -ping
 //	    Credential-free liveness probe (health checks, fleet routers).
@@ -278,6 +282,8 @@ func cmdAgent(args []string) error {
 		"deprecated alias for -http (kept for existing profiling scripts)")
 	logConns := fs.Bool("log", false,
 		"log structured connection-lifecycle events (accept, hello, login, drain, faults) to stderr")
+	loginQuota := fs.Uint64("login-quota", 0,
+		"per-login block budget on every served volume (0 = unlimited); overage surfaces as a full-volume error, timed like any other rejection")
 	var volumes volumeFlags
 	fs.Var(&volumes, "volume",
 		"serve an extra named volume, as name=storageAddr (repeatable); clients select it at login")
@@ -310,6 +316,9 @@ func cmdAgent(args []string) error {
 		}
 		if *sealWorkers != 0 {
 			opts = append(opts, steghide.WithPipeline(*sealWorkers))
+		}
+		if *loginQuota > 0 {
+			opts = append(opts, steghide.WithLoginQuota(*loginQuota))
 		}
 		if metrics != nil {
 			opts = append(opts, steghide.WithMetrics(metrics))
@@ -451,6 +460,8 @@ func cmdClient(args []string) error {
 	user := fs.String("user", "", "user name")
 	pass := fs.String("pass", "", "passphrase")
 	volume := fs.String("volume", "", "volume name on a multi-volume agent (empty = default volume)")
+	cluster := fs.String("cluster", "",
+		"comma-separated shard daemon addresses: one deniable namespace over the whole fleet (overrides -agent/-volume)")
 	timeout := fs.Duration("timeout", 0, "per-invocation deadline (0 = none)")
 	ping := fs.Bool("ping", false, "liveness probe: ping the daemon (no credentials) and exit")
 	retry := fs.Bool("retry", false,
@@ -488,16 +499,24 @@ func cmdClient(args []string) error {
 		return fmt.Errorf("client needs -user, -pass and an operation (see -h)")
 	}
 
-	var opts []steghide.DialOption
-	if *retry || len(fallbacks) > 0 {
-		opts = append(opts, steghide.WithRetry(steghide.RetryPolicy{}))
+	cfg := steghide.ClientConfig{
+		Agent:      *agentAddr,
+		Volume:     *volume,
+		User:       *user,
+		Passphrase: *pass,
+		Retry:      *retry,
+		Fallbacks:  fallbacks,
 	}
-	if len(fallbacks) > 0 {
-		opts = append(opts, steghide.WithRedial(fallbacks...))
+	if *cluster != "" {
+		for _, a := range strings.Split(*cluster, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.Cluster = append(cfg.Cluster, a)
+			}
+		}
 	}
-	// The remote session is the same steghide.FS a local login gets;
-	// the wire round-trips the error taxonomy underneath.
-	vault, err := steghide.DialVolumeFS(ctx, *agentAddr, *volume, *user, *pass, opts...)
+	// The remote session is the same steghide.FS a local login gets —
+	// a fleet included; the wire round-trips the error taxonomy.
+	vault, err := cfg.Dial(ctx)
 	if err != nil {
 		return err
 	}

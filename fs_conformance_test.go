@@ -155,6 +155,42 @@ func newWireRetryFixture(t *testing.T) steghide.FS {
 	return fs
 }
 
+// newClusterFixture serves three independent shard daemons and dials
+// them as one Cluster: a sharded fleet must satisfy the same contract
+// as any single-volume surface.
+func newClusterFixture(t *testing.T) steghide.FS {
+	t.Helper()
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		seed := []byte{byte('A' + i)}
+		stack, err := steghide.Mount(steghide.NewMemDevice(512, 4096), metricsOptsFromEnv(
+			steghide.WithFormat(steghide.FormatOptions{FillSeed: append([]byte("conf-shard"), seed...)}),
+			steghide.WithConstruction2(),
+			steghide.WithSeed(append([]byte("conf-shard-agent"), seed...)))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := steghide.NewAgentServer("127.0.0.1:0", stack.Agent2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			srv.Close()
+			stack.Close()
+		})
+		addrs = append(addrs, srv.Addr())
+	}
+	cl, err := steghide.DialClusterFS(context.Background(), addrs, "alice", "alice-pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every shard needs its own relocation cover before files land.
+	if err := cl.CoverAll(context.Background(), "/cover", 128); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
 func fsFixtures() []fsFixture {
 	return []fsFixture{
 		{name: "c2-session", deniable: true, open: newC2Fixture},
@@ -162,6 +198,7 @@ func fsFixtures() []fsFixture {
 		{name: "wire-client", deniable: true, open: newWireFixture},
 		{name: "wire-retry", deniable: true, open: newWireRetryFixture},
 		{name: "oblivious", deniable: false, open: newObliviousFixture},
+		{name: "cluster", deniable: true, open: newClusterFixture},
 	}
 }
 

@@ -221,3 +221,43 @@ func CompareStreams(idle, active []uint64, nBlocks uint64, bins int) (Verdict, e
 		Evidence: fmt.Sprintf("two-sample chi-square=%.1f over %d bins (%d vs %d events)", stat, bins, len(idle), len(active)),
 	}, nil
 }
+
+// CompareStreamsK generalizes CompareStreams to k observation periods:
+// the k-snapshot adversary diffs k+1 snapshots into k changed-block
+// streams and asks whether any period's spatial distribution stands
+// out from the rest (chi-square homogeneity over the k×bins table).
+// A secure construction yields Detected == false no matter how the
+// attacker slices the timeline.
+func CompareStreamsK(streams [][]uint64, nBlocks uint64, bins int) (Verdict, error) {
+	if len(streams) < 2 {
+		return Verdict{}, fmt.Errorf("attack: need at least 2 streams, have %d", len(streams))
+	}
+	hists := make([][]uint64, len(streams))
+	events := 0
+	for i, s := range streams {
+		hists[i] = stats.Histogram(s, nBlocks, bins)
+		events += len(s)
+	}
+	stat, p, err := stats.ChiSquareKSample(hists...)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		Detected: p < Alpha,
+		PValue:   p,
+		Evidence: fmt.Sprintf("%d-sample chi-square=%.1f over %d bins (%d events)", len(streams), stat, bins, events),
+	}, nil
+}
+
+// SnapshotHomogeneity runs the k-snapshot diff adversary over the
+// analyzer's own recorded intervals: each consecutive snapshot pair
+// contributes one changed-block sample, and the test asks whether the
+// per-interval spatial distributions are mutually homogeneous. With
+// Figure-6 relocation every interval should look like an independent
+// uniform draw; an in-place system betrays the workload's phases.
+func (u *UpdateAnalyzer) SnapshotHomogeneity(bins int) (Verdict, error) {
+	if len(u.diffs) < 2 {
+		return Verdict{}, fmt.Errorf("attack: need at least 2 intervals, have %d", len(u.diffs))
+	}
+	return CompareStreamsK(u.diffs, u.nBlocks, bins)
+}

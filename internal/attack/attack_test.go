@@ -193,3 +193,96 @@ func TestCompareStreams(t *testing.T) {
 		t.Fatalf("skewed workload missed: %+v", v)
 	}
 }
+
+func TestCompareStreamsK(t *testing.T) {
+	rng := prng.NewFromUint64(5)
+	uniform := make([][]uint64, 6)
+	for i := range uniform {
+		for j := 0; j < 8000; j++ {
+			uniform[i] = append(uniform[i], rng.Uint64n(512))
+		}
+	}
+	v, err := CompareStreamsK(uniform, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Detected {
+		t.Fatalf("homogeneous periods flagged: %+v", v)
+	}
+
+	// One anomalous period among six: the slicing attack 2-snapshot
+	// CompareStreams cannot mount.
+	mixed := make([][]uint64, 6)
+	for i := range mixed {
+		for j := 0; j < 8000; j++ {
+			b := rng.Uint64n(512)
+			if i == 4 {
+				b = rng.Uint64n(256)
+			}
+			mixed[i] = append(mixed[i], b)
+		}
+	}
+	v, err = CompareStreamsK(mixed, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Detected {
+		t.Fatalf("anomalous period missed: %+v", v)
+	}
+
+	if _, err := CompareStreamsK(mixed[:1], 512, 16); err == nil {
+		t.Fatal("single stream accepted")
+	}
+}
+
+func TestSnapshotHomogeneity(t *testing.T) {
+	const bs, n = 16, 2048
+	rng := prng.NewFromUint64(6)
+
+	// Uniform relocation: every interval is an independent uniform
+	// draw — homogeneous.
+	u := NewUpdateAnalyzer(bs, n)
+	vol := make([]byte, bs*n)
+	u.Observe(vol)
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 200; i++ {
+			b := rng.Intn(n)
+			vol[b*bs] ^= byte(1 + rng.Intn(255))
+		}
+		u.Observe(vol)
+	}
+	v, err := u.SnapshotHomogeneity(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Detected {
+		t.Fatalf("uniform intervals flagged: %+v", v)
+	}
+
+	// Phase change: intervals 0-3 uniform, 4-7 confined to the lower
+	// quarter — an in-place system whose workload shifted.
+	u2 := NewUpdateAnalyzer(bs, n)
+	vol2 := make([]byte, bs*n)
+	u2.Observe(vol2)
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 200; i++ {
+			b := rng.Intn(n)
+			if round >= 4 {
+				b = rng.Intn(n / 4)
+			}
+			vol2[b*bs] ^= byte(1 + rng.Intn(255))
+		}
+		u2.Observe(vol2)
+	}
+	v, err = u2.SnapshotHomogeneity(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Detected {
+		t.Fatalf("phase change missed: %+v", v)
+	}
+
+	if _, err := NewUpdateAnalyzer(bs, n).SnapshotHomogeneity(8); err == nil {
+		t.Fatal("no-interval analyzer accepted")
+	}
+}

@@ -18,6 +18,12 @@ func BenchmarkConcurrentClients(b *testing.B) {
 	for _, n := range []int{1, 4, 16, 64} {
 		b.Run(fmt.Sprintf("wire-%d", n), func(b *testing.B) { concurrentWire(b, n) })
 	}
+	// The sharded-fleet variant: the same aggregate-update workload
+	// spread by the keyed ring over a 16-daemon cluster, one scheduler
+	// per shard.
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("fleet-16x%d", n), func(b *testing.B) { concurrentFleet(b, n) })
+	}
 	// The wire protocol's paired pipelining benchmark: the identical
 	// N-session × 8-deep read workload through the v1 lock-step client
 	// and the v2 mux. The pipelined arm's gain over lockstep is pure

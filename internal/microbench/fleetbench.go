@@ -1,0 +1,120 @@
+package microbench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"steghide"
+	"steghide/internal/prng"
+)
+
+// Fleet benchmark: aggregate Figure-6 update throughput of one
+// deniable namespace sharded over sixteen agent daemons (the
+// steghide.Cluster facade), against the single-daemon wire numbers
+// above. Every shard runs its own scheduler, so session crypto and
+// device I/O spread across the fleet; the keyed ring decides which
+// daemon each worker's file — and therefore each update — lands on.
+// One op = one single-block Figure-6 data update through the cluster.
+
+const fleetShards = 16
+
+func fleetPath(i int) string { return fmt.Sprintf("/f%02d", i) }
+
+// fleetCluster serves nShards single-volume daemons, dials them as one
+// cluster, lays dummy cover on every shard, and populates one file per
+// worker. Returns the cluster and the shards' payload size.
+func fleetCluster(b *testing.B, nShards, nClients int) (*steghide.Cluster, int) {
+	b.Helper()
+	ctx := context.Background()
+	addrs := make([]string, nShards)
+	payload := 0
+	for i := 0; i < nShards; i++ {
+		blocks := uint64(nClients*(ccFileBlocks+16) + ccDummyBlocks + 128)
+		stack, err := steghide.Mount(steghide.NewMemDevice(ccBlockSize, blocks),
+			steghide.WithFormat(steghide.FormatOptions{
+				KDFIterations: 4, FillSeed: []byte(fmt.Sprintf("fleet-%02d", i))}),
+			steghide.WithConstruction2(),
+			steghide.WithSeed([]byte(fmt.Sprintf("fleet-agent-%02d", i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { stack.Close() })
+		srv, err := steghide.NewAgentServer("127.0.0.1:0", stack.Agent2())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+		payload = stack.Volume().PayloadSize()
+	}
+	cl, err := steghide.DialClusterFS(ctx, addrs, "bench", "bench-pass")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	if err := cl.CoverAll(ctx, "/cover", ccDummyBlocks); err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, ccFileBlocks*payload)
+	for i := 0; i < nClients; i++ {
+		if err := steghide.WriteFile(ctx, cl, fleetPath(i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cl, payload
+}
+
+// concurrentFleet drives n workers, each rewriting random blocks of
+// its own file through the shared cluster handle.
+func concurrentFleet(b *testing.B, n int) {
+	cl, ps := fleetCluster(b, fleetShards, n)
+	ctx := context.Background()
+	handles := make([]steghide.WriteHandle, n)
+	for i := range handles {
+		w, err := cl.OpenWrite(ctx, fleetPath(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[i] = w
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i, w := range handles {
+		wg.Add(1)
+		go func(i int, w steghide.WriteHandle) {
+			defer wg.Done()
+			rng := prng.NewFromUint64(uint64(4000 + i))
+			chunk := make([]byte, ps)
+			for k := share(b.N, n, i); k > 0; k-- {
+				off := int64(rng.Intn(ccFileBlocks)) * int64(ps)
+				if _, err := w.WriteAt(chunk, off); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	for _, w := range handles {
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FleetSuite returns the sharded-fleet entries of the scaling
+// benchmark: the 16-daemon cluster at the standard worker counts.
+func FleetSuite() []bench {
+	var out []bench
+	for _, n := range []int{4, 16} {
+		n := n
+		out = append(out, bench{
+			name: fmt.Sprintf("concurrent-clients/fleet-%dx%d", fleetShards, n),
+			fn:   func(b *testing.B) { concurrentFleet(b, n) },
+		})
+	}
+	return out
+}

@@ -66,6 +66,7 @@ func suite() []bench {
 		{"journal/recover", journalRecover},
 	}
 	s = append(s, ConcurrentClientSuite()...)
+	s = append(s, FleetSuite()...)
 	s = append(s, PipelineSuite()...)
 	s = append(s, SealPipelineSuite()...)
 	return append(s, ObsSuite()...)

@@ -77,35 +77,57 @@ func ChiSquareUniform(counts []uint64) (stat, p float64, err error) {
 // (do a and b come from the same distribution?). a and b are counts
 // over the same bins. Bins empty in both samples are ignored.
 func ChiSquareTwoSample(a, b []uint64) (stat, p float64, err error) {
-	if len(a) != len(b) {
-		return 0, 0, fmt.Errorf("stats: bin count mismatch %d != %d", len(a), len(b))
+	return ChiSquareKSample(a, b)
+}
+
+// ChiSquareKSample tests homogeneity of k categorical samples over
+// the same bins: the chi-square test of a k×bins contingency table,
+// with (k−1)·(bins'−1) degrees of freedom where bins' counts only the
+// bins some sample populated. It generalizes ChiSquareTwoSample — the
+// k-snapshot adversary's primitive: an attacker holding k snapshots
+// diffs them into k−1 changed-block samples and asks whether any
+// interval's distribution stands out from the rest.
+func ChiSquareKSample(samples ...[]uint64) (stat, p float64, err error) {
+	if len(samples) < 2 {
+		return 0, 0, fmt.Errorf("stats: need at least 2 samples, have %d", len(samples))
 	}
-	var na, nb uint64
-	for i := range a {
-		na += a[i]
-		nb += b[i]
+	bins := len(samples[0])
+	totals := make([]uint64, len(samples))
+	var grand uint64
+	for i, s := range samples {
+		if len(s) != bins {
+			return 0, 0, fmt.Errorf("stats: bin count mismatch %d != %d", len(s), bins)
+		}
+		for _, c := range s {
+			totals[i] += c
+		}
+		if totals[i] == 0 {
+			return 0, 0, fmt.Errorf("stats: empty sample")
+		}
+		grand += totals[i]
 	}
-	if na == 0 || nb == 0 {
-		return 0, 0, fmt.Errorf("stats: empty sample")
-	}
-	n := float64(na + nb)
-	df := 0
-	for i := range a {
-		col := float64(a[i] + b[i])
+	n := float64(grand)
+	populated := 0
+	for j := 0; j < bins; j++ {
+		var col uint64
+		for _, s := range samples {
+			col += s[j]
+		}
 		if col == 0 {
 			continue
 		}
-		df++
-		ea := col * float64(na) / n
-		eb := col * float64(nb) / n
-		da := float64(a[i]) - ea
-		db := float64(b[i]) - eb
-		stat += da*da/ea + db*db/eb
+		populated++
+		for i, s := range samples {
+			e := float64(col) * float64(totals[i]) / n
+			d := float64(s[j]) - e
+			stat += d * d / e
+		}
 	}
-	if df < 2 {
+	if populated < 2 {
 		return 0, 0, fmt.Errorf("stats: fewer than 2 non-empty bins")
 	}
-	return stat, ChiSquareSurvival(stat, float64(df-1)), nil
+	df := float64(len(samples)-1) * float64(populated-1)
+	return stat, ChiSquareSurvival(stat, df), nil
 }
 
 // ChiSquareSurvival returns P[X > x] for a chi-square distribution

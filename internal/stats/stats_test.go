@@ -130,6 +130,77 @@ func TestChiSquareTwoSampleErrors(t *testing.T) {
 	}
 }
 
+func TestChiSquareKSampleSameDistribution(t *testing.T) {
+	rng := prng.NewFromUint64(17)
+	samples := make([][]uint64, 5)
+	for i := range samples {
+		samples[i] = make([]uint64, 16)
+		for j := 0; j < 10000; j++ {
+			samples[i][rng.Intn(16)]++
+		}
+	}
+	_, p, err := ChiSquareKSample(samples...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Fatalf("homogeneous samples rejected: p=%v", p)
+	}
+}
+
+func TestChiSquareKSampleOneOddSample(t *testing.T) {
+	// Four uniform intervals and one concentrated in the lower half —
+	// the k-snapshot attacker's win condition: a single anomalous
+	// interval among otherwise-uniform diffs must be detected.
+	rng := prng.NewFromUint64(18)
+	samples := make([][]uint64, 5)
+	for i := range samples {
+		samples[i] = make([]uint64, 16)
+		for j := 0; j < 10000; j++ {
+			if i == 3 {
+				samples[i][rng.Intn(8)]++
+			} else {
+				samples[i][rng.Intn(16)]++
+			}
+		}
+	}
+	_, p, err := ChiSquareKSample(samples...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-9 {
+		t.Fatalf("anomalous interval accepted: p=%v", p)
+	}
+}
+
+func TestChiSquareKSampleMatchesTwoSample(t *testing.T) {
+	a := []uint64{120, 80, 95, 105}
+	b := []uint64{100, 100, 110, 90}
+	s2, p2, err := ChiSquareTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, pk, err := ChiSquareKSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != sk || p2 != pk {
+		t.Fatalf("k=2 diverged from two-sample: (%v,%v) vs (%v,%v)", s2, p2, sk, pk)
+	}
+}
+
+func TestChiSquareKSampleErrors(t *testing.T) {
+	if _, _, err := ChiSquareKSample([]uint64{1, 2}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, _, err := ChiSquareKSample([]uint64{1, 2}, []uint64{1}, []uint64{2, 2}); err == nil {
+		t.Fatal("mismatched bins accepted")
+	}
+	if _, _, err := ChiSquareKSample([]uint64{1, 1}, []uint64{0, 0}, []uint64{1, 1}); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
 func TestKolmogorovSmirnovSame(t *testing.T) {
 	rng := prng.NewFromUint64(9)
 	a := make([]float64, 2000)

@@ -1,0 +1,162 @@
+package steghide
+
+import (
+	"errors"
+	"testing"
+
+	"steghide/internal/prng"
+	"steghide/internal/stegfs"
+)
+
+func TestQuotaBlocksCreateDummy(t *testing.T) {
+	a, _ := newC2(t, 2048)
+	a.SetDefaultQuota(50)
+	s, err := a.LoginWithPassphrase("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 blocks + header over a 50-block budget.
+	if _, err := s.CreateDummy("/dummy0", 100); !errors.Is(err, stegfs.ErrVolumeFull) {
+		t.Fatalf("over-budget dummy: %v", err)
+	}
+	if a.Usage("alice") != 0 {
+		t.Fatalf("failed create charged %d blocks", a.Usage("alice"))
+	}
+	if _, err := s.CreateDummy("/dummy0", 40); err != nil {
+		t.Fatal(err)
+	}
+	if u := a.Usage("alice"); u < 41 {
+		t.Fatalf("usage %d after 40-block dummy + header", u)
+	}
+}
+
+func TestQuotaBlocksGrowth(t *testing.T) {
+	a, _ := newC2(t, 2048)
+	a.SetDefaultQuota(60)
+	s, err := a.LoginWithPassphrase("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDummy("/dummy0", 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("/real"); err != nil {
+		t.Fatal(err)
+	}
+	// Each payload block converts a dummy block (net-zero) but Save's
+	// pointer blocks and the growth beyond the budget must be refused.
+	big := prng.NewFromUint64(1).Bytes(30 * a.Vol().PayloadSize())
+	err = s.Write("/real", big, 0)
+	if err == nil {
+		// Conversion is net-zero until pointer blocks push past the
+		// budget; force more growth until the gate fires.
+		for i := 0; i < 10 && err == nil; i++ {
+			err = s.Truncate("/real", uint64(40+i*10)*uint64(a.Vol().PayloadSize()))
+		}
+	}
+	if err != nil && !errors.Is(err, stegfs.ErrVolumeFull) && !errors.Is(err, ErrNoDummySpace) {
+		t.Fatalf("growth failure has wrong type: %v", err)
+	}
+	if q := a.Quota("alice"); q != 60 {
+		t.Fatalf("quota = %d", q)
+	}
+	if u := a.Usage("alice"); u > 70 {
+		t.Fatalf("usage %d blew far past the 60-block budget", u)
+	}
+}
+
+func TestQuotaPerLoginOverride(t *testing.T) {
+	a, _ := newC2(t, 2048)
+	a.SetDefaultQuota(10)
+	a.SetQuota("bob", 200)
+	s, err := a.LoginWithPassphrase("bob", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDummy("/dummy0", 100); err != nil {
+		t.Fatal(err)
+	}
+	a.SetQuota("bob", 0) // back to the 10-block default
+	if q := a.Quota("bob"); q != 10 {
+		t.Fatalf("override not cleared: %d", q)
+	}
+	if _, err := s.Create("/real"); !errors.Is(err, stegfs.ErrVolumeFull) {
+		t.Fatalf("create over reverted budget: %v", err)
+	}
+}
+
+func TestQuotaDoesNotBlockReopen(t *testing.T) {
+	// A quota below a file's existing footprint must not stop the user
+	// from disclosing it again: reopening re-claims blocks the login
+	// already owns, it does not allocate.
+	a, _ := newC2(t, 2048)
+	s, err := a.LoginWithPassphrase("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDummy("/dummy0", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("/real"); err != nil {
+		t.Fatal(err)
+	}
+	msg := prng.NewFromUint64(2).Bytes(10 * a.Vol().PayloadSize())
+	if err := s.Write("/real", msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Logout("alice"); err != nil {
+		t.Fatal(err)
+	}
+
+	a.SetDefaultQuota(5) // far below the existing footprint
+	s2, err := a.LoginWithPassphrase("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Disclose("/dummy0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Disclose("/real"); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := s2.Read("/real", got, 0); err != nil {
+		t.Fatal(err)
+	}
+	// But new allocation is refused.
+	if _, err := s2.Create("/more"); !errors.Is(err, stegfs.ErrVolumeFull) {
+		t.Fatalf("create under exhausted budget: %v", err)
+	}
+}
+
+func TestQuotaRelocationNetZero(t *testing.T) {
+	// Dummy traffic and Figure-6 relocation swap block roles; they must
+	// not leak usage in either direction.
+	a, _ := newC2(t, 2048)
+	s, err := a.LoginWithPassphrase("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDummy("/dummy0", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("/real"); err != nil {
+		t.Fatal(err)
+	}
+	msg := prng.NewFromUint64(3).Bytes(8 * a.Vol().PayloadSize())
+	if err := s.Write("/real", msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Usage("alice")
+	for i := 0; i < 5; i++ {
+		if err := s.Write("/real", msg, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.DummyUpdateBurst(20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := a.Usage("alice"); after != before {
+		t.Fatalf("usage drifted %d -> %d across rewrites and dummy traffic", before, after)
+	}
+}

@@ -51,6 +51,16 @@ type VolatileAgent struct {
 	dummyData uint64 // count of relocatable dummy-data blocks
 	sessions  map[string]*Session
 
+	// Per-login capacity quotas (guarded by mu). usage counts every
+	// block registered to a login — real, dummy and pending alike, so
+	// the budget bounds a user's total disclosed footprint and deleting
+	// a file (whose blocks stay as the user's cover) frees nothing.
+	// quota holds per-login overrides; defaultQuota applies to the
+	// rest; zero means unlimited.
+	usage        map[string]uint64
+	quota        map[string]uint64
+	defaultQuota uint64
+
 	sched *sched.Scheduler
 
 	// jc2 is the journal adapter (nil without EnableJournal); recov is
@@ -88,6 +98,8 @@ func NewVolatile(vol *stegfs.Volume, rng *prng.PRNG) *VolatileAgent {
 		known:    map[uint64]*ownerInfo{},
 		pos:      map[uint64]int{},
 		sessions: map[string]*Session{},
+		usage:    map[string]uint64{},
+		quota:    map[string]uint64{},
 	}
 	a.sched = sched.New(vol, &volatileSpace{a: a})
 	return a
@@ -155,12 +167,14 @@ func (a *VolatileAgent) register(loc uint64, info *ownerInfo) {
 		if old.dummy {
 			a.dummyData--
 		}
+		a.chargeLocked(old.user, -1)
 		a.known[loc] = info
 	} else {
 		a.known[loc] = info
 		a.pos[loc] = len(a.list)
 		a.list = append(a.list, loc)
 	}
+	a.chargeLocked(info.user, +1)
 	if info.dummy {
 		a.dummyData++
 	}
@@ -175,6 +189,7 @@ func (a *VolatileAgent) unregister(loc uint64) {
 	if info.dummy {
 		a.dummyData--
 	}
+	a.chargeLocked(info.user, -1)
 	delete(a.known, loc)
 	i := a.pos[loc]
 	last := len(a.list) - 1
@@ -185,6 +200,92 @@ func (a *VolatileAgent) unregister(loc uint64) {
 	}
 	a.list = a.list[:last]
 	delete(a.pos, loc)
+}
+
+// --- per-login quotas -------------------------------------------------
+
+// chargeLocked adjusts a login's block-usage counter; the caller holds
+// a.mu. Blocks with no recorded login (crash limbo) are not charged.
+func (a *VolatileAgent) chargeLocked(user string, delta int) {
+	if user == "" {
+		return
+	}
+	if delta > 0 {
+		a.usage[user] += uint64(delta)
+		return
+	}
+	if a.usage[user] >= uint64(-delta) {
+		a.usage[user] -= uint64(-delta)
+	} else {
+		a.usage[user] = 0
+	}
+}
+
+// quotaLocked returns the effective block budget for a login (0 =
+// unlimited); the caller holds a.mu.
+func (a *VolatileAgent) quotaLocked(user string) uint64 {
+	if q, ok := a.quota[user]; ok {
+		return q
+	}
+	return a.defaultQuota
+}
+
+// overBudgetLocked reports whether charging need more blocks to the
+// login would exceed its budget; the caller holds a.mu.
+func (a *VolatileAgent) overBudgetLocked(user string, need uint64) bool {
+	q := a.quotaLocked(user)
+	return q != 0 && a.usage[user]+need > q
+}
+
+// SetDefaultQuota sets the block budget applied to logins without a
+// per-login override. Zero (the default) means unlimited. The budget
+// bounds a login's total registered footprint — real files, dummy
+// cover and in-flight allocations alike; overage surfaces as
+// stegfs.ErrVolumeFull, which round-trips the wire. The check is a
+// memory-only comparison on the allocation path, so a quota rejection
+// takes the same observable time as any other full-volume rejection.
+func (a *VolatileAgent) SetDefaultQuota(blocks uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.defaultQuota = blocks
+}
+
+// SetQuota sets a per-login block budget override; zero removes the
+// override (the default budget applies again).
+func (a *VolatileAgent) SetQuota(user string, blocks uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if blocks == 0 {
+		delete(a.quota, user)
+		return
+	}
+	a.quota[user] = blocks
+}
+
+// Quota returns the login's effective block budget (0 = unlimited).
+func (a *VolatileAgent) Quota(user string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.quotaLocked(user)
+}
+
+// Usage returns how many blocks are currently registered to the login.
+func (a *VolatileAgent) Usage(user string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.usage[user]
+}
+
+// checkBudget pre-checks that the login can take on need more blocks,
+// so Create/CreateDummy fail before touching the device (the header
+// hunt acquires candidates directly, bypassing AcquireRandom's gate).
+func (a *VolatileAgent) checkBudget(user string, need uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.overBudgetLocked(user, need) {
+		return fmt.Errorf("steghide: login block budget exhausted: %w", stegfs.ErrVolumeFull)
+	}
+	return nil
 }
 
 // registerFile (re)classifies every block of a disclosed file. A
@@ -298,6 +399,13 @@ func (s *volatileSource) AcquireRandom() (uint64, error) {
 	a := s.a
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// The quota gate lives here — the only path that grows a login's
+	// footprint. Acquire (above) stays ungated because opening or
+	// disclosing an existing file re-claims blocks the login already
+	// owns through it.
+	if a.overBudgetLocked(s.user, 1) {
+		return 0, fmt.Errorf("steghide: login block budget exhausted: %w", stegfs.ErrVolumeFull)
+	}
 	if s.allowUnknown {
 		first, n := a.vol.FirstDataBlock(), a.vol.NumBlocks()
 		for try := 0; try < 4096; try++ {
@@ -471,6 +579,9 @@ func (s *Session) Create(path string) (*stegfs.File, error) {
 	if _, dup := s.files[path]; dup {
 		return nil, fmt.Errorf("steghide: %q already open", path)
 	}
+	if err := a.checkBudget(s.user, 1); err != nil {
+		return nil, err
+	}
 	f, err := stegfs.CreateFile(a.vol, s.fak(path), path, s.source)
 	if err != nil {
 		return nil, err
@@ -491,6 +602,9 @@ func (s *Session) CreateDummy(path string, nBlocks uint64) (*stegfs.File, error)
 	defer a.structMu.Unlock()
 	if _, dup := s.dummyFiles[path]; dup {
 		return nil, fmt.Errorf("steghide: dummy %q already open", path)
+	}
+	if err := a.checkBudget(s.user, nBlocks+1); err != nil {
+		return nil, err
 	}
 	boot := &volatileSource{a: a, user: s.user, allowUnknown: true}
 	f, err := stegfs.CreateDummyFile(a.vol, s.fak(path), path, boot, nBlocks)

@@ -45,6 +45,7 @@ type mountConfig struct {
 	rng          *PRNG
 	volName      string
 	metrics      *Metrics
+	loginQuota   uint64
 }
 
 // Option configures Mount.
@@ -238,6 +239,23 @@ func WithMetrics(m *Metrics) Option {
 	}
 }
 
+// WithLoginQuota caps every login's block budget on the mounted agent
+// (Construction 2 only): a login whose registered footprint — real
+// files, dummy cover and in-flight allocations — would exceed blocks
+// sees ErrVolumeFull, exactly as on a full volume, and the check is a
+// memory-only comparison so the rejection is timed like any other.
+// Zero is rejected (omit the option for unlimited); per-login
+// overrides go through Agent2().SetQuota.
+func WithLoginQuota(blocks uint64) Option {
+	return func(c *mountConfig) error {
+		if blocks == 0 {
+			return errors.New("steghide: WithLoginQuota needs a positive budget")
+		}
+		c.loginQuota = blocks
+		return nil
+	}
+}
+
 // WithSeed is WithRNG(NewPRNG(seed)).
 func WithSeed(seed []byte) Option {
 	return func(c *mountConfig) error {
@@ -352,8 +370,14 @@ func Mount(dev Device, opts ...Option) (*Stack, error) {
 			return nil, errors.New("steghide: WithObliviousCache requires WithConstruction1")
 		}
 		s.agent2 = NewVolatileAgent(vol, rng)
+		if cfg.loginQuota > 0 {
+			s.agent2.SetDefaultQuota(cfg.loginQuota)
+		}
 	default:
 		return nil, fmt.Errorf("steghide: unknown construction %d", cfg.construction)
+	}
+	if cfg.loginQuota > 0 && s.agent2 == nil {
+		return nil, errors.New("steghide: WithLoginQuota requires Construction 2")
 	}
 	if cfg.pipeline {
 		if s.agent1 != nil {

@@ -47,9 +47,13 @@
 //	fs.Close() // logout: the agent forgets everything
 //
 // The same FS is served by Construction 1 (WithConstruction1), remote
-// agents (DialFS), and the read-hiding oblivious composition
-// (WithObliviousCache) — code written against it cannot tell which
-// construction is hiding its accesses. Failed operations return
+// agents (DialFS), the read-hiding oblivious composition
+// (WithObliviousCache), and a sharded fleet — Cluster/DialClusterFS
+// place files over many daemons by keyed consistent hashing of the
+// hidden pathname, so one deniable namespace spans N disks while each
+// disk's update stream stays independently uniform — code written
+// against it cannot tell which construction is hiding its accesses.
+// Failed operations return
 // *PathError values wrapping the package sentinels, across the wire
 // too; contexts are honored at the scheduler draw loop and the wire
 // round trip. Options: WithFormat, WithConstruction1/2, WithJournal,
@@ -424,6 +428,16 @@ func NewTrafficAnalyzer(nBlocks uint64) *TrafficAnalyzer {
 // pipeline among them) move no observable byte.
 func CompareStreams(idle, active []uint64, nBlocks uint64, bins int) (Verdict, error) {
 	return attack.CompareStreams(idle, active, nBlocks, bins)
+}
+
+// CompareStreamsK generalizes CompareStreams to k snapshots: given the
+// write-address sets of k observation intervals, decide whether any
+// interval's spatial distribution stands out from the rest — the
+// adversary who diffs every consecutive snapshot pair instead of just
+// two. A secure deployment keeps every interval (idle, busy, or
+// mid-rebalance) drawn from the same uniform process.
+func CompareStreamsK(streams [][]uint64, nBlocks uint64, bins int) (Verdict, error) {
+	return attack.CompareStreamsK(streams, nBlocks, bins)
 }
 
 // Wire layer: serve raw storage or volatile agents over TCP, per the
