@@ -60,6 +60,14 @@ type Options struct {
 	// here — but must leave the sort key consistent with what KeyFunc
 	// will observe afterwards.
 	OnInput func(pos uint64, block []byte) error
+	// Window, if non-nil, supplies the in-memory block buffers (at
+	// least memBlocks of them, each a full device block) instead of
+	// Sort allocating its own. A caller that sorts repeatedly — the
+	// oblivious store reshuffles on every level dump — passes the same
+	// window every time so the sort's buffer footprint is allocated
+	// once for the life of the store. Contents are scratch; Sort
+	// overwrites them freely.
+	Window [][]byte
 }
 
 // Sort orders the blocks of src ascending by key, using scratch as
@@ -123,6 +131,15 @@ func Sort(dev blockdev.Device, src, scratch Region, memBlocks int, key KeyFunc, 
 
 	bs := dev.BlockSize()
 
+	// The window holds every in-memory block buffer the sort uses —
+	// run-formation loads, merge cursors and merge output all carve
+	// from it, so a caller-supplied window makes repeated sorts
+	// allocation-free apart from small bookkeeping.
+	window := opt.Window
+	if len(window) < memBlocks {
+		window = blockdev.AllocBlocks(memBlocks, bs)
+	}
+
 	// readIn pulls a contiguous range in one device batch and runs
 	// OnInput over it in position order.
 	readIn := func(start uint64, bufs [][]byte) error {
@@ -141,7 +158,7 @@ func Sort(dev blockdev.Device, src, scratch Region, memBlocks int, key KeyFunc, 
 
 	// In-memory fast path: everything fits in the window.
 	if src.Len <= uint64(memBlocks) {
-		blocks := blockdev.AllocBlocks(int(src.Len), bs)
+		blocks := window[:src.Len]
 		if err := readIn(src.Start, blocks); err != nil {
 			return err
 		}
@@ -173,7 +190,6 @@ func Sort(dev blockdev.Device, src, scratch Region, memBlocks int, key KeyFunc, 
 	if passes%2 == 1 {
 		runBase = scratch
 	}
-	window := blockdev.AllocBlocks(memBlocks, bs)
 	var runs []Region
 	for off := uint64(0); off < src.Len; {
 		n := uint64(memBlocks)
@@ -212,7 +228,7 @@ func Sort(dev blockdev.Device, src, scratch Region, memBlocks int, key KeyFunc, 
 			if chunk < 1 {
 				chunk = 1
 			}
-			merged, err := mergeRuns(dev, runs[lo:hi], other.Start+off, chunk, key, w)
+			merged, err := mergeRuns(dev, runs[lo:hi], other.Start+off, chunk, key, w, window)
 			if err != nil {
 				return err
 			}
@@ -244,10 +260,31 @@ func Sort(dev blockdev.Device, src, scratch Region, memBlocks int, key KeyFunc, 
 	return nil
 }
 
+// keyedBlocks sorts blocks by precomputed keys. Computing each key
+// once per block instead of once per comparison matters because the
+// oblivious shuffle's key is a full decrypt-and-PRF of the block —
+// O(n log n) key calls were the dominant cost of a sort pass. A
+// stable sort over cached keys yields the identical permutation the
+// old key-per-comparison sort.SliceStable produced: stability makes
+// the output ordering unique for a fixed key assignment.
+type keyedBlocks struct {
+	blocks [][]byte
+	keys   []uint64
+}
+
+func (k *keyedBlocks) Len() int           { return len(k.blocks) }
+func (k *keyedBlocks) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
+func (k *keyedBlocks) Swap(i, j int) {
+	k.blocks[i], k.blocks[j] = k.blocks[j], k.blocks[i]
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
+}
+
 func sortBlocks(blocks [][]byte, key KeyFunc) {
-	sort.SliceStable(blocks, func(i, j int) bool {
-		return key(blocks[i]) < key(blocks[j])
-	})
+	kb := keyedBlocks{blocks: blocks, keys: make([]uint64, len(blocks))}
+	for i, b := range blocks {
+		kb.keys[i] = key(b)
+	}
+	sort.Stable(&kb)
 }
 
 func intSqrt(n int) int {
@@ -324,13 +361,26 @@ func (c *cursor) advance(dev blockdev.Device, key KeyFunc) error {
 // the pass's I/O stays mostly sequential and costs one batch call per
 // chunk. The output buffers are reused across flushes — the merge
 // allocates nothing per block.
-func mergeRuns(dev blockdev.Device, runs []Region, dstStart uint64, chunk int, key KeyFunc, write func(uint64, [][]byte) error) (Region, error) {
+func mergeRuns(dev blockdev.Device, runs []Region, dstStart uint64, chunk int, key KeyFunc, write func(uint64, [][]byte) error, window [][]byte) (Region, error) {
 	bs := dev.BlockSize()
+	// Cursor chunks and the output chunk carve from the run-formation
+	// window: chunk = memBlocks/(fanIn+1), so (len(runs)+1)·chunk fits
+	// in the memBlocks-long window whenever the geometry honors the
+	// fan-in bound. The allocating path only runs for degenerate
+	// geometries (memBlocks barely above 2).
+	carve := func(i int) [][]byte {
+		if (i+1)*chunk <= len(window) {
+			return window[i*chunk : (i+1)*chunk]
+		}
+		return blockdev.AllocBlocks(chunk, bs)
+	}
+	cursors := make([]cursor, len(runs))
 	h := make(cursorHeap, 0, len(runs))
 	var total uint64
 	for i, r := range runs {
 		total += r.Len
-		c := &cursor{run: r, tie: i, chunk: blockdev.AllocBlocks(chunk, bs)}
+		c := &cursors[i]
+		c.run, c.tie, c.chunk = r, i, carve(i)
 		if err := c.advance(dev, key); err != nil {
 			return Region{}, err
 		}
@@ -340,7 +390,7 @@ func mergeRuns(dev blockdev.Device, runs []Region, dstStart uint64, chunk int, k
 	}
 	heap.Init(&h)
 	out := dstStart
-	outChunk := blockdev.AllocBlocks(chunk, bs)
+	outChunk := carve(len(runs))
 	outN := 0
 	flush := func() error {
 		if outN == 0 {

@@ -1,0 +1,253 @@
+// Package mempool is the repo-wide memory plane: size-class free
+// lists over sync.Pool for transient buffers (wire frame bodies,
+// sealed-block slabs), a bump arena for per-burst scheduler scratch,
+// and a leased-buffer discipline that turns ownership bugs
+// (double-return, use-after-return, cross-size return) into panics
+// instead of silent corruption.
+//
+// Leakage note: pools are keyed by size class only. A buffer's history
+// (which request, which file, real or dummy) never influences which
+// pool it lands in or which buffer a later request receives, and every
+// hot path fully overwrites a buffer before its contents reach the
+// wire or the device — so reuse cannot create an observable channel
+// beyond the sizes an attacker already sees on the wire. See
+// DESIGN.md, "Memory plane".
+//
+// The plane can be disabled process-wide (SetEnabled(false), the
+// facade's WithMemPool(false), or STEGHIDE_MEMPOOL=0) for debugging:
+// every Get degrades to a plain make and every Put to a no-op, which
+// is exactly the allocation behavior the code had before pooling —
+// the observable-equivalence oracles compare the two modes.
+package mempool
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Size-class geometry: powers of two from minClass to maxClass.
+// Requests above maxClass fall through to plain make — huge buffers
+// are rare (negotiated wire frames cap batch sizes long before this)
+// and pinning them in pools would just hoard memory.
+const (
+	minClassBits = 6  // 64 B
+	maxClassBits = 21 // 2 MiB — covers a full 512-block × 4 KiB wire batch
+	numClasses   = maxClassBits - minClassBits + 1
+
+	minClass = 1 << minClassBits
+	maxClass = 1 << maxClassBits
+)
+
+// enabled gates the whole plane; see SetEnabled.
+var enabled atomic.Bool
+
+func init() {
+	enabled.Store(os.Getenv("STEGHIDE_MEMPOOL") != "0")
+}
+
+// SetEnabled switches the memory plane on or off process-wide and
+// reports the previous state. Off means Get allocates fresh and Put
+// discards — byte-for-byte the pre-pooling behavior. The switch is a
+// debugging and oracle knob, not a per-request toggle: flipping it
+// concurrently with hot-path traffic is safe (buffers in flight are
+// simply dropped to the GC) but makes measurements meaningless.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether the memory plane is on.
+func Enabled() bool { return enabled.Load() }
+
+// classes[i] holds buffers of exactly 1<<(minClassBits+i) capacity.
+// Boxed as *[]byte so the pool interface holds a pointer, not a
+// slice header copy (which would allocate on every Put).
+var classes [numClasses]sync.Pool
+
+// boxes recycles the *[]byte headers themselves: without this, every
+// Put would heap-allocate a fresh box for its slice header, putting a
+// one-alloc floor under the whole plane. Get empties a box into the
+// box pool; Put refills one from it.
+var boxes = sync.Pool{New: func() any { return new([]byte) }}
+
+// classFor returns the class index whose size is the smallest class
+// ≥ n, or -1 if n is zero or above maxClass.
+func classFor(n int) int {
+	if n <= 0 || n > maxClass {
+		return -1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n), with n=1 -> 0
+	if b < minClassBits {
+		b = minClassBits
+	}
+	return b - minClassBits
+}
+
+// classSize is the capacity of class index c.
+func classSize(c int) int { return 1 << (minClassBits + c) }
+
+// Get returns a buffer of length n. When the plane is on and n fits a
+// size class, the buffer comes from (and its capacity is exactly) that
+// class; otherwise it is a fresh allocation. Contents are NOT zeroed —
+// every caller fully overwrites the buffer before reading or
+// publishing it, which is also why reuse leaks nothing.
+func Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 || !enabled.Load() {
+		return make([]byte, n)
+	}
+	if v := classes[c].Get(); v != nil {
+		box := v.(*[]byte)
+		b := *box
+		*box = nil
+		boxes.Put(box)
+		return b[:n]
+	}
+	b := make([]byte, classSize(c))
+	return b[:n]
+}
+
+// Put returns a buffer obtained from Get to its size class. The
+// capacity must be exactly a class size: anything else is a cross-size
+// return — a buffer from somewhere else (or a sliced-down one) whose
+// recycling would hand a short buffer to a later Get — and panics.
+// Put(nil) is a no-op so error paths can return unconditionally.
+func Put(b []byte) {
+	if b == nil {
+		return
+	}
+	c := classFor(cap(b))
+	if c < 0 || classSize(c) != cap(b) {
+		panic(fmt.Sprintf("mempool: cross-size return (cap %d is not a size class)", cap(b)))
+	}
+	if !enabled.Load() {
+		return
+	}
+	box := boxes.Get().(*[]byte)
+	*box = b[:cap(b)]
+	classes[c].Put(box)
+}
+
+// pooled reports whether a buffer's capacity is a pool class — i.e.
+// whether Put will accept it. Buffers from a disabled-plane Get (plain
+// make of the requested length) intentionally fail this.
+func pooled(b []byte) bool {
+	c := classFor(cap(b))
+	return c >= 0 && classSize(c) == cap(b)
+}
+
+// Recycle is the tolerant Put for release paths that may hold either a
+// pooled buffer or a plain allocation (a Get while the plane was
+// disabled, an oversize fall-through): class-capacity buffers return
+// to their pool, everything else is simply dropped to the GC. Use Put
+// where the buffer's provenance is known and a mismatch is a bug.
+func Recycle(b []byte) {
+	if pooled(b) {
+		Put(b)
+	}
+}
+
+// --- leases ------------------------------------------------------------
+
+// Lease states.
+const (
+	leaseLive     = int32(1)
+	leaseReleased = int32(2)
+)
+
+// Lease is a checked-ownership buffer: exactly one holder may use it,
+// and exactly once may return it. Bytes after Release and a second
+// Release both panic — under -race these are the bugs that would
+// otherwise surface as silent cross-request data corruption.
+//
+// The header itself is a fresh (small) allocation per lease — headers
+// are deliberately NOT recycled, because a reused header could be live
+// again as a different lease by the time a stale holder misuses it,
+// turning the panic the discipline promises into silent aliasing.
+type Lease struct {
+	buf   []byte
+	state atomic.Int32
+}
+
+// GetLease acquires a buffer of length n under the lease discipline.
+func GetLease(n int) *Lease {
+	l := &Lease{buf: Get(n)}
+	l.state.Store(leaseLive)
+	return l
+}
+
+// Bytes returns the leased buffer. It panics if the lease was already
+// released — a use-after-return.
+func (l *Lease) Bytes() []byte {
+	if l.state.Load() != leaseLive {
+		panic("mempool: use after lease release")
+	}
+	return l.buf
+}
+
+// Release returns the buffer to its pool and retires the lease. A
+// second Release panics — a double return would let two later holders
+// share one buffer.
+func (l *Lease) Release() {
+	if !l.state.CompareAndSwap(leaseLive, leaseReleased) {
+		panic("mempool: double lease release")
+	}
+	if pooled(l.buf) {
+		Put(l.buf)
+	}
+	l.buf = nil
+}
+
+// --- arena -------------------------------------------------------------
+
+// Arena is a bump allocator for scratch whose lifetime is one burst:
+// carve as many slices as the burst needs, then Reset once. The
+// backing slab grows to the high-water mark and is reused, so a
+// steady-state burst allocates nothing. Not safe for concurrent use;
+// each scheduler owns its own.
+type Arena struct {
+	buf []byte
+	off int
+}
+
+// Reset forgets every outstanding carve. Slices handed out earlier
+// become invalid (their contents will be overwritten by the next
+// burst) — the caller must not retain them across Reset.
+func (a *Arena) Reset() { a.off = 0 }
+
+// Bytes carves an n-byte slice from the arena.
+func (a *Arena) Bytes(n int) []byte {
+	a.reserve(n)
+	b := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return b
+}
+
+// reserve grows the slab so n more bytes fit. Growth doubles, so the
+// arena reaches its steady-state size in O(log n) bursts.
+func (a *Arena) reserve(n int) {
+	if a.off+n <= len(a.buf) {
+		return
+	}
+	newLen := len(a.buf) * 2
+	if newLen < a.off+n {
+		newLen = a.off + n
+	}
+	if newLen < minClass {
+		newLen = minClass
+	}
+	grown := make([]byte, newLen)
+	copy(grown, a.buf[:a.off])
+	a.buf = grown
+}
+
+// Blocks carves count contiguous n-byte slices (one slab, split like
+// blockdev.AllocBlocks), appending them to dst to avoid allocating the
+// outer slice too.
+func (a *Arena) Blocks(dst [][]byte, count, n int) [][]byte {
+	slab := a.Bytes(count * n)
+	for i := 0; i < count; i++ {
+		dst = append(dst, slab[i*n:(i+1)*n:(i+1)*n])
+	}
+	return dst
+}

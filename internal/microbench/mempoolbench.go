@@ -1,0 +1,36 @@
+package microbench
+
+import (
+	"testing"
+
+	"steghide/internal/mempool"
+)
+
+// MemPoolSuite is the memory plane's paired benchmark arms: each
+// converted hot path runs once with the pools disabled (the
+// STEGHIDE_MEMPOOL=0 fallback, plain allocation) and once pooled, so
+// BENCH_results.json carries both sides of the trade. The oracles pin
+// the two arms bit-identical in behaviour; the arms exist to show the
+// allocs/op and bytes/op gap and to catch a regression where pooling
+// stops paying for itself.
+func MemPoolSuite() []bench {
+	pooled := func(on bool, fn func(*testing.B)) func(*testing.B) {
+		return func(b *testing.B) {
+			prev := mempool.Enabled()
+			mempool.SetEnabled(on)
+			defer mempool.SetEnabled(prev)
+			fn(b)
+		}
+	}
+	burst := func(b *testing.B) { metricsBurst(b, 64, false) }
+	return []bench{
+		{"mempool/wire-batch-off", pooled(false, func(b *testing.B) { remoteRead(b, true) })},
+		{"mempool/wire-batch-on", pooled(true, func(b *testing.B) { remoteRead(b, true) })},
+		{"mempool/reshuffle-off", pooled(false, obliviousReshuffle)},
+		{"mempool/reshuffle-on", pooled(true, obliviousReshuffle)},
+		{"mempool/seq-scan-off", pooled(false, stegfsScan)},
+		{"mempool/seq-scan-on", pooled(true, stegfsScan)},
+		{"mempool/burst-off", pooled(false, burst)},
+		{"mempool/burst-on", pooled(true, burst)},
+	}
+}

@@ -69,7 +69,8 @@ func suite() []bench {
 	s = append(s, FleetSuite()...)
 	s = append(s, PipelineSuite()...)
 	s = append(s, SealPipelineSuite()...)
-	return append(s, ObsSuite()...)
+	s = append(s, ObsSuite()...)
+	return append(s, MemPoolSuite()...)
 }
 
 // Run executes the whole suite and returns the results.

@@ -9,7 +9,7 @@ import (
 	"steghide/internal/sealer"
 )
 
-func benchStore(b *testing.B, bufferBlocks, levels int) *Store {
+func benchStore(b testing.TB, bufferBlocks, levels int) *Store {
 	b.Helper()
 	dev := blockdev.NewMem(512, Footprint(bufferBlocks, levels)+8)
 	s, err := New(Config{

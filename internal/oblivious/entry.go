@@ -86,6 +86,7 @@ type codec struct {
 	valueLen int
 	encBuf   []byte // plaintext scratch for encode
 	decBuf   []byte // plaintext scratch for decode
+	summer   *sealer.Summer
 }
 
 func newCodec(key sealer.Key, blockSize int) (*codec, error) {
@@ -104,6 +105,7 @@ func newCodec(key sealer.Key, blockSize int) (*codec, error) {
 		valueLen: payload - entryMetaSize,
 		encBuf:   make([]byte, payload),
 		decBuf:   make([]byte, payload),
+		summer:   sealer.NewSummer(key, "obli-slot"),
 	}, nil
 }
 
@@ -135,7 +137,7 @@ func (c *codec) encode(dst []byte, e *entry, iv []byte, fill func([]byte)) error
 	} else {
 		fill(payload[entryMetaSize:])
 	}
-	sum := sealer.Checksum(c.key, "obli-slot", payload[8:])
+	sum := c.summer.Sum(payload[8:])
 	binary.BigEndian.PutUint64(payload, sum)
 	return c.seal.Seal(dst, iv, payload)
 }
@@ -143,16 +145,69 @@ func (c *codec) encode(dst []byte, e *entry, iv []byte, fill func([]byte)) error
 // decode opens a raw slot. The value slice is freshly allocated for
 // real entries.
 func (c *codec) decode(raw []byte) (*entry, error) {
-	payload := c.decBuf
-	if err := c.seal.Open(payload, raw); err != nil {
+	e := new(entry)
+	if err := c.decodeInto(e, raw); err != nil {
 		return nil, err
 	}
+	return e, nil
+}
+
+// decodeInto opens a raw slot into a caller-owned entry, reusing its
+// value backing when capacity allows — the alloc-free decode used by
+// the probe, flush and shuffle hot paths (the per-comparison tag
+// extraction goes further; see peek). A non-real slot leaves e.value
+// truncated to zero length but keeps the backing for reuse.
+func (c *codec) decodeInto(e *entry, raw []byte) error {
+	payload := c.decBuf
+	if err := c.seal.Open(payload, raw); err != nil {
+		return err
+	}
 	sum := binary.BigEndian.Uint64(payload)
-	if sum != sealer.Checksum(c.key, "obli-slot", payload[8:]) {
-		return nil, ErrCorruptSlot
+	if sum != c.summer.Sum(payload[8:]) {
+		return ErrCorruptSlot
 	}
 	flags := binary.BigEndian.Uint32(payload[8:])
-	e := &entry{
+	e.real = flags&flagReal != 0
+	e.lowClass = flags&flagLowClass != 0
+	e.version = binary.BigEndian.Uint64(payload[16:])
+	e.nonce = binary.BigEndian.Uint64(payload[24:])
+	e.id = BlockID{
+		File:  binary.BigEndian.Uint64(payload[32:]),
+		Index: binary.BigEndian.Uint64(payload[40:]),
+	}
+	if e.real {
+		e.value = append(e.value[:0], payload[entryMetaSize:]...)
+	} else {
+		e.value = e.value[:0]
+	}
+	return nil
+}
+
+// slotMeta is the header of a decoded slot without its value — what
+// the shuffle's sort key and the merge's winner scan actually need.
+type slotMeta struct {
+	real     bool
+	lowClass bool
+	version  uint64
+	nonce    uint64
+	id       BlockID
+}
+
+// peek opens a raw slot into the shared scratch and returns only its
+// header, allocating nothing. The shuffle sorts call this once per
+// slot to build cached keys instead of decoding (and copying a value)
+// per comparison.
+func (c *codec) peek(raw []byte) (slotMeta, error) {
+	payload := c.decBuf
+	if err := c.seal.Open(payload, raw); err != nil {
+		return slotMeta{}, err
+	}
+	sum := binary.BigEndian.Uint64(payload)
+	if sum != c.summer.Sum(payload[8:]) {
+		return slotMeta{}, ErrCorruptSlot
+	}
+	flags := binary.BigEndian.Uint32(payload[8:])
+	return slotMeta{
 		real:     flags&flagReal != 0,
 		lowClass: flags&flagLowClass != 0,
 		version:  binary.BigEndian.Uint64(payload[16:]),
@@ -161,9 +216,5 @@ func (c *codec) decode(raw []byte) (*entry, error) {
 			File:  binary.BigEndian.Uint64(payload[32:]),
 			Index: binary.BigEndian.Uint64(payload[40:]),
 		},
-	}
-	if e.real {
-		e.value = append([]byte(nil), payload[entryMetaSize:]...)
-	}
-	return e, nil
+	}, nil
 }

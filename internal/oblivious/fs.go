@@ -31,6 +31,12 @@ type FS struct {
 	fetched     map[BlockID]bool
 	fetchedList []BlockID
 
+	// Reusable scratch (the FS is single-threaded, like the Store):
+	// padBuf widens payloads to the cache value size, readBuf absorbs
+	// decoy and dummy block reads whose contents are discarded.
+	padBuf  []byte
+	readBuf []byte
+
 	stats FSStats
 }
 
@@ -54,6 +60,8 @@ func NewFS(store *Store, vol *stegfs.Volume, rng *prng.PRNG) (*FS, error) {
 		rng:     rng.Child("obli-fs"),
 		files:   map[uint64]*stegfs.File{},
 		fetched: map[BlockID]bool{},
+		padBuf:  make([]byte, store.ValueSize()),
+		readBuf: make([]byte, vol.BlockSize()),
 	}, nil
 }
 
@@ -105,11 +113,13 @@ func (o *FS) file(ordinal uint64) (*stegfs.File, error) {
 	return f, nil
 }
 
-// pad widens a StegFS payload to the cache's value size.
+// pad widens a StegFS payload to the cache's value size. The returned
+// slice is shared scratch, valid until the next pad call — both
+// callers hand it straight to store.Put, which copies.
 func (o *FS) pad(payload []byte) []byte {
-	out := make([]byte, o.store.ValueSize())
-	copy(out, payload)
-	return out
+	n := copy(o.padBuf, payload)
+	clear(o.padBuf[n:]) // fresh-make semantics: the tail is zero
+	return o.padBuf
 }
 
 // ReadBlock obliviously reads logical block li of the registered file.
@@ -163,7 +173,7 @@ func (o *FS) ReadBlock(ordinal, li uint64) ([]byte, error) {
 func (o *FS) decoyRead() error {
 	o.stats.Decoys++
 	id := o.fetchedList[o.rng.Intn(len(o.fetchedList))]
-	buf := make([]byte, o.vol.BlockSize())
+	buf := o.readBuf
 	if f, ok := o.files[id.File]; ok {
 		if loc, err := f.BlockLoc(id.Index); err == nil {
 			return o.vol.Device().ReadBlock(loc, buf)
@@ -180,8 +190,7 @@ func (o *FS) DummyRead() error {
 	o.stats.DummyReads++
 	first := o.vol.FirstDataBlock()
 	loc := first + o.rng.Uint64n(o.vol.NumBlocks()-first)
-	buf := make([]byte, o.vol.BlockSize())
-	return o.vol.Device().ReadBlock(loc, buf)
+	return o.vol.Device().ReadBlock(loc, o.readBuf)
 }
 
 // WriteBlock updates logical block li of the registered file: the

@@ -7,7 +7,6 @@ import (
 
 	"steghide/internal/blockdev"
 	"steghide/internal/extsort"
-	"steghide/internal/sealer"
 )
 
 // dump merges level i (0-based) into level i+1 with O(B) memory and
@@ -44,7 +43,8 @@ func (s *Store) dump(i int) error {
 	// Winner slots from the in-memory indices: every level i entry
 	// survives; a level i+1 entry survives unless level i holds the
 	// same id (the higher copy is always fresher).
-	winners := make(map[uint64]bool, len(li.index)+len(lj.index))
+	clear(s.winnersBuf)
+	winners := s.winnersBuf
 	reals := 0
 	for _, slot := range li.index {
 		winners[slot] = true
@@ -66,15 +66,13 @@ func (s *Store) dump(i int) error {
 	// pass places each block (OnOutput).
 	lowCount := li.region.Len
 	var dummies uint64
-	iv := make([]byte, sealer.IVSize)
 	onInput := func(pos uint64, raw []byte) error {
-		e, err := s.codec.decode(raw)
-		if err != nil {
+		e := &s.mergeEnt
+		if err := s.codec.decodeInto(e, raw); err != nil {
 			return err
 		}
 		if !winners[pos] {
 			e.real = false
-			e.value = nil
 		}
 		e.nonce = s.rng.Uint64()
 		if e.real {
@@ -83,27 +81,32 @@ func (s *Store) dump(i int) error {
 			e.lowClass = dummies < lowCount
 			dummies++
 		}
-		s.rng.Read(iv)
-		return s.codec.encode(raw, e, iv, func(p []byte) { s.rng.Read(p) })
+		s.rng.Read(s.iv)
+		return s.codec.encode(raw, e, s.iv, func(p []byte) { s.rng.Read(p) })
 	}
 
 	tagSeed := s.tagRNG.Uint64()
 	tagKey := func(raw []byte) uint64 {
-		e, err := s.codec.decode(raw)
+		// peek, not decode: the sort evaluates this once per block per
+		// pass (cached in the run-formation key slice), and it needs
+		// only the header — no value copy, no allocation.
+		m, err := s.codec.peek(raw)
 		if err != nil {
 			return ^uint64(0)
 		}
-		tag := nonceTag(tagSeed, e.nonce) >> 1
-		if !e.lowClass {
+		tag := nonceTag(tagSeed, m.nonce) >> 1
+		if !m.lowClass {
 			tag |= uint64(1) << 63
 		}
 		return tag
 	}
-	newIndex := make(map[BlockID]uint64, reals)
-	realSlots := make(map[uint64]bool, reals)
+	clear(s.spareIndex)
+	newIndex := s.spareIndex
+	clear(s.realSlots)
+	realSlots := s.realSlots
 	var rebuildErr error
 	onOutput := func(pos uint64, raw []byte) error {
-		e, err := s.codec.decode(raw)
+		e, err := s.codec.peek(raw)
 		if err != nil {
 			return err
 		}
@@ -123,7 +126,7 @@ func (s *Store) dump(i int) error {
 		return nil
 	}
 	if err := extsort.Sort(dev, combined, s.scratch, s.bufCap, tagKey,
-		extsort.Options{Transform: s.resealTransform(), OnInput: onInput, OnOutput: onOutput}); err != nil {
+		extsort.Options{Transform: s.reseal, OnInput: onInput, OnOutput: onOutput, Window: s.sortWin}); err != nil {
 		return err
 	}
 	if rebuildErr != nil {
@@ -136,24 +139,16 @@ func (s *Store) dump(i int) error {
 		return fmt.Errorf("oblivious: merge placed %d reals, expected %d", len(newIndex), reals)
 	}
 
-	li.index = map[BlockID]uint64{}
+	clear(li.index)
 	li.realCount = 0
 	li.resetEpoch(s, nil)
-	lj.index = newIndex
+	// Swap rather than drop: the target level adopts the freshly built
+	// index and its old map (cleared at the top of the next dump)
+	// becomes the spare.
+	lj.index, s.spareIndex = newIndex, lj.index
 	lj.realCount = reals
 	lj.resetEpoch(s, realSlots)
 	return nil
-}
-
-// resealTransform re-encrypts a raw slot under a fresh IV; applied on
-// every sort write so positions cannot be linked across passes.
-func (s *Store) resealTransform() func([]byte) error {
-	scratch := make([]byte, s.codec.payload)
-	iv := make([]byte, sealer.IVSize)
-	return func(raw []byte) error {
-		s.rng.Read(iv)
-		return s.codec.seal.Reseal(raw, iv, scratch)
-	}
 }
 
 // shuffleDev counts shuffle I/O. It forwards batches to the inner

@@ -2,6 +2,7 @@ package oblivious
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"steghide/internal/blockdev"
@@ -115,6 +116,52 @@ type Store struct {
 	probeIdx  []uint64 // one slot index per level (Get/DummyRead)
 	probeBufs [][]byte // one block per level (Get/DummyRead)
 	iv        []byte   // IV scratch for sealing
+	sortWin   [][]byte // extsort window, reused across every dump
+	reseal    func([]byte) error
+
+	// Flush scratch, all sized once for level 1 (the only level flush
+	// rewrites): survivor list, permutation, slot→entry placement, the
+	// realSlots set handed to resetEpoch, and a reusable dummy entry.
+	entriesBuf []*entry
+	permBuf    []int
+	placeBuf   []*entry
+	realSlots  map[uint64]bool
+	dummyEnt   entry
+
+	// Merge scratch: the winner set, a spare index map swapped with the
+	// target level's (the old map is cleared and becomes next dump's
+	// spare), and one entry reused by the rewrite pass.
+	winnersBuf map[uint64]bool
+	spareIndex map[BlockID]uint64
+	mergeEnt   entry
+
+	// freeEntries recycles entry structs (and their value backings)
+	// between the buffer and the flush path, so steady-state Puts and
+	// promotions allocate nothing.
+	freeEntries []*entry
+}
+
+// newEntry pops a recycled entry (value backing retained, fields
+// zeroed) or allocates one.
+func (s *Store) newEntry() *entry {
+	if n := len(s.freeEntries); n > 0 {
+		e := s.freeEntries[n-1]
+		s.freeEntries = s.freeEntries[:n-1]
+		v := e.value
+		*e = entry{value: v[:0]}
+		return e
+	}
+	return new(entry)
+}
+
+// freeEntry returns an entry to the freelist. Callers must not retain
+// the pointer (Get hands copies of values to its caller, never the
+// entry itself, so the only holders are the buffer map and flush's
+// transient survivor list).
+func (s *Store) freeEntry(e *entry) {
+	if e != nil {
+		s.freeEntries = append(s.freeEntries, e)
+	}
 }
 
 // New builds and formats an oblivious store: every level slot is
@@ -166,6 +213,25 @@ func New(cfg Config) (*Store, error) {
 	s.probeIdx = make([]uint64, cfg.Levels)
 	s.probeBufs = blockdev.AllocBlocks(cfg.Levels, s.dev.BlockSize())
 	s.iv = make([]byte, sealer.IVSize)
+	s.sortWin = blockdev.AllocBlocks(cfg.BufferBlocks, s.dev.BlockSize())
+	l1Slots := int(s.levels[0].region.Len)
+	s.entriesBuf = make([]*entry, 0, l1Slots)
+	s.permBuf = make([]int, l1Slots)
+	s.placeBuf = make([]*entry, l1Slots)
+	s.realSlots = make(map[uint64]bool, l1Slots)
+	s.winnersBuf = make(map[uint64]bool)
+	s.spareIndex = make(map[BlockID]uint64)
+	{
+		// The reseal transform is built once: its scratch and IV live
+		// for the store, and every dump draws through the same closure
+		// in the same order the per-dump closures did.
+		scratch := make([]byte, cdc.payload)
+		iv := make([]byte, sealer.IVSize)
+		s.reseal = func(raw []byte) error {
+			s.rng.Read(iv)
+			return cdc.seal.Reseal(raw, iv, scratch)
+		}
+	}
 
 	// Format: seal a dummy into every slot, written out in batched
 	// sequential passes of B blocks.
@@ -174,8 +240,8 @@ func New(cfg Config) (*Store, error) {
 			n := min(uint64(len(s.ioBufs)), lv.region.End()-slot)
 			for i := uint64(0); i < n; i++ {
 				s.rng.Read(s.iv)
-				e := &entry{nonce: s.rng.Uint64()}
-				if err := s.codec.encode(s.ioBufs[i], e, s.iv, func(p []byte) { s.rng.Read(p) }); err != nil {
+				s.dummyEnt = entry{nonce: s.rng.Uint64()}
+				if err := s.codec.encode(s.ioBufs[i], &s.dummyEnt, s.iv, func(p []byte) { s.rng.Read(p) }); err != nil {
 					return nil, err
 				}
 			}
@@ -298,11 +364,13 @@ func (s *Store) Get(id BlockID) ([]byte, bool, error) {
 	var found *entry
 	if realLevel >= 0 {
 		lv := s.levels[realLevel]
-		e, err := s.codec.decode(s.probeBufs[realLevel])
-		if err != nil {
+		e := s.newEntry()
+		if err := s.codec.decodeInto(e, s.probeBufs[realLevel]); err != nil {
+			s.freeEntry(e)
 			return nil, false, err
 		}
 		if !e.real || e.id != id {
+			s.freeEntry(e)
 			return nil, false, fmt.Errorf("%w: index pointed at wrong entry", ErrCorruptSlot)
 		}
 		found = e
@@ -367,12 +435,11 @@ func (s *Store) Put(id BlockID, value []byte) error {
 	}
 	s.stats.Puts++
 	s.version++
-	e := &entry{
-		real:    true,
-		version: s.version,
-		id:      id,
-		value:   append([]byte(nil), value...),
-	}
+	e := s.newEntry()
+	e.real = true
+	e.version = s.version
+	e.id = id
+	e.value = append(e.value[:0], value...)
 	if err := s.bufferInsert(e); err != nil {
 		return err
 	}
@@ -469,11 +536,16 @@ func (s *Store) ensureRoom(i, incoming int) error {
 }
 
 // bufferInsert adds an entry to the buffer, flushing first if full.
+// A superseded duplicate goes straight back to the freelist.
 func (s *Store) bufferInsert(e *entry) error {
-	if _, dup := s.buffer[e.id]; !dup && len(s.buffer) >= s.bufCap {
+	old, dup := s.buffer[e.id]
+	if !dup && len(s.buffer) >= s.bufCap {
 		if err := s.flush(); err != nil {
 			return err
 		}
+	}
+	if dup && old != e {
+		s.freeEntry(old)
 	}
 	s.buffer[e.id] = e
 	return nil
@@ -502,7 +574,9 @@ func (s *Store) flush() error {
 
 	// Collect survivors: level-1 entries not superseded by the buffer.
 	// The level is scanned in batched sequential passes of B blocks.
-	entries := make([]*entry, 0, lv.capReal)
+	// Every entry comes off the freelist and every one goes back at the
+	// end of the flush, so a steady-state flush allocates nothing.
+	entries := s.entriesBuf[:0]
 	for slot := lv.region.Start; slot < lv.region.End(); {
 		n := min(uint64(len(s.ioBufs)), lv.region.End()-slot)
 		if err := blockdev.ReadBlocks(s.dev, slot, s.ioBufs[:n]); err != nil {
@@ -510,23 +584,35 @@ func (s *Store) flush() error {
 		}
 		s.stats.ShuffleReads += n
 		for i := uint64(0); i < n; i++ {
-			e, err := s.codec.decode(s.ioBufs[i])
-			if err != nil {
+			e := s.newEntry()
+			if err := s.codec.decodeInto(e, s.ioBufs[i]); err != nil {
+				s.freeEntry(e)
 				return err
 			}
 			if !e.real {
+				s.freeEntry(e)
 				continue
 			}
 			if b, ok := s.buffer[e.id]; ok && b.version >= e.version {
+				s.freeEntry(e)
 				continue
 			}
 			entries = append(entries, e)
 		}
 		slot += n
 	}
+	// Buffer entries join in version order, not map-iteration order:
+	// versions are unique (a global counter), so this makes the whole
+	// placement — and with it the sealed level image — a deterministic
+	// function of the RNG stream, which is what lets the memory-plane
+	// oracle compare full volume images across equal-seed runs.
+	bufStart := len(entries)
 	for _, e := range s.buffer {
 		entries = append(entries, e)
 	}
+	sort.Slice(entries[bufStart:], func(i, j int) bool {
+		return entries[bufStart+i].version < entries[bufStart+j].version
+	})
 	// At even periods the level transiently packs to its full slot
 	// count; the cascade empties it before any probe. Physical
 	// overflow would be a scheduling bug.
@@ -534,12 +620,19 @@ func (s *Store) flush() error {
 		return fmt.Errorf("oblivious: level 1 overflow (%d > %d slots)", len(entries), lv.region.Len)
 	}
 
-	// Random placement of reals among the 2B slots.
+	// Random placement of reals among the 2B slots. The permutation is
+	// drawn exactly as rng.Perm does (identity fill + Fisher–Yates), so
+	// the RNG stream is untouched by the buffer reuse.
 	slots := int(lv.region.Len)
-	perm := s.rng.Perm(slots)
-	lv.index = make(map[BlockID]uint64, len(entries))
-	realSlots := make(map[uint64]bool, len(entries))
-	place := make(map[int]*entry, len(entries))
+	perm := s.permBuf[:slots]
+	for i := range perm {
+		perm[i] = i
+	}
+	s.rng.ShuffleInts(perm)
+	clear(lv.index)
+	clear(s.realSlots)
+	place := s.placeBuf[:slots]
+	clear(place)
 	for i, e := range entries {
 		place[perm[i]] = e
 	}
@@ -549,11 +642,12 @@ func (s *Store) flush() error {
 			slot := lv.region.Start + uint64(off+i)
 			e := place[off+i]
 			if e == nil {
-				e = &entry{nonce: s.rng.Uint64()}
+				s.dummyEnt = entry{nonce: s.rng.Uint64()}
+				e = &s.dummyEnt
 			} else {
 				e.nonce = s.rng.Uint64()
 				lv.index[e.id] = slot
-				realSlots[slot] = true
+				s.realSlots[slot] = true
 			}
 			s.rng.Read(s.iv)
 			if err := s.codec.encode(s.ioBufs[i], e, s.iv, func(p []byte) { s.rng.Read(p) }); err != nil {
@@ -567,7 +661,11 @@ func (s *Store) flush() error {
 		off += n
 	}
 	lv.realCount = len(entries)
-	lv.resetEpoch(s, realSlots)
-	s.buffer = make(map[BlockID]*entry, s.bufCap)
+	lv.resetEpoch(s, s.realSlots)
+	for _, e := range entries {
+		s.freeEntry(e)
+	}
+	s.entriesBuf = entries[:0]
+	clear(s.buffer)
 	return nil
 }

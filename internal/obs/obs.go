@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -197,27 +196,71 @@ func NewRegistry() *Registry {
 // Labels renders variadic k1, v1, k2, v2, ... pairs into a label
 // fragment. Label values are escaped; an odd trailing key is dropped.
 func renderLabels(pairs []string) string {
+	return string(appendLabels(nil, pairs))
+}
+
+// appendLabels appends the rendered `{k="v",...}` fragment to dst.
+// Byte-compatible with renderLabels so fragments built on a stack
+// buffer key the same index entries as the stored strings.
+func appendLabels(dst []byte, pairs []string) []byte {
 	if len(pairs) < 2 {
-		return ""
+		return dst
 	}
-	var b strings.Builder
-	b.WriteByte('{')
+	dst = append(dst, '{')
 	for i := 0; i+1 < len(pairs); i += 2 {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		b.WriteString(pairs[i])
-		b.WriteString(`="`)
-		b.WriteString(escapeLabel(pairs[i+1]))
-		b.WriteByte('"')
+		dst = append(dst, pairs[i]...)
+		dst = append(dst, '=', '"')
+		dst = appendEscaped(dst, pairs[i+1])
+		dst = append(dst, '"')
 	}
-	b.WriteByte('}')
-	return b.String()
+	return append(dst, '}')
+}
+
+// appendEscaped appends v with Prometheus label-value escaping
+// (backslash, double quote, newline). A manual loop instead of
+// strings.NewReplacer: the replacer allocated its state machine on
+// every call, which made each labeled get-or-create cost ~10 heap
+// objects even on the hit path.
+func appendEscaped(dst []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '"':
+			dst = append(dst, '\\', '"')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
 }
 
 func escapeLabel(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
+	return string(appendEscaped(nil, v))
+}
+
+// lookup is the alloc-free hit path of get-or-create: it builds the
+// (family, labels) key in a stack buffer and indexes the table under a
+// read lock — string(key) in the map expression does not copy, and the
+// label pairs never escape, so a hit costs zero heap allocations. A
+// miss (or kind mismatch) returns nil and the caller takes the slow
+// write-locked path.
+func (r *Registry) lookup(family string, pairs []string, k kind) *metric {
+	var stack [128]byte
+	key := append(stack[:0], family...)
+	key = appendLabels(key, pairs)
+	r.mu.RLock()
+	m := r.index[string(key)]
+	r.mu.RUnlock()
+	if m != nil && m.kind == k {
+		return m
+	}
+	return nil
 }
 
 // get returns the series under (family, labels) if registered, with
@@ -237,6 +280,9 @@ func (r *Registry) add(m *metric) {
 // Counter returns the counter registered under name (+labels),
 // creating it on first use. labels are k, v pairs.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if m := r.lookup(name, labels, kindCounter); m != nil {
+		return m.counter
+	}
 	ls := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -266,6 +312,9 @@ func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...stri
 // Gauge returns the gauge registered under name (+labels), creating
 // it on first use.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if m := r.lookup(name, labels, kindGauge); m != nil {
+		return m.gauge
+	}
 	ls := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -296,6 +345,9 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...str
 // creating it with the given bounds on first use (bounds are ignored
 // when the series already exists).
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if m := r.lookup(name, labels, kindHistogram); m != nil {
+		return m.hist
+	}
 	ls := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"steghide/internal/race"
 )
 
 func TestCounterGaugeBasics(t *testing.T) {
@@ -275,4 +277,36 @@ func BenchmarkHistogramObserve(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// TestAllocBudgets pins the labeled get-or-create hit path at zero
+// heap allocations: the key is built on the stack, the map index does
+// not copy it, and the label pairs never escape. Regressions here put
+// per-observation garbage back into every instrumented hot loop.
+func TestAllocBudgets(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc ceilings don't hold under -race (instrumentation defeats escape analysis)")
+	}
+	r := NewRegistry()
+	r.Counter("steghide_alloc_total", "h", "volume", "v0")
+	r.Histogram("steghide_alloc_seconds", "h", LatencyBuckets, "volume", "v0")
+	if n := testing.AllocsPerRun(200, func() {
+		r.Counter("steghide_alloc_total", "h", "volume", "v0").Inc()
+	}); n > 0 {
+		t.Errorf("labeled Counter hit path: %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		r.Histogram("steghide_alloc_seconds", "h", LatencyBuckets, "volume", "v0").Observe(1e-4)
+	}); n > 0 {
+		t.Errorf("labeled Histogram hit path: %.1f allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkLabeledCounterHit(b *testing.B) {
+	r := NewRegistry()
+	r.Counter("steghide_bench_total", "h", "volume", "v0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("steghide_bench_total", "h", "volume", "v0").Inc()
+	}
 }

@@ -54,13 +54,15 @@ func (p *PRNG) Child(label string) *PRNG {
 }
 
 func (p *PRNG) refill() {
-	h := sha256.New()
-	h.Write(p.seed[:])
-	var ctr [8]byte
-	binary.BigEndian.PutUint64(ctr[:], p.counter)
-	h.Write(ctr[:])
-	sum := h.Sum(nil)
-	copy(p.buf[:], sum)
+	// One-shot Sum256 instead of sha256.New/Write/Sum: the digest of
+	// seed ‖ counter is byte-identical, but the streaming API costs two
+	// heap allocations per 32-byte refill — which made the PRNG the
+	// top allocator of the whole reshuffle path (every dummy fill and
+	// IV draws through here).
+	var in [40]byte
+	copy(in[:32], p.seed[:])
+	binary.BigEndian.PutUint64(in[32:], p.counter)
+	p.buf = sha256.Sum256(in[:])
 	p.counter++
 	p.avail = len(p.buf)
 }

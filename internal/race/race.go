@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in.
+// Allocation-budget tests consult it: the race runtime intentionally
+// randomizes sync.Pool reuse (dropping puts to widen interleavings),
+// so alloc ceilings only hold in non-race builds.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -1,0 +1,41 @@
+package sched
+
+import (
+	"testing"
+
+	"steghide/internal/mempool"
+	"steghide/internal/race"
+)
+
+// TestAllocBudgets pins the dummy-burst execute path's steady-state
+// heap behaviour: after the first burst grows the pooled arena to its
+// high-water mark, a 64-element burst must run in a handful of
+// allocations (lock table bookkeeping, the unlock closure), never the
+// per-block buffers it used to make. The ceiling is deliberately loose
+// against incidental churn but far below the old cost of one slab +
+// one IV + one fill per element.
+func TestAllocBudgets(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc ceilings don't hold under -race (the race runtime randomizes sync.Pool reuse)")
+	}
+	if !mempool.Enabled() {
+		t.Skip("budgets pin the pooled configuration (STEGHIDE_MEMPOOL=0 set)")
+	}
+	s, _, _ := newBitmapRig(t, 1024, 0.5)
+	const burst = 64
+	// Warm-up: grow the arena and the draw/seal slices once.
+	for i := 0; i < 3; i++ {
+		if _, err := s.DummyUpdateBurst(burst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.DummyUpdateBurst(burst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("DummyUpdateBurst(%d): %.1f allocs/burst (%.3f/element)", burst, allocs, allocs/burst)
+	if allocs > 16 {
+		t.Errorf("DummyUpdateBurst(%d) = %.1f allocs/burst, budget 16", burst, allocs)
+	}
+}

@@ -40,9 +40,11 @@ package sched
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 
 	"steghide/internal/blockdev"
+	"steghide/internal/mempool"
 	"steghide/internal/obs"
 	"steghide/internal/sealer"
 	"steghide/internal/stegfs"
@@ -153,6 +155,7 @@ type Scheduler struct {
 
 	scratch *blockdev.BufPool // single-block scratch buffers
 	pipe    *sealer.Pipeline  // nil → serial bursts (the default)
+	bursts  sync.Pool         // *burstScratch — per-burst buffers
 
 	// Stream counters are obs.Counter so a registry can export the
 	// same atomics Stats reads — one source of truth, no second copy.
@@ -185,6 +188,31 @@ type metricsState struct {
 	reg    *obs.Registry // kept so EnablePipeline can instrument late
 	volume string
 }
+
+// burstScratch carries every buffer one dummy burst needs — target
+// locations, per-target sealers, the block slab, pre-drawn IVs and
+// refill staging — bump-carved from one arena that grows to the burst
+// high-water mark and is then reused. Scratch structs are pooled on
+// the Scheduler because bursts can run concurrently (daemon ticks and
+// explicit calls); each burst owns one exclusively.
+type burstScratch struct {
+	arena mempool.Arena
+	locs  []uint64
+	seals []*sealer.Sealer
+	raws  [][]byte
+	fills [][]byte
+}
+
+func (s *Scheduler) getBurst() *burstScratch {
+	b, _ := s.bursts.Get().(*burstScratch)
+	if b == nil {
+		b = new(burstScratch)
+	}
+	b.arena.Reset()
+	return b
+}
+
+func (s *Scheduler) putBurst(b *burstScratch) { s.bursts.Put(b) }
 
 // Stats is a snapshot of the scheduler's counters; the field meanings
 // match steghide.UpdateStats.
@@ -534,7 +562,12 @@ func (s *Scheduler) DummyUpdateBurst(n int) (int, error) {
 	if n <= 0 {
 		return 0, nil
 	}
-	locs := make([]uint64, n)
+	b := s.getBurst()
+	defer s.putBurst(b)
+	if cap(b.locs) < n {
+		b.locs = make([]uint64, n)
+	}
+	locs := b.locs[:n]
 	m, err := s.space.DrawDummyBatch(locs)
 	if err != nil {
 		return 0, err
@@ -549,7 +582,7 @@ func (s *Scheduler) DummyUpdateBurst(n int) (int, error) {
 
 	// Classify every target under the locks, dropping stale ones.
 	elig := locs[:0]
-	seals := make([]*sealer.Sealer, 0, m)
+	seals := b.seals[:0]
 	for _, loc := range locs {
 		act, seal := s.space.Classify(loc)
 		if act == ActSkip {
@@ -561,6 +594,7 @@ func (s *Scheduler) DummyUpdateBurst(n int) (int, error) {
 		elig = append(elig, loc)
 		seals = append(seals, seal)
 	}
+	b.seals = seals // keep the grown backing for the next burst
 	if len(elig) == 0 {
 		return 0, nil
 	}
@@ -575,10 +609,10 @@ func (s *Scheduler) DummyUpdateBurst(n int) (int, error) {
 		start = time.Now()
 	}
 	if s.pipe != nil {
-		if err := s.burstPipelined(elig, seals); err != nil {
+		if err := s.burstPipelined(b, elig, seals); err != nil {
 			return 0, err
 		}
-	} else if err := s.burstSerial(elig, seals); err != nil {
+	} else if err := s.burstSerial(b, elig, seals); err != nil {
 		return 0, err
 	}
 	if m := s.metrics; m != nil {
@@ -592,8 +626,9 @@ func (s *Scheduler) DummyUpdateBurst(n int) (int, error) {
 // scattered read of every eligible block, the reseal/refill loop, one
 // scattered write-back. The pipelined stage below is defined as
 // observably equivalent to this code.
-func (s *Scheduler) burstSerial(elig []uint64, seals []*sealer.Sealer) error {
-	raws := blockdev.AllocBlocks(len(elig), s.vol.BlockSize())
+func (s *Scheduler) burstSerial(b *burstScratch, elig []uint64, seals []*sealer.Sealer) error {
+	b.raws = b.arena.Blocks(b.raws[:0], len(elig), s.vol.BlockSize())
+	raws := b.raws
 	if err := blockdev.ReadBlocksAt(s.dev, elig, raws); err != nil {
 		return err
 	}
@@ -641,22 +676,26 @@ const burstChunk = 16
 // The caller holds every eligible block's lock and has already emitted
 // the burst's single intent record on the serial control path, so the
 // journal's one-slot-per-element invariant is untouched.
-func (s *Scheduler) burstPipelined(elig []uint64, seals []*sealer.Sealer) error {
+func (s *Scheduler) burstPipelined(b *burstScratch, elig []uint64, seals []*sealer.Sealer) error {
 	n := len(elig)
 	bs := s.vol.BlockSize()
-	raws := blockdev.AllocBlocks(n, bs)
+	b.raws = b.arena.Blocks(b.raws[:0], n, bs)
+	raws := b.raws
 
 	// Serial RNG pre-draw in eligible order (fact 1).
-	ivs := make([]byte, n*sealer.IVSize)
-	fills := make([][]byte, n)
+	ivs := b.arena.Bytes(n * sealer.IVSize)
+	fills := b.fills[:0]
 	for i := range elig {
 		if seals[i] == nil {
-			fills[i] = make([]byte, bs)
-			s.vol.FillRandom(fills[i])
+			f := b.arena.Bytes(bs)
+			s.vol.FillRandom(f)
+			fills = append(fills, f)
 			continue
 		}
+		fills = append(fills, nil)
 		s.vol.NextIV(ivs[i*sealer.IVSize : (i+1)*sealer.IVSize])
 	}
+	b.fills = fills
 
 	chunks := (n + burstChunk - 1) / burstChunk
 	ring := blockdev.NewAsync(s.dev, 1, 2*chunks)

@@ -1,0 +1,144 @@
+package sealer
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"math/rand"
+	"testing"
+
+	"steghide/internal/race"
+)
+
+// TestSealMatchesFreshCBC pins the pooled-mode IV-folding path against
+// the textbook construction it replaces: a fresh cipher.NewCBCEncrypter
+// per block. The sealed bytes are the on-disk format — any divergence
+// would silently corrupt every existing volume — so this runs many
+// blocks through one sealer (exercising the chained-mode reuse) and
+// checks each against an independent fresh-mode seal.
+func TestSealMatchesFreshCBC(t *testing.T) {
+	for _, bs := range []int{IVSize + aes.BlockSize, 512, 4096} {
+		key := DeriveKey([]byte("cbc-differential"), "seal")
+		s, err := New(key, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		block, _ := aes.NewCipher(key[:])
+		rng := rand.New(rand.NewSource(7))
+		data := make([]byte, s.DataSize())
+		iv := make([]byte, IVSize)
+		got := make([]byte, bs)
+		want := make([]byte, bs)
+		for i := 0; i < 64; i++ {
+			rng.Read(data)
+			rng.Read(iv)
+			if err := s.Seal(got, iv, data); err != nil {
+				t.Fatal(err)
+			}
+			copy(want[:IVSize], iv)
+			cipher.NewCBCEncrypter(block, iv).CryptBlocks(want[IVSize:], data)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("bs=%d block %d: pooled seal diverges from fresh CBC", bs, i)
+			}
+			// And the decrypt side, against a fresh decrypter.
+			opened := make([]byte, s.DataSize())
+			if err := s.Open(opened, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(opened, data) {
+				t.Fatalf("bs=%d block %d: pooled open does not invert seal", bs, i)
+			}
+		}
+	}
+}
+
+// TestSealOpenInterleaved drives Seal and Open in a mixed order so the
+// chained modes see every state transition (seal-after-open and
+// open-after-seal both fold the previous chain correctly).
+func TestSealOpenInterleaved(t *testing.T) {
+	key := DeriveKey([]byte("cbc-differential"), "interleave")
+	s, err := New(key, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	type sealed struct{ raw, data []byte }
+	var history []sealed
+	for i := 0; i < 128; i++ {
+		if rng.Intn(2) == 0 || len(history) == 0 {
+			data := make([]byte, s.DataSize())
+			iv := make([]byte, IVSize)
+			rng.Read(data)
+			rng.Read(iv)
+			raw := make([]byte, 512)
+			if err := s.Seal(raw, iv, data); err != nil {
+				t.Fatal(err)
+			}
+			history = append(history, sealed{raw, data})
+		} else {
+			pick := history[rng.Intn(len(history))]
+			out := make([]byte, s.DataSize())
+			if err := s.Open(out, pick.raw); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, pick.data) {
+				t.Fatalf("op %d: interleaved open returned wrong plaintext", i)
+			}
+		}
+	}
+}
+
+// TestSealOpenZeroAlloc pins the whole point of the mode pool: a warm
+// Seal/Open cycle allocates nothing.
+func TestSealOpenZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc floors don't hold under -race (the race runtime randomizes sync.Pool reuse)")
+	}
+	key := DeriveKey([]byte("cbc-differential"), "allocs")
+	s, err := New(key, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, s.DataSize())
+	raw := make([]byte, 4096)
+	iv := make([]byte, IVSize)
+	out := make([]byte, s.DataSize())
+	if err := s.Seal(raw, iv, data); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.Seal(raw, iv, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Open(out, raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Seal+Open allocated %.1f per op, want 0", allocs)
+	}
+}
+
+// TestSummerMatchesChecksum pins Summer against the allocating
+// Checksum it replaces, including empty and large inputs, and pins its
+// steady state at zero allocations.
+func TestSummerMatchesChecksum(t *testing.T) {
+	key := DeriveKey([]byte("cbc-differential"), "summer")
+	sm := NewSummer(key, "obli-slot")
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 31, 32, 33, 448, 4096} {
+		data := make([]byte, n)
+		rng.Read(data)
+		if got, want := sm.Sum(data), Checksum(key, "obli-slot", data); got != want {
+			t.Fatalf("len %d: Summer %#x != Checksum %#x", n, got, want)
+		}
+	}
+	if race.Enabled {
+		return // the alloc floor below doesn't hold under -race
+	}
+	data := make([]byte, 448)
+	allocs := testing.AllocsPerRun(100, func() { sm.Sum(data) })
+	if allocs > 0 {
+		t.Fatalf("Summer.Sum allocated %.1f per op, want 0", allocs)
+	}
+}

@@ -167,6 +167,6 @@ func (p *Pipeline) ResealMany(s *Sealer, raws [][]byte, nextIV func(iv []byte)) 
 	return p.Each(len(raws), func(i int) error {
 		scratch := s.getScratch()
 		defer s.putScratch(scratch)
-		return s.Reseal(raws[i], ivs[i*IVSize:(i+1)*IVSize], *scratch)
+		return s.Reseal(raws[i], ivs[i*IVSize:(i+1)*IVSize], scratch)
 	})
 }

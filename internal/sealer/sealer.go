@@ -22,7 +22,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"sync"
+
+	"steghide/internal/mempool"
 )
 
 // IVSize is the length in bytes of the per-block initialization
@@ -73,27 +76,52 @@ func KeyFromPassphrase(passphrase string, salt []byte, iterations int) Key {
 
 // Sealer encrypts and decrypts fixed-size storage blocks under one key.
 // It is safe for concurrent use: all methods operate on caller-supplied
-// buffers and the cipher.Block is stateless.
+// buffers, the cipher.Block is stateless, and the chained CBC modes are
+// borrowed from a pool per call.
 type Sealer struct {
 	block     cipher.Block
-	blockSize int       // full on-disk block size, IV included
-	scratch   sync.Pool // *[]byte data-field buffers for Reseal paths
+	blockSize int // full on-disk block size, IV included
+
+	// modes recycles CBC BlockMode pairs across Seal/Open calls.
+	// cipher.NewCBCEncrypter allocates per call, which put a
+	// one-alloc-per-block floor under every bulk path (a reshuffle
+	// or scan touches hundreds of blocks); instead each mode is
+	// created once with a zero IV and its chaining state is folded
+	// into the next block's IV (see cbcScratch), so steady-state
+	// Seal and Open allocate nothing.
+	modes sync.Pool
 }
 
-// getScratch borrows a DataSize-byte buffer from the sealer's pool.
-// It traffics in *[]byte so the round trip through the pool reuses one
-// header allocation per pooled buffer instead of boxing a fresh slice
-// header on every Put — the Reseal hot path must stay at zero
-// allocations per operation.
-func (s *Sealer) getScratch() *[]byte {
-	if v := s.scratch.Get(); v != nil {
-		return v.(*[]byte)
-	}
-	b := make([]byte, s.DataSize())
-	return &b
+// cbcScratch is one reusable encrypt/decrypt mode pair. A CBC mode's
+// only state is its chaining vector — after CryptBlocks it equals the
+// last ciphertext block processed, which we track in encPrev/decPrev.
+// To encrypt under an arbitrary IV without constructing a fresh mode,
+// XOR the first plaintext block with (prev ⊕ iv): the mode's internal
+// chain contributes prev, the XOR cancels it and substitutes iv, and
+// every later block chains off real ciphertext exactly as standard
+// CBC does. Decryption fixes up the first output block the same way.
+// The result is byte-for-byte cipher.NewCBC*(block, iv).CryptBlocks.
+type cbcScratch struct {
+	enc, dec cipher.BlockMode
+	encPrev  [IVSize]byte // enc's internal chain: last ciphertext it produced
+	decPrev  [IVSize]byte // dec's internal chain: last ciphertext it consumed
 }
 
-func (s *Sealer) putScratch(b *[]byte) { s.scratch.Put(b) }
+// getModes borrows a mode pair; returned by putModes.
+func (s *Sealer) getModes() *cbcScratch {
+	return s.modes.Get().(*cbcScratch)
+}
+
+func (s *Sealer) putModes(c *cbcScratch) { s.modes.Put(c) }
+
+// getScratch borrows a DataSize-byte buffer from the repo-wide memory
+// plane (size-class free lists shared with the wire and batch layers),
+// so every sealer's Reseal path draws on one pool instead of each
+// instance hoarding its own — the hot path stays at zero allocations
+// per operation while the plane is on.
+func (s *Sealer) getScratch() []byte { return mempool.Get(s.DataSize()) }
+
+func (s *Sealer) putScratch(b []byte) { mempool.Recycle(b) }
 
 // New returns a Sealer for devices with the given on-disk block size.
 // The data field (blockSize − IVSize) must be a positive multiple of
@@ -107,7 +135,15 @@ func New(key Key, blockSize int) (*Sealer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sealer: %w", err)
 	}
-	return &Sealer{block: b, blockSize: blockSize}, nil
+	s := &Sealer{block: b, blockSize: blockSize}
+	s.modes.New = func() any {
+		var zero [IVSize]byte
+		return &cbcScratch{
+			enc: cipher.NewCBCEncrypter(s.block, zero[:]),
+			dec: cipher.NewCBCDecrypter(s.block, zero[:]),
+		}
+	}
+	return s, nil
 }
 
 // BlockSize returns the full on-disk block size, IV included.
@@ -130,8 +166,15 @@ func (s *Sealer) Seal(dst, iv, data []byte) error {
 		return fmt.Errorf("sealer: data length %d, want %d", len(data), s.DataSize())
 	}
 	copy(dst[:IVSize], iv)
-	enc := cipher.NewCBCEncrypter(s.block, iv)
-	enc.CryptBlocks(dst[IVSize:], data)
+	body := dst[IVSize:]
+	copy(body, data)
+	c := s.getModes()
+	for i := 0; i < IVSize; i++ {
+		body[i] ^= c.encPrev[i] ^ iv[i]
+	}
+	c.enc.CryptBlocks(body, body)
+	copy(c.encPrev[:], body[len(body)-IVSize:])
+	s.putModes(c)
 	return nil
 }
 
@@ -144,8 +187,14 @@ func (s *Sealer) Open(dst, raw []byte) error {
 	if len(dst) != s.DataSize() {
 		return fmt.Errorf("sealer: dst length %d, want %d", len(dst), s.DataSize())
 	}
-	dec := cipher.NewCBCDecrypter(s.block, raw[:IVSize])
-	dec.CryptBlocks(dst, raw[IVSize:])
+	c := s.getModes()
+	prev := c.decPrev
+	copy(c.decPrev[:], raw[len(raw)-IVSize:])
+	c.dec.CryptBlocks(dst, raw[IVSize:])
+	for i := 0; i < IVSize; i++ {
+		dst[i] ^= prev[i] ^ raw[i]
+	}
+	s.putModes(c)
 	return nil
 }
 
@@ -157,7 +206,7 @@ func (s *Sealer) Reseal(raw, newIV, scratch []byte) error {
 	if scratch == nil {
 		p := s.getScratch()
 		defer s.putScratch(p)
-		scratch = *p
+		scratch = p
 	}
 	if err := s.Open(scratch, raw); err != nil {
 		return err
@@ -258,7 +307,7 @@ func (s *Sealer) ResealMany(raws [][]byte, nextIV func(iv []byte)) error {
 	var iv [IVSize]byte
 	for _, raw := range raws {
 		nextIV(iv[:])
-		if err := s.Reseal(raw, iv[:], *p); err != nil {
+		if err := s.Reseal(raw, iv[:], p); err != nil {
 			return err
 		}
 	}
@@ -273,4 +322,39 @@ func Checksum(key Key, ctx string, data []byte) uint64 {
 	mac.Write([]byte(ctx))
 	mac.Write(data)
 	return binary.BigEndian.Uint64(mac.Sum(nil))
+}
+
+// Summer computes Checksum-compatible tags for one (key, ctx) pair
+// without allocating after construction: the HMAC state is reset and
+// reused and the digest lands in an owned buffer. hmac.New and the
+// string-to-bytes conversion inside Checksum cost ~6 allocations per
+// call, which dominated header decodes and oblivious-slot probes; a
+// Summer amortizes all of it to zero. Not safe for concurrent use —
+// each owner (a codec, a volume) keeps its own.
+type Summer struct {
+	mac hash.Hash
+	ctx []byte
+	sum []byte
+}
+
+// NewSummer returns a Summer whose Sum(data) equals
+// Checksum(key, ctx, data). The first Reset of an HMAC caches its
+// marshaled pads, so construction pre-warms the state with one sum.
+func NewSummer(key Key, ctx string) *Summer {
+	s := &Summer{
+		mac: hmac.New(sha256.New, key[:]),
+		ctx: []byte(ctx),
+		sum: make([]byte, 0, sha256.Size),
+	}
+	s.Sum(nil)
+	return s
+}
+
+// Sum returns the 8-byte tag over data, keyed as at construction.
+func (s *Summer) Sum(data []byte) uint64 {
+	s.mac.Reset()
+	s.mac.Write(s.ctx)
+	s.mac.Write(data)
+	s.sum = s.mac.Sum(s.sum[:0])
+	return binary.BigEndian.Uint64(s.sum)
 }

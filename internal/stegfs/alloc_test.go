@@ -1,0 +1,43 @@
+package stegfs
+
+import (
+	"testing"
+
+	"steghide/internal/prng"
+	"steghide/internal/race"
+)
+
+// TestAllocBudgets pins the sequential-scan read path: a full ReadAt
+// over a 128-block file runs its batched reads out of pooled slabs and
+// the file's cached carve tables, so the whole 64-KB-payload scan must
+// stay within a small constant of allocations — not the
+// one-raw-one-payload-per-block it used to cost.
+func TestAllocBudgets(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc ceilings don't hold under -race (the race runtime randomizes sync.Pool reuse)")
+	}
+	vol, src := benchVolume(t, 1<<14)
+	fak := DeriveFAK("u", "/alloc", vol)
+	f, err := CreateFile(vol, fak, "/alloc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 128
+	data := prng.NewFromUint64(3).Bytes(blocks * vol.PayloadSize())
+	if _, err := f.WriteAt(data, 0, InPlacePolicy{Vol: vol}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if _, err := f.ReadAt(buf, 0); err != nil { // warm the carve tables
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("ReadAt(%d blocks): %.1f allocs/scan (%.3f/block)", blocks, allocs, allocs/blocks)
+	if allocs > 16 {
+		t.Errorf("ReadAt(%d blocks) = %.1f allocs/scan, budget 16", blocks, allocs)
+	}
+}

@@ -8,7 +8,7 @@ import (
 	"steghide/internal/prng"
 )
 
-func benchVolume(b *testing.B, nBlocks uint64) (*Volume, *BitmapSource) {
+func benchVolume(b testing.TB, nBlocks uint64) (*Volume, *BitmapSource) {
 	b.Helper()
 	vol, err := Format(blockdev.NewMem(512, nBlocks), FormatOptions{KDFIterations: 4, FillSeed: []byte("b")})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"steghide/internal/mempool"
 	"steghide/internal/sealer"
 )
 
@@ -43,6 +44,13 @@ type File struct {
 	// longer references them is durable, so a crash before that save
 	// cannot find them reallocated out from under the old header.
 	pendingFree []uint64
+
+	// ReadAt batch scratch (a File is not concurrent-safe): the slice
+	// headers persist here while the block slabs behind them are leased
+	// from the memory plane per call.
+	scanLocs []uint64
+	scanRaws [][]byte
+	scanOuts [][]byte
 }
 
 // CreateFile creates an empty hidden file for fak at path. The header
@@ -556,8 +564,16 @@ func (f *File) ReadAt(p []byte, off uint64) (int, error) {
 		p = p[:f.size-off]
 	}
 	ps := uint64(f.vol.PayloadSize())
+	bs := f.vol.BlockSize()
 	read := 0
-	locs := make([]uint64, 0, readAtBatch)
+	// Batch buffers: slabs leased from the memory plane for the span of
+	// this call, slice headers kept on the File (not concurrent-safe by
+	// contract), location list reused across calls. A warm sequential
+	// scan allocates nothing.
+	rawSlab := mempool.Get(readAtBatch * bs)
+	outSlab := mempool.Get(readAtBatch * int(ps))
+	defer mempool.Recycle(rawSlab)
+	defer mempool.Recycle(outSlab)
 	for read < len(p) {
 		li := (off + uint64(read)) / ps
 		bo := (off + uint64(read)) % ps
@@ -565,19 +581,20 @@ func (f *File) ReadAt(p []byte, off uint64) (int, error) {
 		if n > readAtBatch {
 			n = readAtBatch
 		}
-		locs = locs[:0]
+		f.scanLocs = f.scanLocs[:0]
 		for i := uint64(0); i < n; i++ {
 			loc, err := f.BlockLoc(li + i)
 			if err != nil {
 				return read, err
 			}
-			locs = append(locs, loc)
+			f.scanLocs = append(f.scanLocs, loc)
 		}
-		payloads, err := f.vol.ReadSealedMany(locs, f.cseal)
-		if err != nil {
+		f.scanRaws = carveBlocks(f.scanRaws[:0], rawSlab, int(n), bs)
+		f.scanOuts = carveBlocks(f.scanOuts[:0], outSlab, int(n), int(ps))
+		if err := f.vol.ReadSealedManyInto(f.scanLocs, f.cseal, f.scanRaws, f.scanOuts); err != nil {
 			return read, err
 		}
-		for _, payload := range payloads {
+		for _, payload := range f.scanOuts {
 			read += copy(p[read:], payload[bo:])
 			bo = 0
 		}

@@ -3,6 +3,7 @@ package stegfs
 import (
 	"errors"
 
+	"steghide/internal/mempool"
 	"steghide/internal/sealer"
 )
 
@@ -26,8 +27,14 @@ func ReferencedAt(vol *Volume, headerLoc uint64, key sealer.Key) (map[uint64]boo
 	if err != nil {
 		return nil, err
 	}
-	payload, err := vol.ReadSealed(headerLoc, hseal)
-	if err != nil {
+	// One raw/payload pair serves the whole walk — header, single and
+	// double indirect, and every inner pointer block. Each decode copies
+	// what it keeps before the next read overwrites the scratch.
+	raw := mempool.Get(vol.BlockSize())
+	defer mempool.Recycle(raw)
+	payload := mempool.Get(vol.PayloadSize())
+	defer mempool.Recycle(payload)
+	if err := vol.ReadSealedInto(headerLoc, hseal, raw, payload); err != nil {
 		return nil, err
 	}
 	h, err := vol.decodeHeaderAny(payload, key)
@@ -54,12 +61,11 @@ func ReferencedAt(vol *Volume, headerLoc uint64, key sealer.Key) (map[uint64]boo
 			return nil, errors.Join(ErrCorrupt, errors.New("stegfs: missing single-indirect block"))
 		}
 		refs[h.single] = true
-		inner, err := vol.ReadSealed(h.single, hseal)
-		if err != nil {
+		if err := vol.ReadSealedInto(h.single, hseal, raw, payload); err != nil {
 			return nil, err
 		}
 		n := min(count-taken, per)
-		ptrs, err := vol.decodePtrBlock(inner, int(n), key)
+		ptrs, err := vol.decodePtrBlock(payload, int(n), key)
 		if err != nil {
 			return nil, err
 		}
@@ -69,11 +75,10 @@ func ReferencedAt(vol *Volume, headerLoc uint64, key sealer.Key) (map[uint64]boo
 	}
 	if h.double != 0 {
 		refs[h.double] = true
-		outerRaw, err := vol.ReadSealed(h.double, hseal)
-		if err != nil {
+		if err := vol.ReadSealedInto(h.double, hseal, raw, payload); err != nil {
 			return nil, err
 		}
-		outer, err := vol.decodePtrBlock(outerRaw, int(h.outerCount), key)
+		outer, err := vol.decodePtrBlock(payload, int(h.outerCount), key)
 		if err != nil {
 			return nil, err
 		}
@@ -85,12 +90,11 @@ func ReferencedAt(vol *Volume, headerLoc uint64, key sealer.Key) (map[uint64]boo
 			if taken == count {
 				continue // over-provisioned inner block, still owned
 			}
-			innerRaw, err := vol.ReadSealed(op, hseal)
-			if err != nil {
+			if err := vol.ReadSealedInto(op, hseal, raw, payload); err != nil {
 				return nil, err
 			}
 			n := min(count-taken, per)
-			ptrs, err := vol.decodePtrBlock(innerRaw, int(n), key)
+			ptrs, err := vol.decodePtrBlock(payload, int(n), key)
 			if err != nil {
 				return nil, err
 			}

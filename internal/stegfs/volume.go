@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"steghide/internal/blockdev"
+	"steghide/internal/mempool"
 	"steghide/internal/prng"
 	"steghide/internal/sealer"
 )
@@ -356,7 +357,20 @@ func (v *Volume) nextIV(dst []byte) { v.NextIV(dst) }
 // ReadSealed reads block loc and decrypts it with seal, returning the
 // payload in a fresh buffer.
 func (v *Volume) ReadSealed(loc uint64, seal *sealer.Sealer) ([]byte, error) {
-	raw := make([]byte, v.blockSize)
+	raw := mempool.Get(v.blockSize)
+	defer mempool.Recycle(raw)
+	out := make([]byte, v.payload)
+	if err := v.ReadSealedInto(loc, seal, raw, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadSealedInto is ReadSealed with caller-owned buffers — the
+// alloc-free form the scan paths (File.ReadAt batches, recovery's
+// header walk) loop over. raw must be BlockSize bytes of scratch; the
+// payload decrypts into out, which must be PayloadSize bytes.
+func (v *Volume) ReadSealedInto(loc uint64, seal *sealer.Sealer, raw, out []byte) error {
 	l := v.blockLocker()
 	if l != nil {
 		l.LockBlock(loc)
@@ -366,13 +380,9 @@ func (v *Volume) ReadSealed(loc uint64, seal *sealer.Sealer) ([]byte, error) {
 		l.UnlockBlock(loc)
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
-	out := make([]byte, v.payload)
-	if err := seal.Open(out, raw); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return seal.Open(out, raw)
 }
 
 // WriteSealed encrypts payload under seal with a fresh IV and writes
@@ -444,7 +454,27 @@ func (v *Volume) ReadSealedMany(locs []uint64, seal *sealer.Sealer) ([][]byte, e
 	if len(locs) == 0 {
 		return nil, nil
 	}
-	raws := blockdev.AllocBlocks(len(locs), v.blockSize)
+	// The ciphertext slab is transient — borrowed from the memory
+	// plane and returned before we hand the payloads (which the caller
+	// owns) back.
+	slab := mempool.Get(len(locs) * v.blockSize)
+	defer mempool.Recycle(slab)
+	raws := carveBlocks(nil, slab, len(locs), v.blockSize)
+	out := blockdev.AllocBlocks(len(locs), v.payload)
+	if err := v.ReadSealedManyInto(locs, seal, raws, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadSealedManyInto is ReadSealedMany with caller-owned buffers:
+// raws must hold len(locs) BlockSize scratch buffers, out len(locs)
+// PayloadSize destination buffers. Nothing is allocated, which is what
+// turns a sequential hidden-file scan into pure device I/O + crypto.
+func (v *Volume) ReadSealedManyInto(locs []uint64, seal *sealer.Sealer, raws, out [][]byte) error {
+	if len(locs) == 0 {
+		return nil
+	}
 	var err error
 	if l := v.blockLocker(); l != nil {
 		unlock := l.LockBlocks(locs)
@@ -454,13 +484,19 @@ func (v *Volume) ReadSealedMany(locs []uint64, seal *sealer.Sealer) ([][]byte, e
 		err = blockdev.ReadBlocksAt(v.dev, locs, raws)
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
-	out := blockdev.AllocBlocks(len(locs), v.payload)
-	if err := seal.OpenMany(out, raws); err != nil {
-		return nil, err
+	return seal.OpenMany(out, raws)
+}
+
+// carveBlocks appends n size-byte slices carved from slab to dst.
+// slab must hold n·size bytes; capacities are clamped so adjacent
+// carves cannot bleed into each other via append.
+func carveBlocks(dst [][]byte, slab []byte, n, size int) [][]byte {
+	for i := 0; i < n; i++ {
+		dst = append(dst, slab[i*size:(i+1)*size:(i+1)*size])
 	}
-	return out, nil
+	return dst
 }
 
 // WriteSealedMany seals payloads[i] under seal with fresh IVs and

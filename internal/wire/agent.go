@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"steghide/internal/mempool"
 	"steghide/internal/steghide"
 )
 
@@ -428,12 +429,16 @@ func (s *AgentServer) handle(ctx context.Context, req frame, st *connSession, li
 		if n > limit {
 			return errFrame(fmt.Errorf("wire: read of %d bytes exceeds limit", n))
 		}
-		buf := make([]byte, n)
+		// n is bounded by the negotiated frame limit (above) before any
+		// allocation; the reply buffer is leased from the memory plane
+		// and returned once the reply frame is written.
+		buf := mempool.Get(int(n))
 		got, err := sess.Read(path, buf, off)
 		if err != nil {
+			mempool.Recycle(buf)
 			return errFrame(err)
 		}
-		return frame{Type: msgOK, Body: buf[:got]}
+		return frame{Type: msgOK, Body: buf[:got], pooled: true}
 	case msgWrite:
 		path := d.str()
 		off := d.u64()
@@ -828,6 +833,7 @@ func (c *Client) DiscloseCtx(ctx context.Context, path string) (isDummy bool, si
 	d := &decoder{b: resp.Body}
 	dummy := d.u64()
 	size = d.u64()
+	resp.release()
 	if d.err != nil {
 		return false, 0, d.err
 	}
@@ -849,7 +855,9 @@ func (c *Client) ReadCtx(ctx context.Context, path string, p []byte, off uint64)
 	if err != nil {
 		return 0, err
 	}
-	return copy(p, resp.Body), nil
+	n := copy(p, resp.Body)
+	resp.release()
+	return n, nil
 }
 
 // Write writes data at offset off of a disclosed file.
@@ -929,8 +937,9 @@ func (c *Client) FilesCtx(ctx context.Context) ([]string, error) {
 	}
 	paths := make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {
-		paths = append(paths, d.str())
+		paths = append(paths, d.str()) // str() copies out of the body
 	}
+	resp.release()
 	if d.err != nil {
 		return nil, d.err
 	}

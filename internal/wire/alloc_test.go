@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"testing"
+
+	"steghide/internal/blockdev"
+	"steghide/internal/race"
+)
+
+// TestAllocBudgets pins the batched remote read path, client and
+// server together (AllocsPerRun counts every goroutine): one scattered
+// 64-block read must run out of pooled frame and batch buffers on both
+// ends. The budget allows per-call channel/ctx bookkeeping but sits
+// far below the old one-frame-plus-one-payload-per-block regime.
+func TestAllocBudgets(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc ceilings don't hold under -race (the race runtime randomizes sync.Pool reuse)")
+	}
+	_, _, dev := newPair(t, 512, 256, nil)
+	const n = 64
+	idx := make([]uint64, n)
+	for i := range idx {
+		idx[i] = uint64((i * 37) % 256)
+	}
+	bufs := blockdev.AllocBlocks(n, 512)
+	if err := blockdev.WriteBlocksAt(dev, idx, bufs); err != nil {
+		t.Fatal(err)
+	}
+	if err := blockdev.ReadBlocksAt(dev, idx, bufs); err != nil { // warm pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := blockdev.ReadBlocksAt(dev, idx, bufs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("ReadBlocksAt(%d scattered): %.1f allocs/batch (%.3f/block)", n, allocs, allocs/n)
+	if allocs > 48 {
+		t.Errorf("ReadBlocksAt(%d) = %.1f allocs/batch, budget 48", n, allocs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 
+	"steghide/internal/mempool"
 	"steghide/internal/stegfs"
 	"steghide/internal/steghide"
 )
@@ -182,10 +183,27 @@ var ErrFrameTooBig = errors.New("wire: frame exceeds size limit")
 // protocol v1 peers leave it zero (the field occupies what v1 framed
 // as padding, so the layouts are wire-compatible), v2 clients assign
 // unique IDs to in-flight calls and the server echoes them.
+//
+// pooled marks a Body leased from the memory plane. Ownership follows
+// the frame: whoever consumes the body last (copies it out, finishes
+// decoding it, or discards the frame) calls release. Frames are copied
+// by value through channels, so exactly one copy may release — the
+// discipline at each hand-off is documented at the hand-off.
 type frame struct {
-	Type uint32
-	ID   uint32
-	Body []byte
+	Type   uint32
+	ID     uint32
+	Body   []byte
+	pooled bool
+}
+
+// release returns a leased body to the memory plane. Safe on frames
+// with foreign or nil bodies (no-op), and idempotent on the same copy
+// of the frame — but never call it on two copies of one frame.
+func (f *frame) release() {
+	if f.pooled && f.Body != nil {
+		mempool.Recycle(f.Body)
+	}
+	f.Body, f.pooled = nil, false
 }
 
 func writeFrame(w io.Writer, f frame) error {
@@ -206,7 +224,8 @@ func writeFrame(w io.Writer, f frame) error {
 
 // readFrame reads one frame, rejecting bodies over limit before any
 // allocation happens — a hostile peer cannot force a huge allocation
-// by declaring a huge length.
+// by declaring a huge length. The body is leased from the memory
+// plane; the frame's consumer releases it.
 func readFrame(r io.Reader, limit uint64) (frame, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -221,8 +240,9 @@ func readFrame(r io.Reader, limit uint64) (frame, error) {
 		ID:   binary.BigEndian.Uint32(hdr[4:]),
 	}
 	if n > 0 {
-		f.Body = make([]byte, n)
+		f.Body, f.pooled = mempool.Get(int(n)), true
 		if _, err := io.ReadFull(r, f.Body); err != nil {
+			f.release()
 			return frame{}, fmt.Errorf("wire: read body: %w", err)
 		}
 	}

@@ -138,6 +138,7 @@ func newMux(ctx context.Context, conn net.Conn, proposeMax uint64, forceV1 bool)
 	switch resp.Type {
 	case msgHello:
 		version, theirMax, err := decodeHello(resp.Body)
+		resp.release()
 		if err != nil {
 			return nil, err
 		}
@@ -160,6 +161,7 @@ func newMux(ctx context.Context, conn net.Conn, proposeMax uint64, forceV1 bool)
 		// A v1 server rejecting the unknown frame type — it is still
 		// in frame sync (it answered), so speak v1 on the same
 		// connection.
+		resp.release()
 		return &muxConn{conn: conn, maxFrame: maxBodySize, v1: true}, nil
 	default:
 		return nil, fmt.Errorf("wire: unexpected hello reply type %#x", resp.Type)
@@ -225,7 +227,9 @@ func (m *muxConn) callT(ctx context.Context, req frame) (resp frame, sent bool, 
 	select {
 	case resp := <-ch:
 		if resp.Type == msgErr {
-			return frame{}, true, decodeRemoteError(resp.Body)
+			err := decodeRemoteError(resp.Body)
+			resp.release() // decodeRemoteError copied what it kept
+			return frame{}, true, err
 		}
 		return resp, true, nil
 	case <-ctx.Done():
@@ -247,7 +251,9 @@ func (m *muxConn) callT(ctx context.Context, req frame) (resp frame, sent bool, 
 		// The reader may have delivered the reply just before dying.
 		if resp, ok := m.take(ch); ok {
 			if resp.Type == msgErr {
-				return frame{}, true, decodeRemoteError(resp.Body)
+				err := decodeRemoteError(resp.Body)
+				resp.release()
+				return frame{}, true, err
 			}
 			return resp, true, nil
 		}
@@ -347,7 +353,11 @@ func (m *muxConn) readLoop() {
 		delete(m.pending, f.ID)
 		m.mu.Unlock()
 		if ch != nil {
-			ch <- f
+			ch <- f // the waiting caller owns the lease now
+		} else {
+			// A cancelled (abandoned) request's late reply: discard it
+			// and return its lease — nobody will ever read it.
+			f.release()
 		}
 	}
 }
@@ -477,7 +487,9 @@ func callLocked(ctx context.Context, conn net.Conn, req frame) (resp frame, desy
 		return frame{}, false, fmt.Errorf("wire: %w", cerr)
 	}
 	if resp.Type == msgErr {
-		return frame{}, false, decodeRemoteError(resp.Body)
+		err := decodeRemoteError(resp.Body)
+		resp.release()
+		return frame{}, false, err
 	}
 	return resp, false, nil
 }

@@ -109,6 +109,7 @@ func (cs *connServer) serve(handle handlerFunc) {
 	}
 	if first.Type == msgHello && !cs.forceV1 {
 		version, theirMax, err := decodeHello(first.Body)
+		first.release() // decoded by value; the lease ends here
 		if err != nil {
 			cs.write(frame{Type: msgErr, ID: first.ID, Body: errFrame(err).Body})
 			return
@@ -137,6 +138,7 @@ func (cs *connServer) serve(handle handlerFunc) {
 		// forceV1: answer exactly like a pre-v2 server — an error for
 		// the unknown frame type — and keep serving lock-step. This is
 		// the downgrade signal v2 dialers key on.
+		first.release()
 		if err := cs.write(errFrameID(first.ID, fmt.Errorf("wire: unknown message type %#x", first.Type))); err != nil {
 			return
 		}
@@ -182,6 +184,11 @@ func (cs *connServer) serveOne(ctx context.Context, req frame, handle handlerFun
 	resp := handle(ctx, req, maxBodySize)
 	resp.ID = req.ID
 	err := cs.write(resp)
+	// serveOne owns both leases: the handler consumed the request body
+	// (every mutating path copies synchronously), and the reply body is
+	// on the wire once write returns.
+	req.release()
+	resp.release()
 	cs.inflightN.Add(-1)
 	return err
 }
@@ -223,6 +230,9 @@ func (cs *connServer) serveV2(handle handlerFunc) {
 					cancelAll()
 					cs.conn.Close()
 				}
+				// The worker owns both leases (see serveOne).
+				j.req.release()
+				resp.release()
 				cs.inflightN.Add(-1)
 			}
 		}()
@@ -268,15 +278,18 @@ func (cs *connServer) serveV2(handle handlerFunc) {
 			// original call. A protocol violation this deep has no
 			// in-band answer: drop the connection.
 			jcancel()
+			req.release()
 			return
 		}
 		cs.countRequest()
 		cs.inflightN.Add(1)
 		select {
 		case jobs <- job{req: req, ctx: jctx, cancel: jcancel}:
+			// The worker's copy of the frame owns the lease now.
 		case <-connCtx.Done():
 			cs.inflightN.Add(-1)
 			jcancel()
+			req.release()
 			return
 		}
 	}

@@ -637,4 +637,3 @@ func TestV1InterruptStillLatches(t *testing.T) {
 		t.Fatalf("v1 interrupted call must latch ErrConnBroken, got %v", err)
 	}
 }
-

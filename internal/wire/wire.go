@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"steghide/internal/blockdev"
+	"steghide/internal/mempool"
 )
 
 // --- storage server ----------------------------------------------------
@@ -178,12 +179,13 @@ func (s *StorageServer) handle(ctx context.Context, req frame, limit uint64) fra
 		if d.err != nil {
 			return errFrame(d.err)
 		}
-		buf := make([]byte, s.dev.BlockSize())
+		buf := mempool.Get(s.dev.BlockSize())
 		if err := s.dev.ReadBlock(idx, buf); err != nil {
+			mempool.Recycle(buf)
 			return errFrame(err)
 		}
 		s.record(blockdev.Event{Op: blockdev.OpRead, Block: idx})
-		return frame{Type: msgOK, Body: buf}
+		return frame{Type: msgOK, Body: buf, pooled: true}
 	case msgWriteBlock:
 		d := &decoder{b: req.Body}
 		idx := d.u64()
@@ -207,10 +209,11 @@ func (s *StorageServer) handle(ctx context.Context, req frame, limit uint64) fra
 			return errFrame(err)
 		}
 		if err := blockdev.ReadBlocks(s.dev, start, bufs); err != nil {
+			mempool.Recycle(slabOf(bufs))
 			return errFrame(err)
 		}
 		s.record(blockdev.Event{Op: blockdev.OpRead, Block: start, Count: count})
-		return frame{Type: msgOK, Body: slabOf(bufs)}
+		return frame{Type: msgOK, Body: slabOf(bufs), pooled: true}
 	case msgWriteBlocks:
 		d := &decoder{b: req.Body}
 		start, count := d.u64(), d.u64()
@@ -234,12 +237,13 @@ func (s *StorageServer) handle(ctx context.Context, req frame, limit uint64) fra
 			return errFrame(err)
 		}
 		if err := blockdev.ReadBlocksAt(s.dev, idx, bufs); err != nil {
+			mempool.Recycle(slabOf(bufs))
 			return errFrame(err)
 		}
 		for _, i := range idx {
 			s.record(blockdev.Event{Op: blockdev.OpRead, Block: i})
 		}
-		return frame{Type: msgOK, Body: slabOf(bufs)}
+		return frame{Type: msgOK, Body: slabOf(bufs), pooled: true}
 	case msgWriteBlocksAt:
 		d := &decoder{b: req.Body}
 		idx := decodeIndices(d)
@@ -269,22 +273,31 @@ func (s *StorageServer) record(e blockdev.Event) {
 	s.tap.Record(e)
 }
 
-// batchBufs carves count block buffers out of one reply slab. The
-// count is bounded so the reply frame stays under the connection's
-// negotiated frame limit.
+// batchBufs carves count block buffers out of one reply slab, leased
+// from the memory plane (the reply's consumer recycles it via the
+// frame's pooled flag). The count is bounded so the reply frame stays
+// under the connection's negotiated frame limit.
 func (s *StorageServer) batchBufs(count, limit uint64) ([][]byte, error) {
 	bs := s.dev.BlockSize()
 	if count == 0 || count > limit/uint64(bs) {
 		return nil, fmt.Errorf("wire: batch of %d blocks out of bounds", count)
 	}
-	return blockdev.AllocBlocks(int(count), bs), nil
+	slab := mempool.Get(int(count) * bs)
+	bufs := make([][]byte, count)
+	for i := range bufs {
+		bufs[i] = slab[i*bs : (i+1)*bs]
+	}
+	return bufs, nil
 }
 
-// slabOf stitches buffers carved by AllocBlocks back into their
-// underlying slab without copying (bufs[0]'s capacity spans the slab).
+// slabOf stitches buffers carved by batchBufs back into their
+// underlying slab without copying. bufs[0]'s capacity spans the whole
+// leased slab and is deliberately preserved (not re-capped at n), so
+// releasing the result returns the full class-sized buffer to its
+// pool.
 func slabOf(bufs [][]byte) []byte {
 	n := len(bufs) * len(bufs[0])
-	return bufs[0][:n:n]
+	return bufs[0][:n]
 }
 
 // splitBlocks views the decoder's remaining body as count raw blocks.
@@ -399,6 +412,7 @@ func (d *RemoteDevice) onConnect(ctx context.Context, m *muxConn) error {
 	dec := &decoder{b: resp.Body}
 	bs := int(dec.u64())
 	nb := dec.u64()
+	resp.release()
 	if dec.err != nil {
 		return dec.err
 	}
@@ -466,9 +480,11 @@ func (d *RemoteDevice) ReadBlock(i uint64, buf []byte) error {
 		return err
 	}
 	if len(resp.Body) != d.blockSize {
+		resp.release()
 		return fmt.Errorf("wire: short block read (%d bytes)", len(resp.Body))
 	}
 	copy(buf, resp.Body)
+	resp.release()
 	return nil
 }
 
@@ -515,8 +531,12 @@ func (d *RemoteDevice) checkBufs(bufs [][]byte) error {
 	return nil
 }
 
-// scatter copies a concatenated-blocks reply into the buffer vector.
-func (d *RemoteDevice) scatter(body []byte, bufs [][]byte) error {
+// scatter copies a concatenated-blocks reply into the buffer vector
+// and releases the reply's lease — the copy-out is the last read of
+// the body on every path, including the size-mismatch error.
+func (d *RemoteDevice) scatter(resp *frame, bufs [][]byte) error {
+	defer resp.release()
+	body := resp.Body
 	if len(body) != len(bufs)*d.blockSize {
 		return fmt.Errorf("wire: batch reply %d bytes, want %d", len(body), len(bufs)*d.blockSize)
 	}
@@ -541,7 +561,7 @@ func (d *RemoteDevice) ReadBlocks(start uint64, bufs [][]byte) error {
 		if err != nil {
 			return err
 		}
-		if err := d.scatter(resp.Body, bufs[off:hi]); err != nil {
+		if err := d.scatter(&resp, bufs[off:hi]); err != nil {
 			return err
 		}
 	}
@@ -556,14 +576,17 @@ func (d *RemoteDevice) WriteBlocks(start uint64, data [][]byte) error {
 	chunk := d.maxBatch()
 	for off := 0; off < len(data); off += chunk {
 		hi := min(off+chunk, len(data))
-		e := &encoder{b: make([]byte, 0, 16+(hi-off)*d.blockSize)}
+		e := &encoder{b: mempool.Get(16 + (hi-off)*d.blockSize)[:0]}
 		e.u64(start + uint64(off)).u64(uint64(hi - off))
 		for _, b := range data[off:hi] {
 			e.b = append(e.b, b...)
 		}
 		if _, err := d.do(context.Background(), frame{Type: msgWriteBlocks, Body: e.b}, false); err != nil {
+			// The frame may still sit in a v2 writer's mailbox on this
+			// path — dropping the buffer to the GC is the safe release.
 			return err
 		}
+		mempool.Recycle(e.b)
 	}
 	return nil
 }
@@ -588,7 +611,7 @@ func (d *RemoteDevice) ReadBlocksAt(idx []uint64, bufs [][]byte) error {
 		if err != nil {
 			return err
 		}
-		if err := d.scatter(resp.Body, bufs[off:hi]); err != nil {
+		if err := d.scatter(&resp, bufs[off:hi]); err != nil {
 			return err
 		}
 	}
@@ -606,7 +629,7 @@ func (d *RemoteDevice) WriteBlocksAt(idx []uint64, data [][]byte) error {
 	chunk := d.maxBatch()
 	for off := 0; off < len(idx); off += chunk {
 		hi := min(off+chunk, len(idx))
-		e := &encoder{b: make([]byte, 0, 16+(hi-off)*(d.blockSize+8))}
+		e := &encoder{b: mempool.Get(16 + (hi-off)*(d.blockSize+8))[:0]}
 		e.u64(uint64(hi - off))
 		for _, i := range idx[off:hi] {
 			e.u64(i)
@@ -615,8 +638,11 @@ func (d *RemoteDevice) WriteBlocksAt(idx []uint64, data [][]byte) error {
 			e.b = append(e.b, b...)
 		}
 		if _, err := d.do(context.Background(), frame{Type: msgWriteBlocksAt, Body: e.b}, false); err != nil {
+			// See WriteBlocks: on failure the buffer may still be
+			// referenced by the send queue; leave it to the GC.
 			return err
 		}
+		mempool.Recycle(e.b)
 	}
 	return nil
 }

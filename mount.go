@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"steghide/internal/diskmodel"
+	"steghide/internal/mempool"
 	"steghide/internal/oblivious"
 	"steghide/internal/prng"
 	"steghide/internal/wire"
@@ -125,6 +126,21 @@ func WithDaemon(period time.Duration) Option {
 	return func(c *mountConfig) error {
 		c.daemon = true
 		c.daemonPeriod = period
+		return nil
+	}
+}
+
+// WithMemPool toggles the hot-path buffer pools (internal/mempool):
+// wire frames, reshuffle scratch, scan slabs and burst arenas. It is a
+// debug/diagnosis knob, process-wide rather than per-mount — pools are
+// package state shared by every agent in the process, exactly like the
+// STEGHIDE_MEMPOOL environment gate it mirrors. Every conversion is
+// pinned bit-identical by the pool-on/pool-off oracles, so disabling
+// the pools changes allocation behaviour only; use it to bisect a
+// suspected pooling bug or to take clean heap profiles.
+func WithMemPool(on bool) Option {
+	return func(c *mountConfig) error {
+		mempool.SetEnabled(on)
 		return nil
 	}
 }

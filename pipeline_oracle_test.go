@@ -11,9 +11,9 @@ import (
 // pipelineRun is everything an observer (or the repo's figure
 // harness) can measure about one workload execution.
 type pipelineRun struct {
-	events   []steghide.Event
-	image    []byte
-	stats    steghide.UpdateStats
+	events  []steghide.Event
+	image   []byte
+	stats   steghide.UpdateStats
 	uniform steghide.Verdict
 	def1    steghide.Verdict
 }
@@ -25,7 +25,7 @@ type pipelineRun struct {
 // §3.2 attacker verdicts (spatial uniformity of changed blocks, and
 // CompareStreams — the operational Definition 1 — between an idle and
 // an active interval).
-func runPipelineOracle(t *testing.T, pipeline bool) pipelineRun {
+func runPipelineOracle(t *testing.T, pipeline bool, extra ...steghide.Option) pipelineRun {
 	t.Helper()
 	tap := &steghide.Collector{}
 	mem := steghide.NewMemDevice(512, 4096)
@@ -39,6 +39,7 @@ func runPipelineOracle(t *testing.T, pipeline bool) pipelineRun {
 	if pipeline {
 		opts = append(opts, steghide.WithPipeline(4))
 	}
+	opts = append(opts, extra...)
 	stack, err := steghide.Mount(mem, opts...)
 	if err != nil {
 		t.Fatal(err)
@@ -152,5 +153,40 @@ func TestPipelineObservableOracle(t *testing.T) {
 	// equality across runs is asserted, not its verdict.)
 	if serial.def1.Detected {
 		t.Fatalf("Definition-1 attacker separated idle from active on the serial path: %+v", serial.def1)
+	}
+}
+
+// TestMemPoolObservableOracle is the acceptance oracle of the memory
+// plane at the outermost layer: with the hot-path pools disabled
+// (WithMemPool(false), the STEGHIDE_MEMPOOL=0 path), the full trace,
+// final volume image, scheduler counters, and attacker verdicts must
+// be bit-identical to the pooled run — pooling changes buffer
+// provenance only, never an observable byte. Both burst modes are
+// covered so the arena-backed pipelined path is pinned too.
+func TestMemPoolObservableOracle(t *testing.T) {
+	for _, pipeline := range []bool{false, true} {
+		unpooled := runPipelineOracle(t, pipeline, steghide.WithMemPool(false))
+		pooled := runPipelineOracle(t, pipeline, steghide.WithMemPool(true))
+		if len(unpooled.events) != len(pooled.events) {
+			t.Fatalf("pipeline=%v: trace length moved: %d unpooled vs %d pooled",
+				pipeline, len(unpooled.events), len(pooled.events))
+		}
+		for i := range unpooled.events {
+			ue, pe := unpooled.events[i], pooled.events[i]
+			if ue.Op != pe.Op || ue.Block != pe.Block || ue.Count != pe.Count {
+				t.Fatalf("pipeline=%v: tap diverged at op %d: unpooled %+v pooled %+v", pipeline, i, ue, pe)
+			}
+		}
+		if !bytes.Equal(unpooled.image, pooled.image) {
+			t.Fatalf("pipeline=%v: final volume images differ between pooled and unpooled runs", pipeline)
+		}
+		if unpooled.stats != pooled.stats {
+			t.Fatalf("pipeline=%v: scheduler counters moved: unpooled %+v pooled %+v",
+				pipeline, unpooled.stats, pooled.stats)
+		}
+		if unpooled.uniform != pooled.uniform || unpooled.def1 != pooled.def1 {
+			t.Fatalf("pipeline=%v: attacker verdicts moved:\nunpooled %+v / %+v\npooled   %+v / %+v",
+				pipeline, unpooled.uniform, unpooled.def1, pooled.uniform, pooled.def1)
+		}
 	}
 }
